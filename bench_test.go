@@ -1,0 +1,228 @@
+package seagull_test
+
+// Benchmark harness: one benchmark per paper table/figure (see DESIGN.md's
+// per-experiment index) plus micro-benchmarks of the core primitives. The
+// figure benchmarks regenerate the experiment at small scale; run
+// cmd/seagull-experiments -scale full for paper-sized runs.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"seagull"
+	"seagull/internal/experiments"
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: experiments.ScaleSmall, Seed: 1}
+}
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// --- One benchmark per paper artifact ---
+
+func BenchmarkFig3Classification(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig11aTrainInfer(b *testing.B)        { runExperiment(b, "fig11a") }
+func BenchmarkFig11bLLWindows(b *testing.B)         { runExperiment(b, "fig11bcd") }
+func BenchmarkFig12aComponents(b *testing.B)        { runExperiment(b, "fig12a") }
+func BenchmarkFig12bAccuracyEval(b *testing.B)      { runExperiment(b, "fig12b") }
+func BenchmarkFig13aImpact(b *testing.B)            { runExperiment(b, "fig13a") }
+func BenchmarkFig13bUtilization(b *testing.B)       { runExperiment(b, "fig13b") }
+func BenchmarkSec53PersistentForecast(b *testing.B) { runExperiment(b, "sec53") }
+func BenchmarkFigA1StableDatabases(b *testing.B)    { runExperiment(b, "a1") }
+func BenchmarkFig16AutoscaleAccuracy(b *testing.B)  { runExperiment(b, "fig16") }
+
+// Figure 17 shares fig16's evaluation pass; its benchmark isolates the
+// runtime-measurement half on a smaller population.
+func BenchmarkFig17AutoscaleRuntime(b *testing.B) {
+	dbs := simulate.GenerateSQL(simulate.SQLConfig{Databases: 10, Days: 9, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs, err := seagull.CompareAutoscaleModels(
+			[]string{seagull.ModelPersistentPrevDay, seagull.ModelFFNN}, dbs,
+			seagull.AutoscaleConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if evs[0].TrainInfer > evs[1].TrainInfer {
+			b.Fatalf("persistent forecast (%v) must not out-train the network (%v)",
+				evs[0].TrainInfer, evs[1].TrainInfer)
+		}
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+func BenchmarkAblationBound(b *testing.B)      { runExperiment(b, "ablation-bound") }
+func BenchmarkAblationThreshold(b *testing.B)  { runExperiment(b, "ablation-threshold") }
+func BenchmarkAblationHistory(b *testing.B)    { runExperiment(b, "ablation-history") }
+func BenchmarkAblationPFVariants(b *testing.B) { runExperiment(b, "ablation-pf-variants") }
+func BenchmarkAblationWorkers(b *testing.B)    { runExperiment(b, "ablation-workers") }
+
+// --- Micro-benchmarks of the primitives the experiments lean on ---
+
+func benchDay(seed int64) timeseries.Series {
+	vals := make([]float64, 288)
+	for i := range vals {
+		v := 10.0
+		if i >= 96 && i < 192 {
+			v = 60
+		}
+		vals[i] = v + float64((int(seed)+i*37)%7)
+	}
+	return timeseries.New(time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC), 5*time.Minute, vals)
+}
+
+func benchHistory(days int) timeseries.Series {
+	h := benchDay(1)
+	full := timeseries.New(h.Start, h.Interval, nil)
+	for d := 0; d < days; d++ {
+		day := benchDay(int64(d))
+		full.Append(day.Values...)
+	}
+	return full
+}
+
+func BenchmarkMinWindow(b *testing.B) {
+	day := benchDay(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := day.MinWindow(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBucketRatio(b *testing.B) {
+	t, p := benchDay(1), benchDay(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.BucketRatio(t, p, metrics.DefaultBound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateDay(b *testing.B) {
+	t, p := benchDay(1), benchDay(2)
+	cfg := metrics.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.EvaluateDay(t, p, 12, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPersistentForecastTrainInfer(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewPersistent(forecast.PrevDay)
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSATrainInfer(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewSSA(forecast.SSAConfig{})
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFNNTrainInfer(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewFFNN(forecast.FFNNConfig{Seed: 1, Epochs: 5})
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: "bench", Servers: 50, Weeks: 4, Seed: int64(i),
+		})
+		if len(fleet.Servers) != 50 {
+			b.Fatal("wrong fleet size")
+		}
+	}
+}
+
+func BenchmarkPipelineWeek(b *testing.B) {
+	sys, err := seagull.NewSystem(seagull.SystemConfig{DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{
+		Region: "bench", Servers: 40, Weeks: 2, Seed: 1,
+	})
+	if _, err := sys.LoadFleet(fleet); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.RunWeek(seagull.PipelineConfig{Region: "bench", Week: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Predicted == 0 {
+			b.Fatal("no predictions")
+		}
+	}
+	b.ReportMetric(float64(fleet.Config.Servers), "servers/run")
+}
+
+// Sanity: the figure benchmarks correspond one-to-one to registered
+// experiments (guards against silent drift when experiments are added).
+func TestBenchCoverage(t *testing.T) {
+	covered := map[string]bool{
+		"fig3": true, "fig11a": true, "fig11bcd": true, "fig12a": true,
+		"fig12b": true, "fig13a": true, "fig13b": true, "sec53": true,
+		"a1": true, "fig16": true, "fig17": true,
+		"ablation-bound": true, "ablation-threshold": true, "ablation-history": true,
+		"ablation-pf-variants": true, "ablation-workers": true,
+	}
+	for _, e := range experiments.All() {
+		if !covered[e.ID] {
+			t.Errorf("experiment %q has no benchmark; add one to bench_test.go", e.ID)
+		}
+	}
+	if len(experiments.All()) != len(covered) {
+		t.Errorf("experiment count %d != covered %d", len(experiments.All()), len(covered))
+	}
+	_ = fmt.Sprint() // keep fmt imported alongside future debug output
+}

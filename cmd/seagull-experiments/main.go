@@ -1,0 +1,103 @@
+// Command seagull-experiments regenerates the paper's tables and figures on
+// the synthetic substrate (see DESIGN.md's per-experiment index). Output is
+// aligned text on stdout, or markdown with -markdown — the format used to
+// produce EXPERIMENTS.md.
+//
+// Usage:
+//
+//	seagull-experiments -list
+//	seagull-experiments -run fig3,fig11a
+//	seagull-experiments -run all -scale full -markdown > EXPERIMENTS-full.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"seagull/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seagull-experiments: ")
+
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.String("scale", "small", "small or full")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "parallel partitions (0 = NumCPU)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Workers: *workers}
+	switch *scale {
+	case "small":
+		opts.Scale = experiments.ScaleSmall
+	case "full":
+		opts.Scale = experiments.ScaleFull
+	default:
+		log.Fatalf("unknown scale %q (want small or full)", *scale)
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				log.Fatalf("unknown experiment %q (use -list); known: %s",
+					id, strings.Join(experiments.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	// fig16 and fig17 share one run function; dedupe to avoid computing twice.
+	seen := map[string]bool{}
+	failures := 0
+	for _, e := range selected {
+		if e.ID == "fig17" && seen["fig16"] {
+			continue // fig16's run already emitted both tables
+		}
+		seen[e.ID] = true
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			log.Printf("%s FAILED: %v", e.ID, err)
+			failures++
+			continue
+		}
+		if *markdown {
+			fmt.Printf("## %s\n\n", e.Title)
+			fmt.Printf("Paper: %s.\n\n", e.Paper)
+			for _, tb := range tables {
+				fmt.Println(tb.Markdown())
+			}
+			fmt.Printf("_Regenerated in %v._\n\n", time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("=== %s — %s (%v)\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("paper: %s\n\n", e.Paper)
+			for _, tb := range tables {
+				fmt.Println(tb.Text())
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

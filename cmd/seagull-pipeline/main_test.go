@@ -1,0 +1,40 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseWeeks(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"3", []int{3}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"2-2", []int{2}, false},
+		{"0,2,5", []int{0, 2, 5}, false},
+		{" 1 , 2 ", []int{1, 2}, false},
+		{"3-1", nil, true},
+		{"a-b", nil, true},
+		{"x", nil, true},
+		{"", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseWeeks(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseWeeks(%q) should fail, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWeeks(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseWeeks(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command seagull-serve deploys forecast models into the model registry and
+// exposes them over the REST endpoint of Section 2.2. Clients POST a
+// server's load history to /v1/predict and receive the predicted series;
+// GET /v1/models lists deployments and /healthz reports liveness.
+//
+// Usage:
+//
+//	seagull-serve -addr :8080 -deploy backup/westus=pf-prev-day,backup/eastus=nimbus-ssa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"seagull/internal/registry"
+	"seagull/internal/serving"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seagull-serve: ")
+
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		deploy = flag.String("deploy", "backup/westus=pf-prev-day",
+			"comma-separated scenario/region=model deployments")
+	)
+	flag.Parse()
+
+	reg := registry.New(nil)
+	for _, spec := range strings.Split(*deploy, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		slot, model, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad deployment %q (want scenario/region=model)", spec)
+		}
+		scenario, region, ok := strings.Cut(slot, "/")
+		if !ok {
+			log.Fatalf("bad deployment slot %q (want scenario/region)", slot)
+		}
+		v := reg.Deploy(registry.Target{Scenario: scenario, Region: region}, model, "seagull-serve")
+		fmt.Printf("deployed %s v%d at %s/%s\n", model, v, scenario, region)
+	}
+
+	handler := serving.NewHandler(reg)
+	fmt.Printf("serving on %s (POST /v1/predict, GET /v1/models, GET /healthz)\n", *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package seagull_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seagull"
+)
+
+// ExampleNewSystem shows the minimal end-to-end flow: load a fleet, run the
+// weekly pipeline, schedule backups.
+func ExampleNewSystem() {
+	sys, err := seagull.NewSystem(seagull.SystemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{
+		Region: "demo", Servers: 40, Weeks: 4, Seed: 1,
+	})
+	if _, err := sys.LoadFleet(fleet); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RunWeeks("demo", 0, 3, seagull.PipelineConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	decisions, err := sys.ScheduleBackups("demo", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(decisions) > 0)
+	// Output: true
+}
+
+// ExamplePredictDay trains the deployed heuristic on a week of history and
+// predicts the next day.
+func ExamplePredictDay() {
+	// A flat 30% CPU server.
+	vals := make([]float64, 7*288)
+	for i := range vals {
+		vals[i] = 30
+	}
+	history := seagull.Series{
+		Start:    time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC),
+		Interval: 5 * time.Minute,
+		Values:   vals,
+	}
+	m, err := seagull.NewModel(seagull.ModelPersistentPrevDay, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := seagull.PredictDay(m, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d observations, mean %.0f%% CPU\n", pred.Len(), pred.Mean())
+	// Output: 288 observations, mean 30% CPU
+}
+
+// ExampleEvaluateDay judges a backup-day prediction with the paper's two
+// orthogonal metrics.
+func ExampleEvaluateDay() {
+	mk := func(level func(i int) float64) seagull.Series {
+		vals := make([]float64, 288)
+		for i := range vals {
+			vals[i] = level(i)
+		}
+		return seagull.Series{
+			Start:    time.Date(2019, 12, 2, 0, 0, 0, 0, time.UTC),
+			Interval: 5 * time.Minute,
+			Values:   vals,
+		}
+	}
+	busyMidday := func(i int) float64 {
+		if i >= 96 && i < 192 {
+			return 70
+		}
+		return 10
+	}
+	trueDay := mk(busyMidday)
+	predDay := mk(busyMidday) // a perfect forecast
+
+	res, err := seagull.EvaluateDay(trueDay, predDay, 12, seagull.DefaultMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window correct: %v, load accurate: %v\n", res.Window.Correct, res.WindowAccurate)
+	// Output: window correct: true, load accurate: true
+}

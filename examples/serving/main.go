@@ -1,0 +1,71 @@
+// Serving: deploy a model behind the REST endpoint and query it — the
+// "deploys this model to a REST endpoint" flow of Section 2.2.
+//
+// The program starts an in-process HTTP server, deploys persistent forecast
+// for one region, posts a week of server history to /v1/predict and prints
+// the forecast's lowest-load window.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"seagull"
+	"seagull/internal/registry"
+	"seagull/internal/serving"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := seagull.NewSystem(seagull.SystemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Deploy the production model for one region and expose the endpoint.
+	sys.Registry.Deploy(registry.Target{Scenario: "backup", Region: "westus"},
+		seagull.ModelPersistentPrevDay, "serving example")
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+	fmt.Printf("endpoint: %s\n", srv.URL)
+
+	client := serving.NewClient(srv.URL)
+	if !client.Healthy() {
+		log.Fatal("endpoint unhealthy")
+	}
+	models, err := client.Models()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range models {
+		fmt.Printf("deployed: %s/%s → %s v%d\n", m.Scenario, m.Region, m.Model, m.Version)
+	}
+
+	// A client (the backup scheduler, in production) posts one server's
+	// history and receives tomorrow's predicted load.
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{
+		Region: "westus", Servers: 1, Weeks: 1, Seed: 3,
+		Mix: seagull.Mix{Daily: 1},
+	})
+	history := fleet.Servers[0].Load
+	pred, resp, err := client.Predict("backup", "westus", history, history.PointsPerDay())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted %d observations with %s v%d\n", pred.Len(), resp.Model, resp.Version)
+
+	window := fleet.Servers[0].WindowPoints()
+	adv, err := seagull.AdviseWindow(pred, 150, window, seagull.DefaultMetrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lowest-load window: starts %s, predicted avg %.1f%% CPU\n",
+		pred.TimeAt(adv.SuggestedStart).Format("15:04"), adv.SuggestedAvg)
+	fmt.Printf("a 12:30 window would see %.1f%% CPU — keep it? %v\n",
+		adv.CurrentAvg, adv.KeepCurrent)
+}

@@ -1,0 +1,223 @@
+// Package autoscale implements the second Seagull scenario (Appendix A):
+// preemptive auto-scale of Azure SQL databases. It classifies databases into
+// stable and unstable (Definition 10), forecasts CPU load 24 hours ahead at
+// 15-minute granularity with the shared model zoo, and evaluates prediction
+// error with the standard metrics of Appendix A.2 (mean NRMSE and MASE) —
+// the data behind Figures 16 and 17.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/parallel"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+// ErrShortHistory is returned when a database has too little telemetry.
+var ErrShortHistory = errors.New("autoscale: insufficient history")
+
+// StableStdThreshold interprets Definition 10's "variation does not exceed
+// one standard deviation for the last three days": the load's standard
+// deviation over the last three days must stay within one standard-deviation
+// unit of the stable-fleet noise band (2 CPU points for the SQL fleet).
+// Exposed as the default of Classifier.Threshold so other fleets can plug in
+// their own band (Section 2.4's parameter updates).
+const StableStdThreshold = 2.0
+
+// Classifier classifies databases per Definition 10.
+type Classifier struct {
+	// Threshold is the maximal last-three-day standard deviation for a
+	// stable database. Zero means StableStdThreshold.
+	Threshold float64
+}
+
+// IsStable (Definition 10) reports whether the database's load variation
+// over the last three days stays within the stability threshold.
+func (c Classifier) IsStable(load timeseries.Series) (bool, error) {
+	days := load.Days()
+	if len(days) < 3 {
+		return false, fmt.Errorf("%w: %d days, need 3", ErrShortHistory, len(days))
+	}
+	thr := c.Threshold
+	if thr == 0 {
+		thr = StableStdThreshold
+	}
+	last3 := timeseries.New(days[len(days)-3].Start, load.Interval, nil)
+	for _, d := range days[len(days)-3:] {
+		last3.Append(d.Values...)
+	}
+	return last3.Std() <= thr, nil
+}
+
+// ClassifySQLFleet returns the number of stable databases and the total —
+// the Appendix A.1 statistic (19.36% stable in the paper's sample).
+func (c Classifier) ClassifySQLFleet(dbs []*simulate.Database) (stable, total int, err error) {
+	for _, db := range dbs {
+		ok, cerr := c.IsStable(db.Load)
+		if cerr != nil {
+			return stable, total, fmt.Errorf("%s: %w", db.ID, cerr)
+		}
+		total++
+		if ok {
+			stable++
+		}
+	}
+	return stable, total, nil
+}
+
+// ModelEval is one row of Figures 16/17: a model's mean error metrics and
+// aggregate runtime over a database population.
+type ModelEval struct {
+	Model      string
+	Databases  int           // databases successfully evaluated
+	MeanNRMSE  float64       // Figure 16
+	MeanMASE   float64       // Figure 16
+	TrainInfer time.Duration // Figure 17: total training + inference
+	Evaluation time.Duration // Figure 17: accuracy evaluation time
+}
+
+// EvalConfig parameterizes the Appendix A model comparison.
+type EvalConfig struct {
+	// TrainDays of history per database before the 24h-ahead target day.
+	// Default 7 (the paper trains on one week).
+	TrainDays int
+	// Workers for per-database parallelism; 0 means NumCPU.
+	Workers int
+	// Seed drives stochastic models.
+	Seed int64
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.TrainDays == 0 {
+		c.TrainDays = 7
+	}
+	return c
+}
+
+// EvaluateModel trains the named model per database on TrainDays of history,
+// predicts the following day (24h ahead), and accumulates NRMSE/MASE against
+// the actual day.
+func EvaluateModel(name string, dbs []*simulate.Database, cfg EvalConfig) (ModelEval, error) {
+	cfg = cfg.withDefaults()
+	ev := ModelEval{Model: name}
+
+	type result struct {
+		nrmse, mase float64
+		ok          bool
+	}
+	pool := parallel.NewPool(cfg.Workers)
+	tiStart := time.Now()
+	// Train + infer in parallel per database (the per-database partitioning
+	// of Appendix A: "ARIMA runs in parallel per database").
+	preds, err := parallel.Map(pool, dbs, func(db *simulate.Database) (timeseries.Series, error) {
+		ppd := db.Load.PointsPerDay()
+		need := (cfg.TrainDays + 1) * ppd
+		if db.Load.Len() < need {
+			return timeseries.Series{}, nil
+		}
+		hist, err := db.Load.Slice(db.Load.Len()-need, db.Load.Len()-ppd)
+		if err != nil {
+			return timeseries.Series{}, nil
+		}
+		m, err := forecast.New(name, cfg.Seed)
+		if err != nil {
+			return timeseries.Series{}, err
+		}
+		pred, err := forecast.PredictDay(m, hist)
+		if err != nil {
+			return timeseries.Series{}, nil // skip databases the model can't fit
+		}
+		return pred, nil
+	})
+	if err != nil {
+		return ev, err
+	}
+	ev.TrainInfer = time.Since(tiStart)
+
+	evStart := time.Now()
+	results := make([]result, len(dbs))
+	for i, db := range dbs {
+		pred := preds[i]
+		if pred.Len() == 0 {
+			continue
+		}
+		ppd := db.Load.PointsPerDay()
+		target, err := db.Load.Slice(db.Load.Len()-ppd, db.Load.Len())
+		if err != nil {
+			continue
+		}
+		nr, err1 := metrics.NRMSE(target.Values, pred.Values)
+		ms, err2 := metrics.MASE(target.Values, pred.Values)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		results[i] = result{nrmse: nr, mase: ms, ok: true}
+	}
+	ev.Evaluation = time.Since(evStart)
+
+	var sumN, sumM float64
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		ev.Databases++
+		sumN += r.nrmse
+		sumM += r.mase
+	}
+	if ev.Databases == 0 {
+		return ev, fmt.Errorf("autoscale: model %s evaluated no databases", name)
+	}
+	ev.MeanNRMSE = sumN / float64(ev.Databases)
+	ev.MeanMASE = sumM / float64(ev.Databases)
+	return ev, nil
+}
+
+// CompareModels runs EvaluateModel for each named model — the Figure 16/17
+// comparison (persistent forecast vs neural network vs ARIMA).
+func CompareModels(names []string, dbs []*simulate.Database, cfg EvalConfig) ([]ModelEval, error) {
+	out := make([]ModelEval, 0, len(names))
+	for _, name := range names {
+		ev, err := EvaluateModel(name, dbs, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Action is a preemptive auto-scale recommendation.
+type Action string
+
+// Recommendations derived from the 24h-ahead forecast.
+const (
+	ActionScaleUp   Action = "scale-up"
+	ActionScaleDown Action = "scale-down"
+	ActionHold      Action = "hold"
+)
+
+// Recommend derives the preemptive scaling action from a predicted day of
+// load: scale up when the predicted 95th percentile exceeds upPct, scale
+// down when the predicted peak stays under downPct — the resource-saving
+// opportunity Figure 13(b) quantifies (96.3% of servers never reach
+// capacity).
+func Recommend(predicted timeseries.Series, upPct, downPct float64) (Action, error) {
+	p95, err := predicted.Quantile(0.95)
+	if err != nil {
+		return ActionHold, err
+	}
+	peak, _ := predicted.Max()
+	switch {
+	case p95 >= upPct:
+		return ActionScaleUp, nil
+	case peak < downPct:
+		return ActionScaleDown, nil
+	default:
+		return ActionHold, nil
+	}
+}

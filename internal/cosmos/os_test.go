@@ -1,0 +1,6 @@
+package cosmos
+
+import "os"
+
+// osWriteFile is aliased so tests stay grep-able for direct os usage.
+var osWriteFile = os.WriteFile

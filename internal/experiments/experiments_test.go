@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	wantIDs := []string{
+		"fig3", "fig11a", "fig11bcd", "fig12a", "fig12b",
+		"fig13a", "fig13b", "sec53", "a1", "fig16", "fig17",
+		"ablation-bound", "ablation-threshold", "ablation-history",
+		"ablation-pf-variants", "ablation-workers",
+	}
+	for _, id := range wantIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %q not registered", id)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", id, e)
+		}
+	}
+	if len(All()) != len(wantIDs) {
+		t.Errorf("registered %d experiments, want %d", len(All()), len(wantIDs))
+	}
+	if len(IDs()) != len(wantIDs) {
+		t.Errorf("IDs() = %d", len(IDs()))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should miss")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Caption: "cap",
+		Note:    "note",
+		Header:  []string{"a", "b"},
+	}
+	tb.AddRow("x", 1)
+	tb.AddRow(2.5, "y")
+	md := tb.Markdown()
+	for _, want := range []string{"**cap**", "| a | b |", "| x | 1 |", "| 2.50 | y |", "*note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := tb.Text()
+	for _, want := range []string{"cap", "a", "2.50", "note:"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestPctFormatting(t *testing.T) {
+	if pctStr(0.123) != "12.3%" {
+		t.Errorf("pctStr = %q", pctStr(0.123))
+	}
+	if pct2Str(0.99829) != "99.83%" {
+		t.Errorf("pct2Str = %q", pct2Str(0.99829))
+	}
+}
+
+// parsePct extracts a float from "12.3%".
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func findRow(t *testing.T, tb Table, key string) []string {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if row[0] == key || (len(row) > 1 && row[1] == key) {
+			return row
+		}
+	}
+	t.Fatalf("row %q not found in %q", key, tb.Caption)
+	return nil
+}
+
+func TestFig3SmallScale(t *testing.T) {
+	tables, err := runFig3(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	short := parsePct(t, findRow(t, tb, "short-lived")[2])
+	if short < 32 || short > 52 {
+		t.Errorf("short-lived = %v%%, want ≈ 42%%", short)
+	}
+	stable := parsePct(t, findRow(t, tb, "long-lived stable")[2])
+	if stable < 43 || stable > 64 {
+		t.Errorf("stable = %v%%, want ≈ 53.5%%", stable)
+	}
+}
+
+func TestSec53SmallScale(t *testing.T) {
+	tables, err := runSec53(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// Stable+pattern servers: PF must be near-perfect, mirroring 99.83/99.06.
+	if got := parsePct(t, tb.Rows[0][3]); got < 95 {
+		t.Errorf("stable+pattern LL correct = %v%%, want ≥ 95%%", got)
+	}
+	if got := parsePct(t, tb.Rows[2][3]); got < 85 {
+		t.Errorf("stable+pattern predictable = %v%%, want ≥ 85%%", got)
+	}
+}
+
+func TestA1SmallScale(t *testing.T) {
+	tables, err := runA1(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parsePct(t, tables[0].Rows[0][2])
+	if got < 14 || got > 25 {
+		t.Errorf("stable SQL databases = %v%%, want ≈ 19.36%%", got)
+	}
+}
+
+func TestFig13bSmallScale(t *testing.T) {
+	tables, err := runFig13b(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	cap := parsePct(t, findRow(t, tb, "reach capacity (≥99.5%)")[2])
+	if cap > 12 {
+		t.Errorf("capacity share = %v%%, want small (paper 3.7%%)", cap)
+	}
+	// Bucket shares sum to ~100%.
+	sum := 0.0
+	for _, row := range tb.Rows[:10] {
+		sum += parsePct(t, row[2])
+	}
+	if sum < 98 || sum > 102 {
+		t.Errorf("bucket shares sum to %v%%", sum)
+	}
+}
+
+func TestAblationBoundShowsAsymmetryValue(t *testing.T) {
+	tables, err := runAblationBound(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	prodRisky := parsePct(t, findRow(t, tb, "+10/−5 (production)")[2])
+	symRisky := parsePct(t, findRow(t, tb, "±10 symmetric")[2])
+	if prodRisky > symRisky {
+		t.Errorf("production bound riskier (%v%%) than symmetric (%v%%)", prodRisky, symRisky)
+	}
+}
+
+func TestAblationPFVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tables, err := runAblationPFVariants(Options{Scale: ScaleSmall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// Cells are "correct% / accurate%"; split them.
+	cell := func(row []string, i int) (correct, accurate float64) {
+		parts := strings.Split(row[i], " / ")
+		if len(parts) != 2 {
+			t.Fatalf("cell %q not in correct/accurate form", row[i])
+		}
+		return parsePct(t, parts[0]), parsePct(t, parts[1])
+	}
+	// On weekly-pattern servers the previous-equivalent-day variant must beat
+	// or match the previous-day variant on window-load accuracy.
+	row := findRow(t, tb, "weekly pattern")
+	_, prevDayAcc := cell(row, 1)
+	_, prevEqAcc := cell(row, 2)
+	if prevEqAcc < prevDayAcc-5 {
+		t.Errorf("prev-equivalent-day accuracy (%v%%) should not lose to prev-day (%v%%) on weekly servers",
+			prevEqAcc, prevDayAcc)
+	}
+	// On stable servers every variant is near-perfect on both metrics.
+	row = findRow(t, tb, "stable")
+	for i := 1; i <= 3; i++ {
+		c, a := cell(row, i)
+		if c < 90 || a < 90 {
+			t.Errorf("stable class variant %d = %v%%/%v%%, want ≥ 90%%", i, c, a)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers <= 0 || o.Seed == 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if pick(Options{Scale: ScaleSmall}, 1, 2) != 1 {
+		t.Error("pick small")
+	}
+	if pick(Options{Scale: ScaleFull}, 1, 2) != 2 {
+		t.Error("pick full")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/metrics"
+	"seagull/internal/parallel"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12a",
+		Title: "Figure 12(a): runtime of the use-case-agnostic components per region",
+		Paper: "model deployment ≈ constant (~1min); other components grow linearly " +
+			"with input size; accuracy evaluation dominates beyond 1GB",
+		Run: runFig12a,
+	})
+	register(Experiment{
+		ID:    "fig12b",
+		Title: "Figure 12(b): single-threaded vs parallel accuracy evaluation",
+		Paper: "parallel loses slightly at 60MB, wins beyond 400MB (26% faster at 2.5GB " +
+			"for backup-day evaluation); full-week evaluation speeds up 3–4.6×",
+		Run: runFig12b,
+	})
+}
+
+// region sizes (server counts) standing in for the paper's input sizes of
+// hundreds of KB to a few GB.
+func regionSizes(o Options) []int {
+	return pick(o, []int{60, 150}, []int{100, 400, 1000, 2500})
+}
+
+// runFig12a runs the full weekly pipeline for regions of growing size and
+// reports per-stage wall clock — the component breakdown of Figure 12(a).
+func runFig12a(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	sizes := regionSizes(o)
+
+	t := Table{
+		Caption: "Figure 12(a) — pipeline component runtime per region size (1 week, persistent forecast)",
+		Header: []string{"servers", "extract MB", pipeline.StageIngestion, pipeline.StageValidation,
+			pipeline.StageFeatures, pipeline.StageDeployment, pipeline.StageTrainInfer,
+			pipeline.StageAccuracy, "total"},
+	}
+
+	for i, n := range sizes {
+		dir, err := tempDir("fig12a")
+		if err != nil {
+			return nil, err
+		}
+		store, err := lake.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		region := fmt.Sprintf("size-%d", n)
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: region, Servers: n, Weeks: 1, Seed: o.Seed + int64(i)*7,
+		})
+		if _, err := extract.ExtractAll(store, fleet); err != nil {
+			return nil, err
+		}
+		sz, err := store.Size(extract.Dataset, region, 0)
+		if err != nil {
+			return nil, err
+		}
+		db, err := cosmos.Open("")
+		if err != nil {
+			return nil, err
+		}
+		p := pipeline.New(store, db, registry.New(nil), insights.New(nil))
+		res, err := p.RunWeek(pipeline.Config{Region: region, Week: 0, Workers: o.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("fig12a n=%d: %w", n, err)
+		}
+		stage := map[string]time.Duration{}
+		for _, st := range res.StageTimings {
+			stage[st.Stage] = st.Duration
+		}
+		t.AddRow(n, fmt.Sprintf("%.1f", float64(sz)/(1<<20)),
+			fmtDuration(stage[pipeline.StageIngestion]),
+			fmtDuration(stage[pipeline.StageValidation]),
+			fmtDuration(stage[pipeline.StageFeatures]),
+			fmtDuration(stage[pipeline.StageDeployment]),
+			fmtDuration(stage[pipeline.StageTrainInfer]),
+			fmtDuration(stage[pipeline.StageAccuracy]),
+			fmtDuration(res.Total))
+		cleanupDir(dir)
+	}
+	return []Table{t}, nil
+}
+
+// runFig12b compares single-threaded and parallel (Dask-analog) accuracy
+// evaluation: once for the backup day only, and once for every day of the
+// week ahead (the paper's planned extension). The evaluation work is
+// identical across worker settings; only the partitioning changes.
+func runFig12b(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	sizes := regionSizes(o)
+	mcfg := metrics.DefaultConfig()
+
+	t := Table{
+		Caption: "Figure 12(b) — accuracy evaluation: single-threaded vs parallel per server",
+		Note: fmt.Sprintf("parallel runs on %d workers; evaluation = LL window + bucket ratio "+
+			"per server-day (Definitions 2 and 8)", o.Workers),
+		Header: []string{"servers", "backup-day 1w", fmt.Sprintf("backup-day %dw", o.Workers),
+			"speedup", "week 1w", fmt.Sprintf("week %dw", o.Workers), "speedup"},
+	}
+
+	for i, n := range sizes {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: "fig12b", Servers: n, Weeks: 2, Seed: o.Seed + int64(i)*13,
+		})
+		// Precompute persistent-forecast predictions for the final week so
+		// the timed section isolates accuracy evaluation, as in the paper.
+		type job struct {
+			trueDays []timeseries.Series
+			predDays []timeseries.Series
+			window   int
+		}
+		var jobs []job
+		for _, srv := range fleet.Servers {
+			ppd := srv.Load.PointsPerDay()
+			days := srv.Load.Days()
+			if len(days) < 9 {
+				continue
+			}
+			j := job{window: srv.WindowPoints()}
+			for d := len(days) - 7; d < len(days); d++ {
+				j.trueDays = append(j.trueDays, days[d].FillGaps())
+				j.predDays = append(j.predDays, days[d-1].FillGaps())
+			}
+			_ = ppd
+			jobs = append(jobs, j)
+		}
+
+		evalBackupDay := func(j job) error {
+			_, err := metrics.EvaluateDay(j.trueDays[0], j.predDays[0], j.window, mcfg)
+			return err
+		}
+		evalWeek := func(j job) error {
+			for d := range j.trueDays {
+				if _, err := metrics.EvaluateDay(j.trueDays[d], j.predDays[d], j.window, mcfg); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		timeRun := func(workers int, fn func(job) error) (time.Duration, error) {
+			pool := parallel.NewPool(workers)
+			start := time.Now()
+			err := pool.ForEach(len(jobs), func(i int) error { return fn(jobs[i]) })
+			return time.Since(start), err
+		}
+
+		day1, err := timeRun(1, evalBackupDay)
+		if err != nil {
+			return nil, err
+		}
+		dayN, err := timeRun(o.Workers, evalBackupDay)
+		if err != nil {
+			return nil, err
+		}
+		week1, err := timeRun(1, evalWeek)
+		if err != nil {
+			return nil, err
+		}
+		weekN, err := timeRun(o.Workers, evalWeek)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n,
+			fmtDuration(day1), fmtDuration(dayN), speedup(day1, dayN),
+			fmtDuration(week1), fmtDuration(weekN), speedup(week1, weekN))
+	}
+	return []Table{t}, nil
+}
+
+func speedup(single, par time.Duration) string {
+	if par <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1fx", float64(single)/float64(par))
+}

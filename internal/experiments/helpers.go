@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/parallel"
+	"seagull/internal/simulate"
+)
+
+// modelFactory returns a constructor for fresh model instances. fast selects
+// reduced fitting budgets so small-scale runs stay quick; relative cost
+// ordering between models is preserved.
+func modelFactory(name string, seed int64, fast bool) func() (forecast.Model, error) {
+	if !fast {
+		return func() (forecast.Model, error) { return forecast.New(name, seed) }
+	}
+	return func() (forecast.Model, error) {
+		switch name {
+		case forecast.NameAdditive:
+			return forecast.NewAdditive(forecast.AdditiveConfig{
+				Seed: seed, Iterations: 200, Samples: 200,
+			}), nil
+		case forecast.NameFFNN:
+			return forecast.NewFFNN(forecast.FFNNConfig{Seed: seed, Epochs: 10}), nil
+		case forecast.NameARIMA:
+			return forecast.NewARIMA(forecast.ARIMAConfig{
+				MaxP: 1, MaxQ: 1, SearchBudget: 60,
+			}), nil
+		default:
+			return forecast.New(name, seed)
+		}
+	}
+}
+
+// serverEval is one server's chronological backup-day evaluations.
+type serverEval struct {
+	srv     *simulate.Server
+	results []metrics.DayResult
+}
+
+// predictable applies Definition 9 to the collected results.
+func (se serverEval) predictable(cfg metrics.Config) bool {
+	return metrics.Predictable(se.results, cfg)
+}
+
+// evaluateFleet trains/infers per server per backup week and evaluates the
+// backup-day prediction, exactly following the paper's methodology
+// (Section 5.3.1): each model is trained on up to one week of data
+// immediately preceding the server's backup day; servers need at least
+// three days of history. Short-lived servers are skipped.
+func evaluateFleet(fleet *simulate.Fleet, newModel func() (forecast.Model, error),
+	weeks []int, mcfg metrics.Config, workers int) ([]serverEval, error) {
+
+	var longLived []*simulate.Server
+	for _, srv := range fleet.Servers {
+		if !srv.ShortLived {
+			longLived = append(longLived, srv)
+		}
+	}
+	pool := parallel.NewPool(workers)
+	evals, err := parallel.Map(pool, longLived, func(srv *simulate.Server) (serverEval, error) {
+		se := serverEval{srv: srv}
+		ppd := srv.Load.PointsPerDay()
+		for _, week := range weeks {
+			dayGlobal := week*7 + int(srv.BackupDay)
+			dayIdx := dayGlobal * ppd
+			if dayIdx+ppd > srv.Load.Len() {
+				continue
+			}
+			trainPoints := min(7*ppd, dayIdx)
+			if trainPoints < 3*ppd {
+				continue
+			}
+			history, err := srv.Load.Slice(dayIdx-trainPoints, dayIdx)
+			if err != nil {
+				return se, err
+			}
+			m, err := newModel()
+			if err != nil {
+				return se, err
+			}
+			pred, err := forecast.PredictDay(m, history.FillGaps())
+			if err != nil {
+				continue // model cannot fit this server; treated as skipped
+			}
+			trueDay, err := srv.Load.Slice(dayIdx, dayIdx+ppd)
+			if err != nil {
+				return se, err
+			}
+			w := srv.WindowPoints()
+			dr, err := metrics.EvaluateDay(trueDay.FillGaps(), pred, w, mcfg)
+			if err != nil {
+				return se, err
+			}
+			se.results = append(se.results, dr)
+		}
+		return se, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return evals, nil
+}
+
+// fleetStats aggregates evaluations into the three paper percentages: share
+// of correctly chosen LL windows, share of windows with accurately predicted
+// load (both over all server-days), and share of predictable servers
+// (Definition 9, over servers with enough evaluated weeks).
+type fleetStats struct {
+	Days        int
+	Correct     int
+	Accurate    int
+	Servers     int
+	Predictable int
+}
+
+func aggregate(evals []serverEval, mcfg metrics.Config) fleetStats {
+	var st fleetStats
+	for _, se := range evals {
+		if len(se.results) == 0 {
+			continue
+		}
+		st.Servers++
+		for _, dr := range se.results {
+			st.Days++
+			if dr.Window.Correct {
+				st.Correct++
+			}
+			if dr.WindowAccurate {
+				st.Accurate++
+			}
+		}
+		if se.predictable(mcfg) {
+			st.Predictable++
+		}
+	}
+	return st
+}
+
+func (st fleetStats) pctCorrect() float64 {
+	if st.Days == 0 {
+		return 0
+	}
+	return float64(st.Correct) / float64(st.Days)
+}
+
+func (st fleetStats) pctAccurate() float64 {
+	if st.Days == 0 {
+		return 0
+	}
+	return float64(st.Accurate) / float64(st.Days)
+}
+
+func (st fleetStats) pctPredictable() float64 {
+	if st.Servers == 0 {
+		return 0
+	}
+	return float64(st.Predictable) / float64(st.Servers)
+}
+
+// unstableFleet generates a fleet of long-lived servers without recognizable
+// patterns — the population the paper applies ML models to (Section 5.3.3).
+func unstableFleet(region string, servers int, seed int64) *simulate.Fleet {
+	return simulate.GenerateFleet(simulate.Config{
+		Region: region, Servers: servers, Weeks: 4, Seed: seed,
+		Mix: simulate.Mix{NoPattern: 1},
+	})
+}
+
+// fmtDuration renders a duration compactly for tables.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}

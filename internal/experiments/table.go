@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment artifact: a header row plus data rows,
+// with a caption tying it to the paper figure it reproduces.
+type Table struct {
+	Caption string
+	Note    string // methodology or substitution notes
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a data row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Caption)
+	}
+	if len(t.Header) > 0 {
+		b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	}
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	return b.String()
+}
+
+// Text renders the table as aligned plain text for terminal output.
+func (t *Table) Text() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		b.WriteString(t.Caption + "\n")
+	}
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	widths := map[int]int{}
+	for _, row := range all {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range all {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 && len(t.Header) > 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	if t.Note != "" {
+		b.WriteString("note: " + t.Note + "\n")
+	}
+	return b.String()
+}
+
+// pctStr formats a fraction as a percentage.
+func pctStr(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// pct2Str formats a fraction as a percentage with two decimals.
+func pct2Str(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }

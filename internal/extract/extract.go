@@ -1,0 +1,185 @@
+// Package extract implements Seagull's Load Extraction module (Section 2.2):
+// "a recurring query that extracts relevant data from raw production
+// telemetry and stores this data in Azure Data Lake Store". Here the raw
+// telemetry is the simulated fleet; the extraction writes one CSV object per
+// region per week into the lake, and the ingestion side reads such an object
+// back into per-server series for the pipeline.
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"seagull/internal/lake"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+// Dataset is the lake dataset name for backup-scheduling extracts.
+const Dataset = "pgmysql-load"
+
+// WeekOf returns the 0-based week index of t relative to fleetStart.
+func WeekOf(fleetStart, t time.Time) int {
+	return int(t.Sub(fleetStart) / (7 * 24 * time.Hour))
+}
+
+// ExtractWeek runs the weekly extraction query for one fleet: it selects all
+// telemetry falling inside week (0-based from the fleet start) and writes it
+// to the lake partition for (fleet region, week). It returns the number of
+// rows written.
+//
+// Rows are ordered by server then time, which is how the production query
+// clusters its output.
+func ExtractWeek(store *lake.Store, fleet *simulate.Fleet, week int) (int, error) {
+	start, _ := fleet.Span()
+	weekStart := start.Add(time.Duration(week) * 7 * 24 * time.Hour)
+	weekEnd := weekStart.Add(7 * 24 * time.Hour)
+
+	w, err := store.Writer(Dataset, fleet.Config.Region, week)
+	if err != nil {
+		return 0, err
+	}
+	defer w.Close()
+
+	if _, err := fmt.Fprintln(w, lake.Header); err != nil {
+		return 0, err
+	}
+	rows := 0
+	buf := make([]byte, 0, 96)
+	for _, srv := range fleet.Servers {
+		sub := srv.Load.Between(weekStart, weekEnd)
+		if sub.Len() == 0 {
+			continue
+		}
+		// The default backup window of the server on its backup day within
+		// this week.
+		backupDayStart := weekStart.Add(time.Duration((int(srv.BackupDay)-int(weekStart.Weekday())+7)%7) * 24 * time.Hour)
+		bStart := backupDayStart.Add(srv.DefaultBackupStart)
+		bEnd := bStart.Add(srv.BackupDuration)
+		for i := 0; i < sub.Len(); i++ {
+			v := sub.Values[i]
+			if timeseries.IsMissing(v) {
+				v = -1 // missing encodes as negative in the extract format
+			}
+			r := lake.Row{
+				ServerID:       srv.ID,
+				TimestampMin:   sub.TimeAt(i).Unix() / 60,
+				CPUPct:         v,
+				BackupStartMin: bStart.Unix() / 60,
+				BackupEndMin:   bEnd.Unix() / 60,
+			}
+			buf = lake.AppendRow(buf[:0], &r)
+			if _, err := w.Write(buf); err != nil {
+				return rows, err
+			}
+			rows++
+		}
+	}
+	if err := w.Close(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+// ExtractAll runs ExtractWeek for every whole week of the fleet span and
+// returns the total rows written.
+func ExtractAll(store *lake.Store, fleet *simulate.Fleet) (int, error) {
+	total := 0
+	for week := 0; week < fleet.Config.Weeks; week++ {
+		n, err := ExtractWeek(store, fleet, week)
+		if err != nil {
+			return total, fmt.Errorf("extract week %d: %w", week, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ServerLoad is the ingested telemetry of one server for one week.
+type ServerLoad struct {
+	ServerID string
+	Load     timeseries.Series
+	// BackupStart/BackupEnd delimit the server's default backup window.
+	BackupStart time.Time
+	BackupEnd   time.Time
+}
+
+// WindowPoints returns the server's backup duration in observations.
+func (s *ServerLoad) WindowPoints() int {
+	if s.Load.Interval <= 0 {
+		return 0
+	}
+	n := int(s.BackupEnd.Sub(s.BackupStart) / s.Load.Interval)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Ingest reads one weekly extract back into per-server series, sorted by
+// server id. Interval is the telemetry granularity of the dataset (5 minutes
+// for PostgreSQL/MySQL servers). Negative CPU readings become missing points.
+func Ingest(store *lake.Store, region string, week int, interval time.Duration) ([]*ServerLoad, error) {
+	r, err := store.Reader(Dataset, region, week)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	type acc struct {
+		sl    *ServerLoad
+		times []int64
+		vals  []float64
+	}
+	byServer := map[string]*acc{}
+	err = lake.ScanRows(r, func(row lake.Row) error {
+		a, ok := byServer[row.ServerID]
+		if !ok {
+			a = &acc{sl: &ServerLoad{
+				ServerID:    row.ServerID,
+				BackupStart: time.Unix(row.BackupStartMin*60, 0).UTC(),
+				BackupEnd:   time.Unix(row.BackupEndMin*60, 0).UTC(),
+			}}
+			byServer[row.ServerID] = a
+		}
+		a.times = append(a.times, row.TimestampMin)
+		v := row.CPUPct
+		if v < 0 {
+			v = timeseries.Missing
+		}
+		a.vals = append(a.vals, v)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("extract: ingest %s week %d: %w", region, week, err)
+	}
+
+	out := make([]*ServerLoad, 0, len(byServer))
+	step := int64(interval / time.Minute)
+	for _, a := range byServer {
+		// Rows arrive time-ordered per server from ExtractWeek, but re-check
+		// and place by timestamp to tolerate shuffled files.
+		first, last := a.times[0], a.times[0]
+		for _, t := range a.times {
+			if t < first {
+				first = t
+			}
+			if t > last {
+				last = t
+			}
+		}
+		n := int((last-first)/step) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = timeseries.Missing
+		}
+		for i, t := range a.times {
+			vals[(t-first)/step] = a.vals[i]
+		}
+		a.sl.Load = timeseries.New(time.Unix(first*60, 0).UTC(), interval, vals)
+		out = append(out, a.sl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ServerID < out[j].ServerID })
+	return out, nil
+}

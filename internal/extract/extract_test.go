@@ -1,0 +1,190 @@
+package extract
+
+import (
+	"testing"
+	"time"
+
+	"seagull/internal/lake"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+func testFleet(t *testing.T, servers int) *simulate.Fleet {
+	t.Helper()
+	return simulate.GenerateFleet(simulate.Config{
+		Region: "testregion", Servers: servers, Weeks: 2, Seed: 3,
+	})
+}
+
+func testStore(t *testing.T) *lake.Store {
+	t.Helper()
+	s, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExtractWeekRowCount(t *testing.T) {
+	fleet := testFleet(t, 20)
+	store := testStore(t)
+	n, err := ExtractWeek(store, fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every server alive in week 0 contributes its in-week points.
+	want := 0
+	start, _ := fleet.Span()
+	weekEnd := start.Add(7 * 24 * time.Hour)
+	for _, srv := range fleet.Servers {
+		want += srv.Load.Between(start, weekEnd).Len()
+	}
+	if n != want {
+		t.Errorf("rows = %d, want %d", n, want)
+	}
+	if sz, err := store.Size(Dataset, "testregion", 0); err != nil || sz == 0 {
+		t.Errorf("object size = %d err %v", sz, err)
+	}
+}
+
+func TestExtractIngestRoundTrip(t *testing.T) {
+	fleet := testFleet(t, 15)
+	store := testStore(t)
+	if _, err := ExtractWeek(store, fleet, 1); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := Ingest(store, "testregion", 1, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := fleet.Span()
+	weekStart := start.Add(7 * 24 * time.Hour)
+	weekEnd := weekStart.Add(7 * 24 * time.Hour)
+
+	byID := map[string]*ServerLoad{}
+	for _, sl := range loads {
+		byID[sl.ServerID] = sl
+	}
+	for _, srv := range fleet.Servers {
+		sub := srv.Load.Between(weekStart, weekEnd)
+		sl, ok := byID[srv.ID]
+		if sub.Len() == 0 {
+			if ok {
+				t.Errorf("%s absent in week but ingested", srv.ID)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s missing from ingest", srv.ID)
+		}
+		if sl.Load.Len() != sub.Len() {
+			t.Fatalf("%s ingested %d points, want %d", srv.ID, sl.Load.Len(), sub.Len())
+		}
+		for i := range sub.Values {
+			a, b := sub.Values[i], sl.Load.Values[i]
+			if timeseries.IsMissing(a) != timeseries.IsMissing(b) {
+				t.Fatalf("%s missing mismatch at %d", srv.ID, i)
+			}
+			if !timeseries.IsMissing(a) && abs(a-b) > 0.001 { // 3-decimal CSV precision
+				t.Fatalf("%s value mismatch at %d: %v vs %v", srv.ID, i, a, b)
+			}
+		}
+		if !sl.Load.Start.Equal(sub.Start) {
+			t.Errorf("%s start %v, want %v", srv.ID, sl.Load.Start, sub.Start)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestIngestBackupWindow(t *testing.T) {
+	fleet := testFleet(t, 10)
+	store := testStore(t)
+	if _, err := ExtractWeek(store, fleet, 0); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := Ingest(store, "testregion", 0, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*simulate.Server{}
+	for _, srv := range fleet.Servers {
+		byID[srv.ID] = srv
+	}
+	for _, sl := range loads {
+		srv := byID[sl.ServerID]
+		if srv == nil {
+			t.Fatalf("unknown server %s", sl.ServerID)
+		}
+		if got := sl.BackupEnd.Sub(sl.BackupStart); got != srv.BackupDuration {
+			t.Errorf("%s backup duration %v, want %v", sl.ServerID, got, srv.BackupDuration)
+		}
+		if sl.BackupStart.Weekday() != srv.BackupDay {
+			t.Errorf("%s backup day %v, want %v", sl.ServerID, sl.BackupStart.Weekday(), srv.BackupDay)
+		}
+		if wp := sl.WindowPoints(); wp != srv.WindowPoints() {
+			t.Errorf("%s window points %d, want %d", sl.ServerID, wp, srv.WindowPoints())
+		}
+	}
+}
+
+func TestExtractMissingEncodedNegative(t *testing.T) {
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "gap", Servers: 10, Weeks: 1, Seed: 5, MissingRate: 0.05,
+	})
+	store := testStore(t)
+	if _, err := ExtractWeek(store, fleet, 0); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := Ingest(store, "gap", 0, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	for _, sl := range loads {
+		missing += sl.Load.MissingCount()
+	}
+	if missing == 0 {
+		t.Error("expected missing points to survive the round trip")
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	fleet := testFleet(t, 8)
+	store := testStore(t)
+	total, err := ExtractAll(store, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weeks, err := store.Weeks(Dataset, "testregion")
+	if err != nil || len(weeks) != 2 {
+		t.Fatalf("weeks = %v err %v", weeks, err)
+	}
+	n0, _ := ExtractWeek(store, fleet, 0)
+	n1, _ := ExtractWeek(store, fleet, 1)
+	if total != n0+n1 {
+		t.Errorf("total = %d, want %d", total, n0+n1)
+	}
+}
+
+func TestWeekOf(t *testing.T) {
+	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	if w := WeekOf(start, start); w != 0 {
+		t.Errorf("week of start = %d", w)
+	}
+	if w := WeekOf(start, start.Add(8*24*time.Hour)); w != 1 {
+		t.Errorf("week of day 8 = %d", w)
+	}
+}
+
+func TestIngestMissingObject(t *testing.T) {
+	store := testStore(t)
+	if _, err := Ingest(store, "ghost", 0, 5*time.Minute); err == nil {
+		t.Error("missing extract should error")
+	}
+}

@@ -1,0 +1,284 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"seagull/internal/timeseries"
+)
+
+// AdditiveConfig configures the additive decomposition forecaster — the
+// stand-in for Prophet (Section 5.1): "an additive model where non-linear
+// trends are fit with seasonality". The model is y(t) = trend(t) +
+// daily seasonality + weekly seasonality, with a piecewise-linear trend.
+//
+// Like Prophet, fitting is iterative (gradient descent on the penalized
+// least-squares objective) and inference draws Monte-Carlo trajectories for
+// uncertainty, which makes this deliberately the most expensive model of the
+// zoo — reproducing Prophet's scalability role in Figure 11(a).
+type AdditiveConfig struct {
+	// Changepoints is the number of potential trend changepoints, uniformly
+	// placed over the first 80% of the history. Default 20.
+	Changepoints int
+	// DailyOrder is the Fourier order of the daily seasonality. Default 8.
+	DailyOrder int
+	// WeeklyOrder is the Fourier order of the weekly seasonality. Default 3.
+	WeeklyOrder int
+	// Iterations of batch gradient descent. Default 1500.
+	Iterations int
+	// LearningRate for gradient descent. Default 0.3.
+	LearningRate float64
+	// Ridge is the L2 penalty on all coefficients except the intercept.
+	// Default 0.05.
+	Ridge float64
+	// Samples is the number of Monte-Carlo trajectories drawn at inference
+	// for uncertainty; the forecast is their mean. Default 3000.
+	Samples int
+	// TrainDays limits how much trailing history is used. Default 14.
+	TrainDays int
+	// Seed drives the Monte-Carlo sampling.
+	Seed int64
+}
+
+func (c AdditiveConfig) withDefaults() AdditiveConfig {
+	if c.Changepoints == 0 {
+		c.Changepoints = 20
+	}
+	if c.DailyOrder == 0 {
+		c.DailyOrder = 8
+	}
+	if c.WeeklyOrder == 0 {
+		c.WeeklyOrder = 3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1500
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.3
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 0.05
+	}
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+	if c.TrainDays == 0 {
+		c.TrainDays = 14
+	}
+	return c
+}
+
+// Additive is the Prophet-analog forecaster.
+type Additive struct {
+	cfg AdditiveConfig
+
+	trained  bool
+	beta     []float64 // coefficients over the design features
+	nTrain   int       // training points
+	ppd      int
+	interval time.Duration
+	end      time.Time
+	residual float64   // residual std, used for MC noise
+	cpGrowth []float64 // fitted slope deltas at changepoints (for sampling)
+	cpTimes  []float64 // changepoint positions in scaled time
+	rng      *rand.Rand
+}
+
+// NewAdditive returns an additive forecaster with cfg (zero fields take
+// defaults).
+func NewAdditive(cfg AdditiveConfig) *Additive {
+	c := cfg.withDefaults()
+	return &Additive{cfg: c, rng: rand.New(rand.NewSource(c.Seed ^ 0x9a0ff37))}
+}
+
+// Name implements Model.
+func (a *Additive) Name() string { return NameAdditive }
+
+// featureDim returns the width of the design matrix.
+func (a *Additive) featureDim() int {
+	return 2 + a.cfg.Changepoints + 2*a.cfg.DailyOrder + 2*a.cfg.WeeklyOrder
+}
+
+// features fills row with the design features for absolute observation index
+// t (0 = start of training): intercept, scaled time, changepoint hinges,
+// daily and weekly Fourier terms.
+func (a *Additive) features(row []float64, t int) {
+	ts := float64(t) / float64(max(a.nTrain-1, 1)) // scaled time
+	row[0] = 1
+	row[1] = ts
+	k := 2
+	for _, cp := range a.cpTimes {
+		if ts > cp {
+			row[k] = ts - cp
+		} else {
+			row[k] = 0
+		}
+		k++
+	}
+	day := 2 * math.Pi * float64(t%a.ppd) / float64(a.ppd)
+	for o := 1; o <= a.cfg.DailyOrder; o++ {
+		row[k] = math.Sin(float64(o) * day)
+		row[k+1] = math.Cos(float64(o) * day)
+		k += 2
+	}
+	week := 2 * math.Pi * float64(t%(7*a.ppd)) / float64(7*a.ppd)
+	for o := 1; o <= a.cfg.WeeklyOrder; o++ {
+		row[k] = math.Sin(float64(o) * week)
+		row[k+1] = math.Cos(float64(o) * week)
+		k += 2
+	}
+}
+
+// Train implements Model: gradient descent on the ridge-penalized MSE of the
+// additive design.
+func (a *Additive) Train(history timeseries.Series) error {
+	h, err := prepare(history, 2)
+	if err != nil {
+		return err
+	}
+	ppd := h.PointsPerDay()
+	if h.NumDays() > a.cfg.TrainDays {
+		h, err = h.Slice(h.Len()-a.cfg.TrainDays*ppd, h.Len())
+		if err != nil {
+			return err
+		}
+	}
+	a.ppd = ppd
+	a.nTrain = h.Len()
+	a.interval = h.Interval
+	a.end = h.End()
+
+	a.cpTimes = make([]float64, a.cfg.Changepoints)
+	for i := range a.cpTimes {
+		a.cpTimes[i] = 0.8 * float64(i+1) / float64(a.cfg.Changepoints+1)
+	}
+
+	p := a.featureDim()
+	n := a.nTrain
+	// Materialize the design once; n×p is small enough (≤ ~4032×50).
+	design := make([]float64, n*p)
+	for t := 0; t < n; t++ {
+		a.features(design[t*p:(t+1)*p], t)
+	}
+	y := make([]float64, n)
+	for i, v := range h.Values {
+		y[i] = v / 100
+	}
+
+	beta := make([]float64, p)
+	grad := make([]float64, p)
+	pred := make([]float64, n)
+	lr := a.cfg.LearningRate
+	for it := 0; it < a.cfg.Iterations; it++ {
+		for t := 0; t < n; t++ {
+			row := design[t*p : (t+1)*p]
+			s := 0.0
+			for j, b := range beta {
+				s += b * row[j]
+			}
+			pred[t] = s
+		}
+		for j := range grad {
+			grad[j] = 0
+		}
+		for t := 0; t < n; t++ {
+			e := pred[t] - y[t]
+			row := design[t*p : (t+1)*p]
+			for j := range grad {
+				grad[j] += e * row[j]
+			}
+		}
+		inv := 1 / float64(n)
+		for j := range beta {
+			g := grad[j] * inv
+			if j > 0 {
+				g += a.cfg.Ridge * beta[j] * inv
+			}
+			beta[j] -= lr * g
+		}
+	}
+	a.beta = beta
+
+	// Residual std for Monte-Carlo noise, and the fitted slope deltas for
+	// future changepoint sampling (Prophet's trend uncertainty).
+	sse := 0.0
+	for t := 0; t < n; t++ {
+		row := design[t*p : (t+1)*p]
+		s := 0.0
+		for j, b := range beta {
+			s += b * row[j]
+		}
+		d := s - y[t]
+		sse += d * d
+	}
+	a.residual = math.Sqrt(sse / float64(n))
+	a.cpGrowth = append([]float64(nil), beta[2:2+a.cfg.Changepoints]...)
+	a.trained = true
+	return nil
+}
+
+// Forecast implements Model: the mean of Samples Monte-Carlo trajectories.
+// Each trajectory evaluates the fitted model over the horizon, adds sampled
+// future trend changes (Laplace-distributed with the scale of the fitted
+// changepoint magnitudes, as Prophet does) and observation noise.
+func (a *Additive) Forecast(horizon int) (timeseries.Series, error) {
+	if !a.trained {
+		return timeseries.Series{}, ErrNotTrained
+	}
+	if horizon <= 0 {
+		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	p := a.featureDim()
+	// Point component of each future observation is shared by all samples.
+	point := make([]float64, horizon)
+	row := make([]float64, p)
+	for i := 0; i < horizon; i++ {
+		a.features(row, a.nTrain+i)
+		s := 0.0
+		for j, b := range a.beta {
+			s += b * row[j]
+		}
+		point[i] = s
+	}
+
+	// Laplace scale of historic slope changes drives trend uncertainty.
+	scale := 0.0
+	for _, g := range a.cpGrowth {
+		scale += math.Abs(g)
+	}
+	if len(a.cpGrowth) > 0 {
+		scale /= float64(len(a.cpGrowth))
+	}
+
+	acc := make([]float64, horizon)
+	for s := 0; s < a.cfg.Samples; s++ {
+		// Sample one future changepoint location and slope delta.
+		cpAt := a.rng.Intn(horizon + 1)
+		delta := laplace(a.rng, scale)
+		for i := 0; i < horizon; i++ {
+			v := point[i]
+			if i >= cpAt {
+				v += delta * float64(i-cpAt) / float64(max(a.nTrain-1, 1))
+			}
+			v += a.rng.NormFloat64() * a.residual
+			acc[i] += v
+		}
+	}
+	out := make([]float64, horizon)
+	inv := 1 / float64(a.cfg.Samples)
+	for i := range out {
+		out[i] = math.Min(math.Max(acc[i]*inv*100, 0), 100)
+	}
+	return timeseries.New(a.end, a.interval, out), nil
+}
+
+// laplace draws a Laplace(0, b) variate.
+func laplace(rng *rand.Rand, b float64) float64 {
+	u := rng.Float64() - 0.5
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}

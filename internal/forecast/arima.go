@@ -1,0 +1,510 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"seagull/internal/linalg"
+	"seagull/internal/timeseries"
+)
+
+// ARIMAConfig configures the seasonal ARIMA forecaster. Like the pmdarima
+// auto-ARIMA the paper evaluated, it "searches the optimal values of six
+// parameters per server" — (p, d, q) and the seasonal (P, D, Q) — fitting
+// each candidate by conditional-sum-of-squares and selecting by AIC. This
+// search is what makes ARIMA the most expensive model of the zoo, which is
+// exactly the finding that led the paper to exclude it (Section 2.1, 5.3.3).
+type ARIMAConfig struct {
+	// MaxP/MaxQ bound the non-seasonal AR and MA orders. Default 3.
+	MaxP, MaxQ int
+	// MaxD bounds the non-seasonal differencing order. Default 1.
+	MaxD int
+	// MaxSP/MaxSQ bound the seasonal AR and MA orders. Default 1.
+	MaxSP, MaxSQ int
+	// MaxSD bounds the seasonal differencing order. Default 1.
+	MaxSD int
+	// Granularity is the internal sampling interval. Default 15 minutes; the
+	// season length is one day at this granularity.
+	Granularity time.Duration
+	// TrainDays limits how much trailing history is used. Default 7.
+	TrainDays int
+	// SearchBudget is the maximum number of CSS objective evaluations per
+	// candidate order during the pattern-search refinement. Default 400.
+	SearchBudget int
+}
+
+func (c ARIMAConfig) withDefaults() ARIMAConfig {
+	if c.MaxP == 0 {
+		c.MaxP = 3
+	}
+	if c.MaxQ == 0 {
+		c.MaxQ = 3
+	}
+	if c.MaxD == 0 {
+		c.MaxD = 1
+	}
+	if c.MaxSP == 0 {
+		c.MaxSP = 1
+	}
+	if c.MaxSQ == 0 {
+		c.MaxSQ = 1
+	}
+	if c.MaxSD == 0 {
+		c.MaxSD = 1
+	}
+	if c.Granularity == 0 {
+		c.Granularity = 15 * time.Minute
+	}
+	if c.TrainDays == 0 {
+		c.TrainDays = 7
+	}
+	if c.SearchBudget == 0 {
+		c.SearchBudget = 400
+	}
+	return c
+}
+
+// arimaOrder is one candidate (p,d,q)(P,D,Q)_s specification.
+type arimaOrder struct {
+	p, d, q, sp, sd, sq int
+}
+
+func (o arimaOrder) String() string {
+	return fmt.Sprintf("(%d,%d,%d)(%d,%d,%d)", o.p, o.d, o.q, o.sp, o.sd, o.sq)
+}
+
+// numCoeffs returns the coefficient count including the intercept.
+func (o arimaOrder) numCoeffs() int { return 1 + o.p + o.sp + o.q + o.sq }
+
+// ARIMA is the seasonal ARIMA(p,d,q)(P,D,Q)_s forecaster with grid-searched
+// orders. Seasonal terms enter additively (lags s·i), an established
+// approximation of the multiplicative Box-Jenkins form.
+type ARIMA struct {
+	cfg ARIMAConfig
+
+	trained      bool
+	order        arimaOrder
+	coeffs       []float64 // intercept, AR(p), SAR(P), MA(q), SMA(Q)
+	season       int
+	w            []float64 // differenced training series
+	resid        []float64 // in-sample residuals aligned with w
+	xTail        []float64 // trailing raw values (for seasonal undiff)
+	zTail        []float64 // trailing seasonally differenced values
+	factor       int
+	fineInterval time.Duration
+	end          time.Time
+	aic          float64
+}
+
+// NewARIMA returns a seasonal ARIMA forecaster with cfg (zero fields take
+// defaults).
+func NewARIMA(cfg ARIMAConfig) *ARIMA { return &ARIMA{cfg: cfg.withDefaults()} }
+
+// Name implements Model.
+func (a *ARIMA) Name() string { return NameARIMA }
+
+// Order returns the selected specification after training.
+func (a *ARIMA) Order() string { return a.order.String() }
+
+// AIC returns the selected model's Akaike information criterion.
+func (a *ARIMA) AIC() float64 { return a.aic }
+
+// Train implements Model: grid search over the six order parameters, each
+// candidate estimated by Hannan–Rissanen regression and refined by pattern
+// search on the conditional sum of squares; the best AIC wins.
+func (a *ARIMA) Train(history timeseries.Series) error {
+	h, err := prepare(history, 3)
+	if err != nil {
+		return err
+	}
+	ppd := h.PointsPerDay()
+	if h.NumDays() > a.cfg.TrainDays {
+		h, err = h.Slice(h.Len()-a.cfg.TrainDays*ppd, h.Len())
+		if err != nil {
+			return err
+		}
+	}
+	coarse, factor, err := resampleTo(h, a.cfg.Granularity)
+	if err != nil {
+		return err
+	}
+	coarse = coarse.FillGaps()
+	x := coarse.Values
+	season := coarse.PointsPerDay()
+
+	bestAIC := math.Inf(1)
+	var best arimaOrder
+	var bestCoeffs, bestW, bestResid []float64
+	for p := 0; p <= a.cfg.MaxP; p++ {
+		for d := 0; d <= a.cfg.MaxD; d++ {
+			for q := 0; q <= a.cfg.MaxQ; q++ {
+				for sp := 0; sp <= a.cfg.MaxSP; sp++ {
+					for sd := 0; sd <= a.cfg.MaxSD; sd++ {
+						for sq := 0; sq <= a.cfg.MaxSQ; sq++ {
+							o := arimaOrder{p, d, q, sp, sd, sq}
+							if o.numCoeffs() == 1 && d == 0 && sd == 0 {
+								continue // pure-intercept model carries no signal
+							}
+							w := differenceAll(x, d, sd, season)
+							coeffs, resid, css, ok := a.fit(o, w, season)
+							if !ok {
+								continue
+							}
+							nEff := float64(len(resid))
+							if nEff < 8 {
+								continue
+							}
+							aic := nEff*math.Log(css/nEff+1e-12) + 2*float64(o.numCoeffs())
+							if aic < bestAIC {
+								bestAIC, best = aic, o
+								bestCoeffs = coeffs
+								bestW = w
+								bestResid = resid
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if math.IsInf(bestAIC, 1) {
+		return fmt.Errorf("%w: no ARIMA candidate could be fitted", ErrNeedHistory)
+	}
+
+	a.order = best
+	a.coeffs = bestCoeffs
+	a.w = bestW
+	a.resid = bestResid
+	a.season = season
+	a.aic = bestAIC
+	// Tails for undifferencing.
+	z := differenceAll(x, 0, best.sd, season)
+	a.zTail = append([]float64(nil), z[maxInt(len(z)-best.d, 0):]...)
+	a.xTail = append([]float64(nil), x[maxInt(len(x)-best.sd*season, 0):]...)
+	a.factor = factor
+	a.fineInterval = h.Interval
+	a.end = h.End()
+	a.trained = true
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// differenceAll applies d ordinary and sd seasonal differences.
+func differenceAll(x []float64, d, sd, season int) []float64 {
+	w := append([]float64(nil), x...)
+	for k := 0; k < sd; k++ {
+		w = difference(w, season)
+	}
+	for k := 0; k < d; k++ {
+		w = difference(w, 1)
+	}
+	return w
+}
+
+func difference(x []float64, lag int) []float64 {
+	if len(x) <= lag {
+		return nil
+	}
+	out := make([]float64, len(x)-lag)
+	for i := range out {
+		out[i] = x[i+lag] - x[i]
+	}
+	return out
+}
+
+// fit estimates one candidate: Hannan–Rissanen initialization followed by a
+// Hooke–Jeeves pattern search minimizing the conditional sum of squares.
+func (a *ARIMA) fit(o arimaOrder, w []float64, season int) (coeffs, resid []float64, css float64, ok bool) {
+	t0 := maxInt(maxInt(o.p, o.q), maxInt(o.sp, o.sq)*season)
+	if len(w) < t0+16 {
+		return nil, nil, 0, false
+	}
+
+	// Hannan–Rissanen step 1: long AR for preliminary innovations.
+	initResid := longARResiduals(w, minInt(24, len(w)/4), season)
+
+	// Step 2: regress w_t on its own lags and lagged innovations.
+	k := o.numCoeffs()
+	start := maxInt(t0, minInt(24, len(w)/4)+season)
+	if start >= len(w)-8 {
+		start = t0
+	}
+	rows := make([][]float64, 0, len(w)-start)
+	ys := make([]float64, 0, len(w)-start)
+	for t := start; t < len(w); t++ {
+		row := make([]float64, k)
+		fillLagRow(row, o, w, initResid, t, season)
+		rows = append(rows, row)
+		ys = append(ys, w[t])
+	}
+	design, err := linalg.FromRows(rows)
+	if err != nil {
+		return nil, nil, 0, false
+	}
+	beta, err := linalg.SolveRidge(design, ys, 1e-6)
+	if err != nil {
+		return nil, nil, 0, false
+	}
+
+	// CSS refinement: pattern search around the HR estimate.
+	beta = a.patternSearch(o, w, season, beta)
+	resid, css = cssResiduals(o, w, season, beta)
+	if math.IsNaN(css) || math.IsInf(css, 0) {
+		return nil, nil, 0, false
+	}
+	return beta, resid, css, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// longARResiduals fits a high-order AR (plus the seasonal lag) by OLS and
+// returns its residuals aligned with w (zeros before the fit window).
+func longARResiduals(w []float64, m, season int) []float64 {
+	resid := make([]float64, len(w))
+	lags := make([]int, 0, m+1)
+	for i := 1; i <= m; i++ {
+		lags = append(lags, i)
+	}
+	if season < len(w)/2 {
+		lags = append(lags, season)
+	}
+	start := lags[len(lags)-1]
+	if start >= len(w)-4 {
+		return resid
+	}
+	rows := make([][]float64, 0, len(w)-start)
+	ys := make([]float64, 0, len(w)-start)
+	for t := start; t < len(w); t++ {
+		row := make([]float64, len(lags)+1)
+		row[0] = 1
+		for j, lag := range lags {
+			row[j+1] = w[t-lag]
+		}
+		rows = append(rows, row)
+		ys = append(ys, w[t])
+	}
+	design, err := linalg.FromRows(rows)
+	if err != nil {
+		return resid
+	}
+	beta, err := linalg.SolveRidge(design, ys, 1e-6)
+	if err != nil {
+		return resid
+	}
+	for t := start; t < len(w); t++ {
+		pred := beta[0]
+		for j, lag := range lags {
+			pred += beta[j+1] * w[t-lag]
+		}
+		resid[t] = w[t] - pred
+	}
+	return resid
+}
+
+// fillLagRow writes the regression features for time t: intercept, AR lags,
+// seasonal AR lags, MA lags, seasonal MA lags.
+func fillLagRow(row []float64, o arimaOrder, w, resid []float64, t, season int) {
+	row[0] = 1
+	k := 1
+	for i := 1; i <= o.p; i++ {
+		row[k] = w[t-i]
+		k++
+	}
+	for i := 1; i <= o.sp; i++ {
+		row[k] = w[t-i*season]
+		k++
+	}
+	for j := 1; j <= o.q; j++ {
+		row[k] = resid[t-j]
+		k++
+	}
+	for j := 1; j <= o.sq; j++ {
+		row[k] = resid[t-j*season]
+		k++
+	}
+}
+
+// cssResiduals filters w through the ARMA recursion with the given
+// coefficients, returning residuals (zeros before the burn-in) and the
+// conditional sum of squares over the post-burn-in range.
+func cssResiduals(o arimaOrder, w []float64, season int, beta []float64) ([]float64, float64) {
+	t0 := maxInt(maxInt(o.p, o.q), maxInt(o.sp, o.sq)*season)
+	resid := make([]float64, len(w))
+	css := 0.0
+	for t := t0; t < len(w); t++ {
+		pred := beta[0]
+		k := 1
+		for i := 1; i <= o.p; i++ {
+			pred += beta[k] * w[t-i]
+			k++
+		}
+		for i := 1; i <= o.sp; i++ {
+			pred += beta[k] * w[t-i*season]
+			k++
+		}
+		for j := 1; j <= o.q; j++ {
+			pred += beta[k] * resid[t-j]
+			k++
+		}
+		for j := 1; j <= o.sq; j++ {
+			pred += beta[k] * resid[t-j*season]
+			k++
+		}
+		e := w[t] - pred
+		resid[t] = e
+		css += e * e
+	}
+	return resid[t0:], css
+}
+
+// patternSearch refines beta by Hooke–Jeeves coordinate moves on the CSS
+// objective, bounded by the configured evaluation budget. This stands in for
+// the iterative maximum-likelihood optimization that dominates auto-ARIMA's
+// runtime.
+func (a *ARIMA) patternSearch(o arimaOrder, w []float64, season int, beta []float64) []float64 {
+	best := append([]float64(nil), beta...)
+	_, bestCSS := cssResiduals(o, w, season, best)
+	evals := 1
+	step := 0.1
+	for step > 1e-4 && evals < a.cfg.SearchBudget {
+		improved := false
+		for j := 0; j < len(best) && evals < a.cfg.SearchBudget; j++ {
+			for _, dir := range [2]float64{1, -1} {
+				cand := append([]float64(nil), best...)
+				cand[j] += dir * step
+				_, css := cssResiduals(o, w, season, cand)
+				evals++
+				if css < bestCSS {
+					best, bestCSS = cand, css
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best
+}
+
+// Forecast implements Model: iterate the ARMA recursion with future
+// innovations at zero, then integrate the differencing back out.
+func (a *ARIMA) Forecast(horizon int) (timeseries.Series, error) {
+	if !a.trained {
+		return timeseries.Series{}, ErrNotTrained
+	}
+	if horizon <= 0 {
+		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	coarseH := (horizon + a.factor - 1) / a.factor
+	o := a.order
+	season := a.season
+
+	// Extended differenced series and residuals.
+	wExt := append([]float64(nil), a.w...)
+	eExt := make([]float64, len(a.w))
+	copy(eExt[len(a.w)-len(a.resid):], a.resid)
+	for h := 0; h < coarseH; h++ {
+		t := len(wExt)
+		pred := a.coeffs[0]
+		k := 1
+		at := func(arr []float64, idx int) float64 {
+			if idx < 0 || idx >= len(arr) {
+				return 0
+			}
+			return arr[idx]
+		}
+		for i := 1; i <= o.p; i++ {
+			pred += a.coeffs[k] * at(wExt, t-i)
+			k++
+		}
+		for i := 1; i <= o.sp; i++ {
+			pred += a.coeffs[k] * at(wExt, t-i*season)
+			k++
+		}
+		for j := 1; j <= o.q; j++ {
+			pred += a.coeffs[k] * at(eExt, t-j)
+			k++
+		}
+		for j := 1; j <= o.sq; j++ {
+			pred += a.coeffs[k] * at(eExt, t-j*season)
+			k++
+		}
+		wExt = append(wExt, pred)
+		eExt = append(eExt, 0)
+	}
+	wf := wExt[len(a.w):]
+
+	// Undo ordinary differencing (d ∈ {0,1} by default but handle general).
+	zf := wf
+	if o.d > 0 {
+		zf = integrate(wf, a.zTail, o.d)
+	}
+	// Undo seasonal differencing.
+	xf := zf
+	if o.sd > 0 {
+		xf = integrateSeasonal(zf, a.xTail, season, o.sd)
+	}
+	out := make([]float64, len(xf))
+	for i, v := range xf {
+		out[i] = math.Min(math.Max(v, 0), 100)
+	}
+	coarse := timeseries.New(a.end, time.Duration(a.factor)*a.fineInterval, out)
+	return expand(coarse, a.factor, a.fineInterval, horizon), nil
+}
+
+// integrate undoes d levels of ordinary differencing given the trailing d
+// values of the once-less-differenced series.
+func integrate(wf, tail []float64, d int) []float64 {
+	out := wf
+	for k := 0; k < d; k++ {
+		prev := 0.0
+		if len(tail) > 0 {
+			prev = tail[len(tail)-1-k]
+		}
+		acc := make([]float64, len(out))
+		run := prev
+		for i, v := range out {
+			run += v
+			acc[i] = run
+		}
+		out = acc
+	}
+	return out
+}
+
+// integrateSeasonal undoes sd levels of seasonal differencing given the
+// trailing season·sd raw values.
+func integrateSeasonal(zf, xTail []float64, season, sd int) []float64 {
+	out := zf
+	for k := 0; k < sd; k++ {
+		acc := make([]float64, len(out))
+		for i := range out {
+			var prev float64
+			if i < season {
+				idx := len(xTail) - season + i
+				if idx >= 0 && idx < len(xTail) {
+					prev = xTail[idx]
+				}
+			} else {
+				prev = acc[i-season]
+			}
+			acc[i] = out[i] + prev
+		}
+		out = acc
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"seagull/internal/timeseries"
+)
+
+// FFNNConfig configures the feed-forward network forecaster — the stand-in
+// for GluonTS's simple feed-forward estimator, the estimator the paper found
+// most accurate among the GluonTS models it tried (Section 5.1).
+type FFNNConfig struct {
+	// ContextDays is the look-back window fed to the network, in days.
+	// Default 2.
+	ContextDays int
+	// Hidden is the hidden layer width. Default 48.
+	Hidden int
+	// Epochs is the number of passes over the training windows. Default 25.
+	Epochs int
+	// LearningRate for SGD with momentum. Default 0.05.
+	LearningRate float64
+	// Momentum coefficient. Default 0.9.
+	Momentum float64
+	// Granularity is the internal sampling interval (the network predicts a
+	// full coarse day in one shot). Default 30 minutes.
+	Granularity time.Duration
+	// TrainDays limits how much trailing history is used. Default 14.
+	TrainDays int
+	// Seed drives weight initialization and sample shuffling.
+	Seed int64
+}
+
+func (c FFNNConfig) withDefaults() FFNNConfig {
+	if c.ContextDays == 0 {
+		c.ContextDays = 2
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 48
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 25
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Granularity == 0 {
+		c.Granularity = 30 * time.Minute
+	}
+	if c.TrainDays == 0 {
+		c.TrainDays = 14
+	}
+	return c
+}
+
+// FFNN is a one-hidden-layer feed-forward regression network mapping a
+// context window of past load to the next day of load (multi-output), trained
+// with SGD with momentum on sliding windows. Inputs and outputs are scaled
+// to [0,1] (load percentage / 100).
+type FFNN struct {
+	cfg FFNNConfig
+
+	trained       bool
+	inDim, outDim int
+	w1, b1        []float64 // inDim×Hidden weights, Hidden biases
+	w2, b2        []float64 // Hidden×outDim weights, outDim biases
+	context       []float64 // final context window at coarse granularity
+	factor        int
+	fineInterval  time.Duration
+	end           time.Time
+}
+
+// NewFFNN returns a feed-forward forecaster with cfg (zero fields take
+// defaults).
+func NewFFNN(cfg FFNNConfig) *FFNN { return &FFNN{cfg: cfg.withDefaults()} }
+
+// Name implements Model.
+func (f *FFNN) Name() string { return NameFFNN }
+
+// Train implements Model.
+func (f *FFNN) Train(history timeseries.Series) error {
+	h, err := prepare(history, f.cfg.ContextDays+1)
+	if err != nil {
+		return err
+	}
+	ppd := h.PointsPerDay()
+	if h.NumDays() > f.cfg.TrainDays {
+		h, err = h.Slice(h.Len()-f.cfg.TrainDays*ppd, h.Len())
+		if err != nil {
+			return err
+		}
+	}
+	coarse, factor, err := resampleTo(h, f.cfg.Granularity)
+	if err != nil {
+		return err
+	}
+	coarse = coarse.FillGaps()
+	cppd := coarse.PointsPerDay()
+	f.inDim = f.cfg.ContextDays * cppd
+	f.outDim = cppd
+
+	x := make([]float64, coarse.Len())
+	for i, v := range coarse.Values {
+		x[i] = v / 100
+	}
+	nSamples := len(x) - f.inDim - f.outDim + 1
+	if nSamples < 1 {
+		return fmt.Errorf("%w: %d coarse points for context %d + horizon %d",
+			ErrNeedHistory, len(x), f.inDim, f.outDim)
+	}
+
+	rng := rand.New(rand.NewSource(f.cfg.Seed ^ 0x5ea9011))
+	f.w1 = initWeights(rng, f.inDim*f.cfg.Hidden, f.inDim)
+	f.b1 = make([]float64, f.cfg.Hidden)
+	f.w2 = initWeights(rng, f.cfg.Hidden*f.outDim, f.cfg.Hidden)
+	f.b2 = make([]float64, f.outDim)
+
+	vw1 := make([]float64, len(f.w1))
+	vb1 := make([]float64, len(f.b1))
+	vw2 := make([]float64, len(f.w2))
+	vb2 := make([]float64, len(f.b2))
+
+	hidden := make([]float64, f.cfg.Hidden)
+	out := make([]float64, f.outDim)
+	dOut := make([]float64, f.outDim)
+	dHidden := make([]float64, f.cfg.Hidden)
+
+	order := rng.Perm(nSamples)
+	lr := f.cfg.LearningRate
+	mom := f.cfg.Momentum
+	for epoch := 0; epoch < f.cfg.Epochs; epoch++ {
+		// Simple learning-rate decay stabilizes the final weights.
+		step := lr / (1 + 0.1*float64(epoch))
+		for _, s := range order {
+			in := x[s : s+f.inDim]
+			target := x[s+f.inDim : s+f.inDim+f.outDim]
+			f.forward(in, hidden, out)
+
+			// Backprop of 0.5·MSE.
+			for j := range out {
+				dOut[j] = (out[j] - target[j]) / float64(f.outDim)
+			}
+			for k := range hidden {
+				g := 0.0
+				if hidden[k] > 0 { // ReLU gate
+					for j := range dOut {
+						g += dOut[j] * f.w2[k*f.outDim+j]
+					}
+				}
+				dHidden[k] = g
+			}
+			for k := range hidden {
+				if hidden[k] <= 0 {
+					continue
+				}
+				hk := hidden[k]
+				for j := range dOut {
+					idx := k*f.outDim + j
+					vw2[idx] = mom*vw2[idx] - step*dOut[j]*hk
+					f.w2[idx] += vw2[idx]
+				}
+			}
+			for j := range dOut {
+				vb2[j] = mom*vb2[j] - step*dOut[j]
+				f.b2[j] += vb2[j]
+			}
+			for i, xi := range in {
+				if xi == 0 {
+					continue
+				}
+				for k := range dHidden {
+					if dHidden[k] == 0 {
+						continue
+					}
+					idx := i*f.cfg.Hidden + k
+					vw1[idx] = mom*vw1[idx] - step*dHidden[k]*xi
+					f.w1[idx] += vw1[idx]
+				}
+			}
+			for k := range dHidden {
+				vb1[k] = mom*vb1[k] - step*dHidden[k]
+				f.b1[k] += vb1[k]
+			}
+		}
+	}
+
+	f.context = append([]float64(nil), x[len(x)-f.inDim:]...)
+	f.factor = factor
+	f.fineInterval = h.Interval
+	f.end = h.End()
+	f.trained = true
+	return nil
+}
+
+func initWeights(rng *rand.Rand, n, fanIn int) []float64 {
+	w := make([]float64, n)
+	scale := math.Sqrt(2 / float64(fanIn)) // He initialization for ReLU
+	for i := range w {
+		w[i] = rng.NormFloat64() * scale
+	}
+	return w
+}
+
+// forward runs the network: hidden = relu(in·W1 + b1), out = hidden·W2 + b2.
+func (f *FFNN) forward(in, hidden, out []float64) {
+	for k := range hidden {
+		hidden[k] = f.b1[k]
+	}
+	for i, xi := range in {
+		if xi == 0 {
+			continue
+		}
+		row := f.w1[i*f.cfg.Hidden : (i+1)*f.cfg.Hidden]
+		for k, w := range row {
+			hidden[k] += xi * w
+		}
+	}
+	for k := range hidden {
+		if hidden[k] < 0 {
+			hidden[k] = 0
+		}
+	}
+	copy(out, f.b2)
+	for k, hk := range hidden {
+		if hk == 0 {
+			continue
+		}
+		row := f.w2[k*f.outDim : (k+1)*f.outDim]
+		for j, w := range row {
+			out[j] += hk * w
+		}
+	}
+}
+
+// Forecast implements Model: roll the network forward one coarse day at a
+// time until the horizon is covered, then expand to the fine granularity.
+func (f *FFNN) Forecast(horizon int) (timeseries.Series, error) {
+	if !f.trained {
+		return timeseries.Series{}, ErrNotTrained
+	}
+	if horizon <= 0 {
+		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	coarseH := (horizon + f.factor - 1) / f.factor
+	ctx := append([]float64(nil), f.context...)
+	hidden := make([]float64, f.cfg.Hidden)
+	day := make([]float64, f.outDim)
+	var preds []float64
+	for len(preds) < coarseH {
+		f.forward(ctx, hidden, day)
+		for _, v := range day {
+			preds = append(preds, math.Min(math.Max(v*100, 0), 100))
+		}
+		// Slide the context forward by one predicted day.
+		ctx = append(ctx[f.outDim:], day...)
+	}
+	preds = preds[:coarseH]
+	coarse := timeseries.New(f.end, time.Duration(f.factor)*f.fineInterval, preds)
+	return expand(coarse, f.factor, f.fineInterval, horizon), nil
+}

@@ -1,0 +1,510 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"seagull/internal/metrics"
+	"seagull/internal/timeseries"
+)
+
+var t0 = time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+
+// mkDays builds a 5-minute series from a per-(day,slot) function.
+func mkDays(days int, f func(day, slot int) float64) timeseries.Series {
+	const ppd = 288
+	vals := make([]float64, days*ppd)
+	for d := 0; d < days; d++ {
+		for s := 0; s < ppd; s++ {
+			vals[d*ppd+s] = f(d, s)
+		}
+	}
+	return timeseries.New(t0, 5*time.Minute, vals)
+}
+
+// dailyShape is a noisy business-hours bump repeated every day.
+func dailyShape(seed int64) func(day, slot int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return func(day, slot int) float64 {
+		v := 10.0
+		if slot >= 96 && slot < 192 {
+			v = 60
+		}
+		return v + rng.NormFloat64()
+	}
+}
+
+func bucketRatioVs(t *testing.T, trueDay, pred timeseries.Series) float64 {
+	t.Helper()
+	r, err := metrics.BucketRatio(trueDay, pred, metrics.DefaultBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// --- Persistent forecast ---
+
+func TestPersistentPrevDay(t *testing.T) {
+	hist := mkDays(7, dailyShape(1))
+	m := NewPersistent(PrevDay)
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Len() != 288 {
+		t.Fatalf("forecast len = %d", pred.Len())
+	}
+	if !pred.Start.Equal(hist.End()) {
+		t.Errorf("forecast start = %v, want %v", pred.Start, hist.End())
+	}
+	// Forecast equals the last day of history.
+	last, _ := hist.Day(6)
+	for i := range pred.Values {
+		if pred.Values[i] != last.Values[i] {
+			t.Fatalf("prev-day forecast differs at %d", i)
+		}
+	}
+}
+
+func TestPersistentPrevDayMultiDayHorizon(t *testing.T) {
+	hist := mkDays(3, dailyShape(2))
+	m := NewPersistent(PrevDay)
+	if err := m.Train(hist); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Forecast(2 * 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both forecast days replicate the last history day.
+	for i := 0; i < 288; i++ {
+		if pred.Values[i] != pred.Values[i+288] {
+			t.Fatalf("cyclic replication broken at %d", i)
+		}
+	}
+}
+
+func TestPersistentPrevEquivalentDay(t *testing.T) {
+	// Weekly pattern: weekday amplitude depends on day-of-week.
+	amp := [7]float64{5, 60, 30, 60, 30, 60, 10}
+	hist := mkDays(14, func(d, s int) float64 {
+		v := 8.0
+		if s >= 96 && s < 192 {
+			v += amp[d%7]
+		}
+		return v
+	})
+	m := NewPersistent(PrevEquivalentDay)
+	pred, err := PredictDay(m, hist) // predicts day 14, a Sunday (d%7==0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day7, _ := hist.Day(7) // previous equivalent day
+	for i := range pred.Values {
+		if pred.Values[i] != day7.Values[i] {
+			t.Fatalf("prev-equivalent-day forecast differs at %d", i)
+		}
+	}
+	// Sanity: prev-day would have used Saturday (amp 10) instead.
+	mPrev := NewPersistent(PrevDay)
+	predPrev, err := PredictDay(mPrev, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range pred.Values {
+		diff += math.Abs(pred.Values[i] - predPrev.Values[i])
+	}
+	if diff == 0 {
+		t.Error("prev-day and prev-equivalent-day should differ on weekly data")
+	}
+}
+
+func TestPersistentWeekAverage(t *testing.T) {
+	hist := mkDays(7, func(d, s int) float64 { return 30 })
+	m := NewPersistent(PrevWeekAverage)
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pred.Values {
+		if math.Abs(v-30) > 1e-9 {
+			t.Fatalf("week-average forecast[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestPersistentNeedsHistory(t *testing.T) {
+	short := mkDays(3, dailyShape(3))
+	if err := NewPersistent(PrevEquivalentDay).Train(short); !errors.Is(err, ErrNeedHistory) {
+		t.Errorf("prev-equivalent-day with 3 days: err = %v", err)
+	}
+	if err := NewPersistent(PrevWeekAverage).Train(short); !errors.Is(err, ErrNeedHistory) {
+		t.Errorf("week-average with 3 days: err = %v", err)
+	}
+	if err := NewPersistent(PrevDay).Train(short); err != nil {
+		t.Errorf("prev-day with 3 days should train: %v", err)
+	}
+}
+
+func TestForecastBeforeTrain(t *testing.T) {
+	models := []Model{
+		NewPersistent(PrevDay), NewSSA(SSAConfig{}), NewFFNN(FFNNConfig{}),
+		NewAdditive(AdditiveConfig{}), NewARIMA(ARIMAConfig{}),
+	}
+	for _, m := range models {
+		if _, err := m.Forecast(288); !errors.Is(err, ErrNotTrained) {
+			t.Errorf("%s: Forecast before Train = %v, want ErrNotTrained", m.Name(), err)
+		}
+	}
+}
+
+func TestNonPositiveHorizon(t *testing.T) {
+	hist := mkDays(7, dailyShape(4))
+	m := NewPersistent(PrevDay)
+	if err := m.Train(hist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := m.Forecast(-5); err == nil {
+		t.Error("negative horizon should error")
+	}
+}
+
+// --- SSA ---
+
+func TestSSAOnDailyPattern(t *testing.T) {
+	hist := mkDays(7, dailyShape(5))
+	trueNext := mkDays(8, dailyShape(5)) // same generator, day 7 is the target
+	target, _ := trueNext.Day(7)
+
+	m := NewSSA(SSAConfig{})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Len() != 288 {
+		t.Fatalf("forecast len = %d", pred.Len())
+	}
+	r := bucketRatioVs(t, target, pred)
+	if r < 0.85 {
+		t.Errorf("SSA bucket ratio on daily pattern = %.3f, want ≥ 0.85", r)
+	}
+}
+
+func TestSSAOnStableLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hist := mkDays(7, func(d, s int) float64 { return 40 + rng.NormFloat64() })
+	m := NewSSA(SSAConfig{})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Mean()-40) > 5 {
+		t.Errorf("SSA mean on stable load = %.2f, want ≈ 40", pred.Mean())
+	}
+}
+
+func TestSSAForecastBounded(t *testing.T) {
+	hist := mkDays(7, dailyShape(7))
+	m := NewSSA(SSAConfig{})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pred.Values {
+		if v < 0 || v > 100 {
+			t.Fatalf("SSA forecast[%d] = %v out of [0,100]", i, v)
+		}
+	}
+}
+
+func TestSSANeedsHistory(t *testing.T) {
+	short := mkDays(1, dailyShape(8))
+	if err := NewSSA(SSAConfig{}).Train(short); !errors.Is(err, ErrNeedHistory) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// --- FFNN ---
+
+func TestFFNNOnDailyPattern(t *testing.T) {
+	hist := mkDays(14, dailyShape(9))
+	trueNext := mkDays(15, dailyShape(9))
+	target, _ := trueNext.Day(14)
+
+	m := NewFFNN(FFNNConfig{Seed: 1})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bucketRatioVs(t, target, pred)
+	if r < 0.8 {
+		t.Errorf("FFNN bucket ratio on daily pattern = %.3f, want ≥ 0.8", r)
+	}
+	for i, v := range pred.Values {
+		if v < 0 || v > 100 {
+			t.Fatalf("FFNN forecast[%d] = %v out of [0,100]", i, v)
+		}
+	}
+}
+
+func TestFFNNDeterministicGivenSeed(t *testing.T) {
+	hist := mkDays(7, dailyShape(10))
+	p1, err := PredictDay(NewFFNN(FFNNConfig{Seed: 7}), hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PredictDay(NewFFNN(FFNNConfig{Seed: 7}), hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Values {
+		if p1.Values[i] != p2.Values[i] {
+			t.Fatalf("same seed diverges at %d", i)
+		}
+	}
+}
+
+func TestFFNNNeedsHistory(t *testing.T) {
+	short := mkDays(2, dailyShape(11))
+	if err := NewFFNN(FFNNConfig{}).Train(short); !errors.Is(err, ErrNeedHistory) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// --- Additive (Prophet analog) ---
+
+func TestAdditiveOnDailyPattern(t *testing.T) {
+	hist := mkDays(14, dailyShape(12))
+	trueNext := mkDays(15, dailyShape(12))
+	target, _ := trueNext.Day(14)
+
+	m := NewAdditive(AdditiveConfig{Seed: 1, Iterations: 400, Samples: 300})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bucketRatioVs(t, target, pred)
+	if r < 0.6 {
+		t.Errorf("additive bucket ratio on daily pattern = %.3f, want ≥ 0.6", r)
+	}
+	for i, v := range pred.Values {
+		if v < 0 || v > 100 {
+			t.Fatalf("additive forecast[%d] = %v out of [0,100]", i, v)
+		}
+	}
+}
+
+func TestAdditiveCapturesWeeklySeasonality(t *testing.T) {
+	// Low Sundays, high weekdays; target day is a Sunday.
+	amp := [7]float64{0, 50, 50, 50, 50, 50, 10}
+	hist := mkDays(14, func(d, s int) float64 {
+		return 10 + amp[d%7]*0.5*(1+math.Sin(2*math.Pi*float64(s)/288))
+	})
+	m := NewAdditive(AdditiveConfig{Seed: 2, Iterations: 600, Samples: 200})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sunday forecast should be much lower than the weekday average.
+	weekday, _ := hist.Day(8)
+	if pred.Mean() > weekday.Mean()-10 {
+		t.Errorf("Sunday forecast mean %.1f should undercut weekday mean %.1f",
+			pred.Mean(), weekday.Mean())
+	}
+}
+
+// --- ARIMA ---
+
+func TestARIMAOnDailyPattern(t *testing.T) {
+	hist := mkDays(7, dailyShape(13))
+	trueNext := mkDays(8, dailyShape(13))
+	target, _ := trueNext.Day(7)
+
+	m := NewARIMA(ARIMAConfig{MaxP: 1, MaxQ: 1, SearchBudget: 60})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() == "" {
+		t.Error("order should be recorded after training")
+	}
+	r := bucketRatioVs(t, target, pred)
+	if r < 0.6 {
+		t.Errorf("ARIMA bucket ratio on daily pattern = %.3f, want ≥ 0.6 (order %s)", r, m.Order())
+	}
+	for i, v := range pred.Values {
+		if v < 0 || v > 100 {
+			t.Fatalf("ARIMA forecast[%d] = %v out of [0,100]", i, v)
+		}
+	}
+}
+
+func TestARIMAOnStableLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	hist := mkDays(7, func(d, s int) float64 { return 35 + rng.NormFloat64() })
+	m := NewARIMA(ARIMAConfig{MaxP: 1, MaxQ: 1, SearchBudget: 40})
+	pred, err := PredictDay(m, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Mean()-35) > 6 {
+		t.Errorf("ARIMA mean on stable load = %.2f, want ≈ 35 (order %s)", pred.Mean(), m.Order())
+	}
+}
+
+func TestARIMASelectsByAIC(t *testing.T) {
+	hist := mkDays(7, dailyShape(15))
+	m := NewARIMA(ARIMAConfig{MaxP: 1, MaxQ: 1, SearchBudget: 40})
+	if err := m.Train(hist); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(m.AIC(), 1) || m.AIC() == 0 {
+		t.Errorf("AIC = %v, should be finite and set", m.AIC())
+	}
+}
+
+func TestDifferenceHelpers(t *testing.T) {
+	x := []float64{1, 4, 9, 16, 25}
+	d1 := difference(x, 1)
+	want := []float64{3, 5, 7, 9}
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Fatalf("difference[%d] = %v", i, d1[i])
+		}
+	}
+	if difference([]float64{1}, 2) != nil {
+		t.Error("over-long lag should return nil")
+	}
+	// integrate inverts difference.
+	back := integrate(d1, []float64{1}, 1)
+	for i := range back {
+		if math.Abs(back[i]-x[i+1]) > 1e-12 {
+			t.Fatalf("integrate[%d] = %v, want %v", i, back[i], x[i+1])
+		}
+	}
+}
+
+func TestSeasonalDifferenceRoundTrip(t *testing.T) {
+	x := []float64{1, 2, 3, 10, 20, 30, 100, 200, 300}
+	season := 3
+	z := differenceAll(x, 0, 1, season)
+	if len(z) != 6 {
+		t.Fatalf("seasonal diff len = %d", len(z))
+	}
+	back := integrateSeasonal(z, x[:3], season, 1)
+	for i := range back {
+		if math.Abs(back[i]-x[i+3]) > 1e-12 {
+			t.Fatalf("seasonal integrate[%d] = %v, want %v", i, back[i], x[i+3])
+		}
+	}
+}
+
+// --- Factory & helpers ---
+
+func TestNewByName(t *testing.T) {
+	for _, name := range append(StandardNames, NamePersistentPrevWeek, NamePersistentWeekAvg, NameARIMA) {
+		m, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := New("nope", 1); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown model err = %v", err)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	coarse := timeseries.New(t0, 30*time.Minute, []float64{1, 2})
+	fine := expand(coarse, 6, 5*time.Minute, 12)
+	if fine.Len() != 12 {
+		t.Fatalf("expanded len = %d", fine.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if fine.Values[i] != 1 || fine.Values[i+6] != 2 {
+			t.Fatalf("expansion wrong at %d", i)
+		}
+	}
+	// Truncation.
+	fine = expand(coarse, 6, 5*time.Minute, 7)
+	if fine.Len() != 7 || fine.Values[6] != 2 {
+		t.Fatalf("truncated expansion = %+v", fine.Values)
+	}
+	// Padding.
+	fine = expand(coarse, 6, 5*time.Minute, 15)
+	if fine.Len() != 15 || fine.Values[14] != 2 {
+		t.Fatalf("padded expansion = %+v", fine.Values)
+	}
+}
+
+func TestPredictDayStartsAtHistoryEnd(t *testing.T) {
+	hist := mkDays(7, dailyShape(16))
+	for _, name := range StandardNames {
+		m, err := New(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == NameAdditive {
+			m = NewAdditive(AdditiveConfig{Seed: 3, Iterations: 100, Samples: 50})
+		}
+		pred, err := PredictDay(m, hist)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !pred.Start.Equal(hist.End()) {
+			t.Errorf("%s forecast starts at %v, want %v", name, pred.Start, hist.End())
+		}
+		if pred.Len() != 288 {
+			t.Errorf("%s forecast len = %d", name, pred.Len())
+		}
+		if pred.Interval != hist.Interval {
+			t.Errorf("%s forecast interval = %v", name, pred.Interval)
+		}
+	}
+}
+
+// The headline comparison of Section 5: on servers with recognizable
+// patterns, the ML models do not significantly beat persistent forecast.
+func TestPersistentCompetitiveOnDailyPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	gen := dailyShape(17)
+	hist := mkDays(14, gen)
+	full := mkDays(15, gen)
+	target, _ := full.Day(14)
+
+	ratios := map[string]float64{}
+	models := []Model{
+		NewPersistent(PrevDay),
+		NewSSA(SSAConfig{}),
+		NewFFNN(FFNNConfig{Seed: 5}),
+	}
+	for _, m := range models {
+		pred, err := PredictDay(m, hist)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		ratios[m.Name()] = bucketRatioVs(t, target, pred)
+	}
+	pf := ratios[NamePersistentPrevDay]
+	for name, r := range ratios {
+		if r > pf+0.1 {
+			t.Errorf("%s ratio %.3f dramatically beats persistent forecast %.3f — "+
+				"pattern servers should be equally easy for PF", name, r, pf)
+		}
+	}
+	if pf < 0.9 {
+		t.Errorf("persistent forecast ratio on daily pattern = %.3f, want ≥ 0.9", pf)
+	}
+}

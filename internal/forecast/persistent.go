@@ -1,0 +1,114 @@
+package forecast
+
+import (
+	"fmt"
+
+	"seagull/internal/timeseries"
+)
+
+// Variant selects one of the three persistent-forecast heuristics of
+// Section 5.1.
+type Variant int
+
+const (
+	// PrevDay replicates the load of the previous day — the variant deployed
+	// to production (Section 5.4): it captures daily patterns and stable
+	// load, covering 53.7% of servers.
+	PrevDay Variant = iota
+	// PrevEquivalentDay replicates the load of the same weekday one week
+	// earlier, capturing weekly patterns.
+	PrevEquivalentDay
+	// PrevWeekAverage predicts the constant average load of the previous
+	// week, capturing only stable servers.
+	PrevWeekAverage
+)
+
+// String returns the variant's registry name.
+func (v Variant) String() string {
+	switch v {
+	case PrevDay:
+		return NamePersistentPrevDay
+	case PrevEquivalentDay:
+		return NamePersistentPrevWeek
+	case PrevWeekAverage:
+		return NamePersistentWeekAvg
+	default:
+		return fmt.Sprintf("pf-variant(%d)", int(v))
+	}
+}
+
+// Persistent is the persistent-forecast model: it replicates previously seen
+// load as the forecast. It requires no training computation, which is why
+// the paper deploys it — zero training cost at equal accuracy (Section 5.4).
+type Persistent struct {
+	variant Variant
+	history timeseries.Series
+	trained bool
+}
+
+// NewPersistent returns a persistent forecaster of the given variant.
+func NewPersistent(v Variant) *Persistent { return &Persistent{variant: v} }
+
+// Name implements Model.
+func (p *Persistent) Name() string { return p.variant.String() }
+
+// Variant returns the heuristic this forecaster replicates.
+func (p *Persistent) Variant() Variant { return p.variant }
+
+// Train implements Model. Persistent forecast "does not require training
+// because it uses the load per server on the previous day as predicted load"
+// (Section 5.3.3); Train only records the history reference.
+func (p *Persistent) Train(history timeseries.Series) error {
+	minDays := 1
+	if p.variant != PrevDay {
+		minDays = 7
+	}
+	h, err := prepare(history, minDays)
+	if err != nil {
+		return err
+	}
+	p.history, p.trained = h, true
+	return nil
+}
+
+// Forecast implements Model.
+func (p *Persistent) Forecast(horizon int) (timeseries.Series, error) {
+	if !p.trained {
+		return timeseries.Series{}, ErrNotTrained
+	}
+	if horizon <= 0 {
+		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	n := p.history.Len()
+	ppd := p.history.PointsPerDay()
+	out := make([]float64, horizon)
+	switch p.variant {
+	case PrevDay:
+		// Replicate the final day cyclically across the horizon.
+		src := p.history.Values[n-ppd:]
+		for i := range out {
+			out[i] = src[i%ppd]
+		}
+	case PrevEquivalentDay:
+		// Observation i of the horizon mirrors the value exactly one week
+		// earlier. For horizons beyond a week this wraps onto itself, which
+		// matches replaying the final week cyclically.
+		week := 7 * ppd
+		src := p.history.Values[n-week:]
+		for i := range out {
+			out[i] = src[i%week]
+		}
+	case PrevWeekAverage:
+		lastWeek, err := p.history.Slice(n-7*ppd, n)
+		if err != nil {
+			return timeseries.Series{}, err
+		}
+		avg := lastWeek.Mean()
+		for i := range out {
+			out[i] = avg
+		}
+	default:
+		return timeseries.Series{}, fmt.Errorf("%w: %v", ErrUnknown, p.variant)
+	}
+	return timeseries.New(p.history.End(), p.history.Interval, out), nil
+}

@@ -1,0 +1,190 @@
+package forecast
+
+import (
+	"fmt"
+	"time"
+
+	"seagull/internal/linalg"
+	"seagull/internal/timeseries"
+)
+
+// SSAConfig configures the singular spectrum analysis forecaster — the
+// stand-in for NimbusML's SsaForecaster (Section 5.1), which the paper uses
+// "to transform forecasts".
+type SSAConfig struct {
+	// WindowDays is the SSA embedding window expressed in days; the window
+	// must cover the longest period to be captured, so ≥ 1. Default 1 (one day).
+	WindowDays int
+	// Rank is the number of leading singular triples kept for reconstruction
+	// and forecasting. Low ranks smooth harder, which both stabilizes the
+	// recurrence on noisy servers and markedly improves low-load-window
+	// accuracy (see the SSA sweep in EXPERIMENTS.md). Default 8.
+	Rank int
+	// Granularity is the internal sampling interval: SSA runs on a coarsened
+	// copy of the series and the forecast is expanded back, which keeps the
+	// trajectory-matrix SVD cheap. Default 30 minutes.
+	Granularity time.Duration
+	// TrainDays limits how much trailing history is used. Default 7.
+	TrainDays int
+}
+
+func (c SSAConfig) withDefaults() SSAConfig {
+	if c.WindowDays == 0 {
+		c.WindowDays = 1
+	}
+	if c.Rank == 0 {
+		c.Rank = 12
+	}
+	if c.Granularity == 0 {
+		c.Granularity = 30 * time.Minute
+	}
+	if c.TrainDays == 0 {
+		c.TrainDays = 7
+	}
+	return c
+}
+
+// SSA is a singular-spectrum-analysis forecaster: it embeds the series into
+// a Hankel trajectory matrix, keeps the leading singular triples, and
+// forecasts with the linear recurrence formula derived from the signal
+// subspace (recurrent SSA forecasting).
+type SSA struct {
+	cfg SSAConfig
+
+	trained      bool
+	fineInterval time.Duration
+	factor       int       // coarse→fine expansion
+	coeffs       []float64 // linear recurrence coefficients a_1..a_{L-1}
+	tail         []float64 // last L-1 reconstructed values, oldest first
+	end          time.Time // end of training history (fine granularity)
+}
+
+// NewSSA returns an SSA forecaster with cfg (zero fields take defaults).
+func NewSSA(cfg SSAConfig) *SSA { return &SSA{cfg: cfg.withDefaults()} }
+
+// Name implements Model.
+func (s *SSA) Name() string { return NameSSA }
+
+// Train implements Model: decompose the trailing TrainDays of history and
+// derive the recurrence coefficients.
+func (s *SSA) Train(history timeseries.Series) error {
+	h, err := prepare(history, min(s.cfg.TrainDays, 3))
+	if err != nil {
+		return err
+	}
+	// Use at most TrainDays of trailing history.
+	ppd := h.PointsPerDay()
+	if h.NumDays() > s.cfg.TrainDays {
+		h, err = h.Slice(h.Len()-s.cfg.TrainDays*ppd, h.Len())
+		if err != nil {
+			return err
+		}
+	}
+	coarse, factor, err := resampleTo(h, s.cfg.Granularity)
+	if err != nil {
+		return err
+	}
+	coarse = coarse.FillGaps()
+	x := coarse.Values
+	cppd := coarse.PointsPerDay()
+	l := s.cfg.WindowDays * cppd
+	if l >= len(x) {
+		l = len(x) / 2
+	}
+	if l < 2 {
+		return fmt.Errorf("%w: series too short for SSA window", ErrNeedHistory)
+	}
+
+	hankel, err := linalg.Hankel(x, l)
+	if err != nil {
+		return err
+	}
+	svd, err := linalg.ComputeSVD(hankel)
+	if err != nil {
+		return err
+	}
+	rank := min(s.cfg.Rank, len(svd.S))
+	// Drop numerically zero triples.
+	for rank > 1 && svd.S[rank-1] < 1e-10*svd.S[0] {
+		rank--
+	}
+
+	// Reconstruct the signal component for the forecast seed values.
+	recon := linalg.NewMatrix(hankel.Rows, hankel.Cols)
+	for r := 0; r < rank; r++ {
+		for i := 0; i < hankel.Rows; i++ {
+			ui := svd.U.At(i, r) * svd.S[r]
+			for j := 0; j < hankel.Cols; j++ {
+				recon.Data[i*recon.Cols+j] += ui * svd.V.At(j, r)
+			}
+		}
+	}
+	signal := linalg.DiagonalAverage(recon)
+
+	// Recurrent forecasting coefficients. With π_r the last coordinate of
+	// each left singular vector and ν² = Σπ_r², the recurrence is
+	// x_t = Σ_{j=1}^{L-1} a_j x_{t-j}, a = (1/(1-ν²)) Σ_r π_r U_r^∇.
+	nu2 := 0.0
+	for r := 0; r < rank; r++ {
+		pi := svd.U.At(l-1, r)
+		nu2 += pi * pi
+	}
+	if nu2 >= 1-1e-9 {
+		return fmt.Errorf("forecast: SSA verticality coefficient ν²=%.6f too close to 1", nu2)
+	}
+	a := make([]float64, l-1) // a[0] multiplies x_{t-1}
+	for r := 0; r < rank; r++ {
+		pi := svd.U.At(l-1, r)
+		if pi == 0 {
+			continue
+		}
+		for i := 0; i < l-1; i++ {
+			// U_r^∇ coordinate i corresponds to lag L-1-i.
+			a[l-2-i] += pi * svd.U.At(i, r)
+		}
+	}
+	for i := range a {
+		a[i] /= 1 - nu2
+	}
+
+	s.coeffs = a
+	s.tail = append([]float64(nil), signal[len(signal)-(l-1):]...)
+	s.factor = factor
+	s.fineInterval = h.Interval
+	s.end = h.End()
+	s.trained = true
+	return nil
+}
+
+// Forecast implements Model: apply the linear recurrence beyond the end of
+// the training history and expand back to the original granularity.
+func (s *SSA) Forecast(horizon int) (timeseries.Series, error) {
+	if !s.trained {
+		return timeseries.Series{}, ErrNotTrained
+	}
+	if horizon <= 0 {
+		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	coarseH := (horizon + s.factor - 1) / s.factor
+	buf := append([]float64(nil), s.tail...)
+	out := make([]float64, 0, coarseH)
+	for t := 0; t < coarseH; t++ {
+		v := 0.0
+		for j, aj := range s.coeffs {
+			// coeffs[j] multiplies x_{t-(j+1)}: the most recent value is the
+			// last element of buf.
+			v += aj * buf[len(buf)-1-j]
+		}
+		// Load percentages live in [0,100]; keep the recurrence from
+		// drifting out of the physical range.
+		if v < 0 {
+			v = 0
+		} else if v > 100 {
+			v = 100
+		}
+		out = append(out, v)
+		buf = append(buf[1:], v)
+	}
+	coarse := timeseries.New(s.end, time.Duration(s.factor)*s.fineInterval, out)
+	return expand(coarse, s.factor, s.fineInterval, horizon), nil
+}

@@ -1,0 +1,242 @@
+// Package lake is the Azure Data Lake Store analog: a file-system-backed
+// store partitioned by dataset, region and week, holding the CSV extracts
+// the Load Extraction module produces and the AML pipeline consumes
+// (Section 2.2).
+//
+// The paper's input files "contain server identifier, timestamp in minutes,
+// average user CPU load percentage per five minutes, default backup start
+// and end timestamps"; Row and the CSV codec implement exactly that layout.
+package lake
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNotFound is returned when a requested object does not exist.
+var ErrNotFound = errors.New("lake: object not found")
+
+// Store is a partitioned object store rooted at a directory.
+type Store struct {
+	root string
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lake: open root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Path returns the object path for (dataset, region, week).
+func (s *Store) Path(dataset, region string, week int) string {
+	return filepath.Join(s.root, dataset, region, fmt.Sprintf("week-%04d.csv", week))
+}
+
+// Writer opens a buffered writer for the object, creating partitions as
+// needed. The caller must Close it.
+func (s *Store) Writer(dataset, region string, week int) (io.WriteCloser, error) {
+	p := s.Path(dataset, region, week)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("lake: create partition: %w", err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("lake: create object: %w", err)
+	}
+	return &bufWriteCloser{Writer: bufio.NewWriterSize(f, 1<<20), f: f}, nil
+}
+
+type bufWriteCloser struct {
+	*bufio.Writer
+	f *os.File
+}
+
+func (b *bufWriteCloser) Close() error {
+	if err := b.Flush(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}
+
+// Reader opens the object for reading. The caller must Close it.
+func (s *Store) Reader(dataset, region string, week int) (io.ReadCloser, error) {
+	f, err := os.Open(s.Path(dataset, region, week))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s/%s/week-%04d", ErrNotFound, dataset, region, week)
+		}
+		return nil, fmt.Errorf("lake: open object: %w", err)
+	}
+	return f, nil
+}
+
+// Size returns the object size in bytes.
+func (s *Store) Size(dataset, region string, week int) (int64, error) {
+	fi, err := os.Stat(s.Path(dataset, region, week))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s/%s/week-%04d", ErrNotFound, dataset, region, week)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Regions lists the regions present under a dataset, sorted.
+func (s *Store) Regions(dataset string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, dataset))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Weeks lists the week numbers present for (dataset, region), sorted.
+func (s *Store) Weeks(dataset, region string) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, dataset, region))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "week-") || !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "week-"), ".csv"))
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Row is one telemetry record in the weekly extract files: the per-five-
+// minute average user CPU load of one server, plus the server's current
+// default backup window.
+type Row struct {
+	ServerID string
+	// TimestampMin is the observation time in minutes since the Unix epoch
+	// (the paper's files carry "timestamp in minutes").
+	TimestampMin int64
+	// CPUPct is the average user CPU load percentage over the interval;
+	// negative values encode missing observations.
+	CPUPct float64
+	// BackupStartMin/BackupEndMin delimit the server's default backup
+	// window in minutes since the Unix epoch.
+	BackupStartMin int64
+	BackupEndMin   int64
+}
+
+// Header is the first line of every extract file.
+const Header = "server_id,timestamp_min,cpu_pct,backup_start_min,backup_end_min"
+
+// WriteRows streams rows as CSV, header first.
+func WriteRows(w io.Writer, rows []Row) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(Header + "\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 96)
+	for i := range rows {
+		buf = AppendRow(buf[:0], &rows[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// AppendRow appends r's CSV encoding (with trailing newline) to buf.
+func AppendRow(buf []byte, r *Row) []byte {
+	buf = append(buf, r.ServerID...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, r.TimestampMin, 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendFloat(buf, r.CPUPct, 'f', 3, 64)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, r.BackupStartMin, 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, r.BackupEndMin, 10)
+	return append(buf, '\n')
+}
+
+// ParseRow decodes one CSV line (no trailing newline).
+func ParseRow(line string) (Row, error) {
+	var r Row
+	fields := strings.Split(line, ",")
+	if len(fields) != 5 {
+		return r, fmt.Errorf("lake: row has %d fields, want 5: %q", len(fields), line)
+	}
+	r.ServerID = fields[0]
+	var err error
+	if r.TimestampMin, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return r, fmt.Errorf("lake: bad timestamp %q: %w", fields[1], err)
+	}
+	if r.CPUPct, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return r, fmt.Errorf("lake: bad cpu %q: %w", fields[2], err)
+	}
+	if r.BackupStartMin, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+		return r, fmt.Errorf("lake: bad backup start %q: %w", fields[3], err)
+	}
+	if r.BackupEndMin, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+		return r, fmt.Errorf("lake: bad backup end %q: %w", fields[4], err)
+	}
+	return r, nil
+}
+
+// ScanRows reads a CSV extract, invoking fn per row. It verifies the header
+// and stops at the first malformed row, returning its error.
+func ScanRows(r io.Reader, fn func(Row) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("lake: empty file")
+	}
+	if got := sc.Text(); got != Header {
+		return fmt.Errorf("lake: bad header %q", got)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		row, err := ParseRow(sc.Text())
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,194 @@
+package lake
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tempStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenCreatesRoot(t *testing.T) {
+	dir := t.TempDir() + "/nested/lake"
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != dir {
+		t.Errorf("Root = %q", s.Root())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := tempStore(t)
+	w, err := s.Writer("ds", "westus", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "hello\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Reader("ds", "westus", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "hello\n" {
+		t.Errorf("read %q err %v", data, err)
+	}
+	sz, err := s.Size("ds", "westus", 3)
+	if err != nil || sz != 6 {
+		t.Errorf("Size = %d err %v", sz, err)
+	}
+}
+
+func TestReaderNotFound(t *testing.T) {
+	s := tempStore(t)
+	if _, err := s.Reader("ds", "nowhere", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size("ds", "nowhere", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRegionsAndWeeks(t *testing.T) {
+	s := tempStore(t)
+	for _, rg := range []string{"eastus", "westeu"} {
+		for _, wk := range []int{0, 2} {
+			w, err := s.Writer("ds", rg, wk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+		}
+	}
+	regions, err := s.Regions("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 || regions[0] != "eastus" || regions[1] != "westeu" {
+		t.Errorf("Regions = %v", regions)
+	}
+	weeks, err := s.Weeks("ds", "eastus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weeks) != 2 || weeks[0] != 0 || weeks[1] != 2 {
+		t.Errorf("Weeks = %v", weeks)
+	}
+	// Missing dataset/region yield empty, not errors.
+	if rs, err := s.Regions("nope"); err != nil || rs != nil {
+		t.Errorf("missing dataset: %v %v", rs, err)
+	}
+	if ws, err := s.Weeks("ds", "nope"); err != nil || ws != nil {
+		t.Errorf("missing region: %v %v", ws, err)
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rows := []Row{
+		{ServerID: "a", TimestampMin: 100, CPUPct: 42.125, BackupStartMin: 10, BackupEndMin: 20},
+		{ServerID: "b", TimestampMin: 105, CPUPct: -1, BackupStartMin: 0, BackupEndMin: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var got []Row
+	err := ScanRows(&buf, func(r Row) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0] != rows[0] || got[1] != rows[1] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, rows)
+	}
+}
+
+func TestParseRowErrors(t *testing.T) {
+	bad := []string{
+		"only,four,fields,here",
+		"srv,notanum,1.0,0,0",
+		"srv,100,notanum,0,0",
+		"srv,100,1.0,x,0",
+		"srv,100,1.0,0,x",
+	}
+	for _, line := range bad {
+		if _, err := ParseRow(line); err == nil {
+			t.Errorf("ParseRow(%q) should fail", line)
+		}
+	}
+}
+
+func TestScanRowsHeaderChecks(t *testing.T) {
+	if err := ScanRows(strings.NewReader(""), nil); err == nil {
+		t.Error("empty file should error")
+	}
+	if err := ScanRows(strings.NewReader("wrong,header\n"), nil); err == nil {
+		t.Error("bad header should error")
+	}
+}
+
+func TestScanRowsStopsOnCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, []Row{{ServerID: "a"}, {ServerID: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	stop := errors.New("stop")
+	err := ScanRows(&buf, func(Row) error {
+		calls++
+		return stop
+	})
+	if !errors.Is(err, stop) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestScanRowsReportsLineNumbers(t *testing.T) {
+	data := Header + "\nsrv,100,1.0,0,0\ngarbage line\n"
+	err := ScanRows(strings.NewReader(data), func(Row) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line number", err)
+	}
+}
+
+// Property: AppendRow/ParseRow round-trips arbitrary rows (within the fixed
+// 3-decimal CPU precision).
+func TestPropertyRowRoundTrip(t *testing.T) {
+	f := func(id uint16, ts int32, cpuMilli int16, bs, be int32) bool {
+		r := Row{
+			ServerID:       "srv-" + strings.Repeat("x", int(id%8)),
+			TimestampMin:   int64(ts),
+			CPUPct:         float64(cpuMilli) / 1000,
+			BackupStartMin: int64(bs),
+			BackupEndMin:   int64(be),
+		}
+		line := string(AppendRow(nil, &r))
+		got, err := ParseRow(strings.TrimSuffix(line, "\n"))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

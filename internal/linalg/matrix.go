@@ -1,0 +1,390 @@
+// Package linalg provides the small dense linear-algebra substrate used by
+// the forecasting models: matrices, one-sided Jacobi SVD (for singular
+// spectrum analysis), and least-squares/ridge solvers (for AR fitting and the
+// additive model).
+//
+// The implementation favours clarity and numerical robustness over raw speed;
+// the matrices involved in Seagull's per-server models are tiny (a few
+// hundred rows at most).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common errors.
+var (
+	ErrShape    = errors.New("linalg: shape mismatch")
+	ErrSingular = errors.New("linalg: singular system")
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must be equally long.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d × %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			rowB := b.Data[k*b.Cols : (k+1)*b.Cols]
+			rowOut := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range rowB {
+				rowOut[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v for a column vector v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d × vec(%d)", ErrShape, m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// SVD holds a thin singular value decomposition A = U diag(S) Vᵀ with
+// singular values in non-increasing order.
+type SVD struct {
+	U *Matrix   // Rows×k
+	S []float64 // k singular values, descending
+	V *Matrix   // Cols×k
+}
+
+// ComputeSVD computes the thin SVD of a via one-sided Jacobi rotations
+// applied to the columns of a working copy. It is O(iter·n²·m) which is fine
+// for the small Hankel matrices SSA builds.
+func ComputeSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	// One-sided Jacobi works on columns; ensure rows >= cols by transposing.
+	if m < n {
+		sv, err := ComputeSVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: sv.V, S: sv.S, V: sv.U}, nil
+	}
+
+	// Work on contiguous column slices for cache efficiency.
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = a.Col(j)
+	}
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		vcols[j] = make([]float64, n)
+		vcols[j][j] = 1
+	}
+	const maxSweeps = 30
+	const eps = 1e-10
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotations := 0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				cp, cq := cols[p], cols[q]
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				for i := 0; i < m; i++ {
+					wp, wq := cp[i], cq[i]
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if gamma == 0 || math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotations++
+				// Jacobi rotation that annihilates the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := cp[i], cq[i]
+					cp[i] = c*wp - s*wq
+					cq[i] = s*wp + c*wq
+				}
+				vp, vq := vcols[p], vcols[q]
+				for i := 0; i < n; i++ {
+					wp, wq := vp[i], vq[i]
+					vp[i] = c*wp - s*wq
+					vq[i] = s*wp + c*wq
+				}
+			}
+		}
+		if rotations == 0 {
+			break
+		}
+	}
+
+	// Column norms are the singular values.
+	type cs struct {
+		s   float64
+		idx int
+	}
+	order := make([]cs, n)
+	for j := 0; j < n; j++ {
+		order[j] = cs{Norm2(cols[j]), j}
+	}
+	// Sort descending by singular value (insertion sort; n is small).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && order[k].s > order[k-1].s; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+
+	u := NewMatrix(m, n)
+	vOut := NewMatrix(n, n)
+	s := make([]float64, n)
+	for rank, o := range order {
+		s[rank] = o.s
+		src := cols[o.idx]
+		for i := 0; i < m; i++ {
+			if o.s > 0 {
+				u.Set(i, rank, src[i]/o.s)
+			}
+		}
+		vsrc := vcols[o.idx]
+		for i := 0; i < n; i++ {
+			vOut.Set(i, rank, vsrc[i])
+		}
+	}
+	return &SVD{U: u, S: s, V: vOut}, nil
+}
+
+func identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// SolveLeastSquares returns x minimizing ‖Ax − b‖₂ via the normal equations
+// with Cholesky decomposition. Returns ErrSingular for rank-deficient A.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return SolveRidge(a, b, 0)
+}
+
+// SolveRidge returns x minimizing ‖Ax − b‖₂² + λ‖x‖₂² (λ ≥ 0).
+func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("%w: A is %dx%d, b has %d", ErrShape, a.Rows, a.Cols, len(b))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %v", lambda)
+	}
+	n := a.Cols
+	// G = AᵀA + λI, rhs = Aᵀb.
+	g := NewMatrix(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for p := 0; p < n; p++ {
+			if row[p] == 0 {
+				continue
+			}
+			rhs[p] += row[p] * b[i]
+			for q := p; q < n; q++ {
+				g.Data[p*n+q] += row[p] * row[q]
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		g.Data[p*n+p] += lambda
+		for q := 0; q < p; q++ {
+			g.Data[p*n+q] = g.Data[q*n+p]
+		}
+	}
+	return CholeskySolve(g, rhs)
+}
+
+// CholeskySolve solves the symmetric positive-definite system Gx = b.
+func CholeskySolve(g *Matrix, b []float64) ([]float64, error) {
+	n := g.Rows
+	if g.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("%w: G is %dx%d, b has %d", ErrShape, g.Rows, g.Cols, len(b))
+	}
+	// Decompose G = LLᵀ.
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := g.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 1e-14 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	// Forward solve Ly = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back solve Lᵀx = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Hankel builds the L×K trajectory (Hankel) matrix of series x with window
+// length L, where K = len(x) − L + 1 and H[i][j] = x[i+j]. This is the
+// embedding step of singular spectrum analysis.
+func Hankel(x []float64, l int) (*Matrix, error) {
+	k := len(x) - l + 1
+	if l <= 0 || k <= 0 {
+		return nil, fmt.Errorf("%w: window %d of series %d", ErrShape, l, len(x))
+	}
+	h := NewMatrix(l, k)
+	for i := 0; i < l; i++ {
+		for j := 0; j < k; j++ {
+			h.Set(i, j, x[i+j])
+		}
+	}
+	return h, nil
+}
+
+// DiagonalAverage reconstructs a series of length l+k−1 from an l×k matrix by
+// averaging its anti-diagonals — the inverse of the Hankel embedding used in
+// SSA reconstruction.
+func DiagonalAverage(m *Matrix) []float64 {
+	l, k := m.Rows, m.Cols
+	n := l + k - 1
+	out := make([]float64, n)
+	cnt := make([]int, n)
+	for i := 0; i < l; i++ {
+		for j := 0; j < k; j++ {
+			out[i+j] += m.At(i, j)
+			cnt[i+j]++
+		}
+	}
+	for i := range out {
+		out[i] /= float64(cnt[i])
+	}
+	return out
+}

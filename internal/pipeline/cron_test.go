@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/registry"
+	"seagull/internal/simulate"
+)
+
+func cronFixture(t *testing.T) (*Pipeline, time.Time) {
+	t.Helper()
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "cron", Servers: 25, Weeks: 3, Seed: 8,
+	})
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extract.ExtractAll(store, fleet); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), insights.New(nil))
+	return p, fleet.Config.Start
+}
+
+func TestCronRunsEveryWeekPerRegion(t *testing.T) {
+	p, start := cronFixture(t)
+	clock := NewFakeClock(start)
+	c := NewCron(p, CronConfig{
+		Regions:   []string{"cron"},
+		Start:     start,
+		FirstWeek: 0, LastWeek: 2,
+		Now:   clock.Now,
+		Sleep: clock.Sleep,
+	})
+	c.Start()
+	results, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("runs = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Week != i || r.Region != "cron" {
+			t.Errorf("run %d = week %d region %s", i, r.Week, r.Region)
+		}
+	}
+	// The fake clock must have advanced past the final week boundary.
+	if clock.Now().Before(start.Add(3 * 7 * 24 * time.Hour)) {
+		t.Errorf("clock ended at %v", clock.Now())
+	}
+}
+
+func TestCronStop(t *testing.T) {
+	p, start := cronFixture(t)
+	clock := NewFakeClock(start)
+	blocker := make(chan struct{})
+	c := NewCron(p, CronConfig{
+		Regions:   []string{"cron"},
+		Start:     start,
+		FirstWeek: 0, LastWeek: 2,
+		Now: clock.Now,
+		Sleep: func(d time.Duration) {
+			// First sleep parks until the test calls Stop.
+			select {
+			case <-blocker:
+			default:
+				<-blocker
+			}
+			clock.Sleep(d)
+		},
+	})
+	c.Start()
+	c.Stop()
+	close(blocker)
+	results, err := c.Wait()
+	if !errors.Is(err, ErrCronStopped) {
+		t.Fatalf("err = %v, want ErrCronStopped (results %d)", err, len(results))
+	}
+}
+
+func TestCronMissingRegionPropagatesError(t *testing.T) {
+	p, start := cronFixture(t)
+	clock := NewFakeClock(start)
+	c := NewCron(p, CronConfig{
+		Regions:   []string{"ghost"},
+		Start:     start,
+		FirstWeek: 0, LastWeek: 0,
+		Now:   clock.Now,
+		Sleep: clock.Sleep,
+	})
+	c.Start()
+	_, err := c.Wait()
+	if err == nil {
+		t.Fatal("missing region should surface from Wait")
+	}
+	// The failed run still appears in the results snapshot.
+	if len(c.Results()) != 1 {
+		t.Errorf("results = %d", len(c.Results()))
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFakeClock(t0)
+	if !f.Now().Equal(t0) {
+		t.Error("initial time wrong")
+	}
+	f.Advance(time.Hour)
+	if !f.Now().Equal(t0.Add(time.Hour)) {
+		t.Error("Advance wrong")
+	}
+	f.Sleep(time.Minute)
+	if !f.Now().Equal(t0.Add(time.Hour + time.Minute)) {
+		t.Error("Sleep should advance")
+	}
+}

@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/registry"
+	"seagull/internal/simulate"
+)
+
+// Failure injection: the incident-management behaviors of Section 2.2
+// ("examples of incidents include missing or invalid input data, errors or
+// exceptions in any step of the pipeline").
+
+// TestCorruptExtractRaisesIncident truncates a row mid-file: ingestion must
+// fail the run and the dashboard must carry the incident.
+func TestCorruptExtractRaisesIncident(t *testing.T) {
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "corrupt", Servers: 10, Weeks: 1, Seed: 2,
+	})
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extract.ExtractAll(store, fleet); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the object: clip the last row in half.
+	path := store.Path(extract.Dataset, "corrupt", 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped := data[:len(data)-20]
+	clipped = append(clipped, []byte("garbage,row\n")...)
+	if err := os.WriteFile(path, clipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), insights.New(nil))
+	_, err = p.RunWeek(Config{Region: "corrupt", Week: 0})
+	if err == nil {
+		t.Fatal("corrupt extract should fail the run")
+	}
+	incs := p.Dash.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incident raised")
+	}
+	found := false
+	for _, inc := range incs {
+		if inc.Stage == StageIngestion && strings.Contains(inc.Message, "garbage") ||
+			strings.Contains(inc.Message, "fields") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("incidents carry no parse context: %+v", incs)
+	}
+	// The failed run is on the dashboard with its error.
+	runs := p.Dash.Runs()
+	if len(runs) != 1 || runs[0].Succeeded || runs[0].Error == "" {
+		t.Errorf("failed run record = %+v", runs)
+	}
+}
+
+// TestOutOfBoundTelemetryFlagsAnomalies plants impossible CPU readings: the
+// run continues (the data is structurally parseable) but validation flags
+// bound anomalies and a warning incident fires.
+func TestOutOfBoundTelemetryFlagsAnomalies(t *testing.T) {
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "bounds", Servers: 8, Weeks: 1, Seed: 3,
+	})
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extract.ExtractAll(store, fleet); err != nil {
+		t.Fatal(err)
+	}
+	path := store.Path(extract.Dataset, "bounds", 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace one healthy reading with an impossible 250.000 load.
+	txt := string(data)
+	lines := strings.SplitN(txt, "\n", 3)
+	parts := strings.Split(lines[1], ",")
+	parts[2] = "250.000"
+	lines[1] = strings.Join(parts, ",")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), insights.New(nil))
+	res, err := p.RunWeek(Config{Region: "bounds", Week: 0})
+	if err != nil {
+		t.Fatalf("bound anomaly must not kill the run: %v", err)
+	}
+	if res.Validation == nil || res.Validation.Valid {
+		t.Error("validation should be flagged invalid")
+	}
+	warned := false
+	for _, inc := range p.Dash.Incidents() {
+		if inc.Severity == insights.SevWarning && inc.Stage == StageValidation {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("no validation warning raised")
+	}
+}
+
+// TestMultiRegionIsolation runs two regions against one shared system and
+// checks results stay partitioned.
+func TestMultiRegionIsolation(t *testing.T) {
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, region := range []string{"iso-a", "iso-b"} {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: region, Servers: 15 + 10*i, Weeks: 2, Seed: int64(4 + i),
+		})
+		if _, err := extract.ExtractAll(store, fleet); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), insights.New(nil))
+	ra, err := p.RunWeek(Config{Region: "iso-a", Week: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := p.RunWeek(Config{Region: "iso-b", Week: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Collection("predictions").Count("iso-a"); got != ra.Predicted {
+		t.Errorf("iso-a predictions = %d, want %d", got, ra.Predicted)
+	}
+	if got := db.Collection("predictions").Count("iso-b"); got != rb.Predicted {
+		t.Errorf("iso-b predictions = %d, want %d", got, rb.Predicted)
+	}
+	// Each region has its own registry slot.
+	if _, err := p.Registry.Active(registry.Target{Scenario: Scenario, Region: "iso-a"}); err != nil {
+		t.Errorf("iso-a deployment: %v", err)
+	}
+	if _, err := p.Registry.Active(registry.Target{Scenario: Scenario, Region: "iso-b"}); err != nil {
+		t.Errorf("iso-b deployment: %v", err)
+	}
+}

@@ -1,0 +1,581 @@
+// Package pipeline is the AML-pipeline analog (Section 2.2): the use-case-
+// agnostic core of Seagull. A weekly run per region ingests the load extract
+// from the lake, validates it, extracts features, trains the configured
+// model per server, deploys/tracks the model version, infers next-day load
+// for every server due for backup, evaluates prediction accuracy against the
+// actuals that arrived since the previous run, stores results in the Cosmos
+// DB analog, and reports stage timings and incidents to the dashboard.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seagull/internal/classify"
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/forecast"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/metrics"
+	"seagull/internal/parallel"
+	"seagull/internal/registry"
+	"seagull/internal/timeseries"
+	"seagull/internal/validate"
+)
+
+// Scenario is the deployment scenario name for backup scheduling.
+const Scenario = "backup"
+
+// Stage names reported in run telemetry; these are the components of
+// Figure 12(a).
+const (
+	StageIngestion  = "ingestion"
+	StageValidation = "validation"
+	StageFeatures   = "feature-extraction"
+	StageTrainInfer = "train-infer"
+	StageDeployment = "model-deployment"
+	StageAccuracy   = "accuracy-evaluation"
+)
+
+// ErrNoData is returned when a run has no usable input.
+var ErrNoData = errors.New("pipeline: no input data")
+
+// Config parameterizes one weekly pipeline run (the "parameter updates" of
+// Section 2.4).
+type Config struct {
+	Region string
+	// Week is the 0-based week (relative to the dataset start) whose extract
+	// this run processes; the run happens at the end of that week.
+	Week int
+	// ModelName selects the forecasting model to train/deploy; defaults to
+	// persistent forecast on the previous day — the production choice.
+	ModelName string
+	// Interval is the telemetry granularity; defaults to 5 minutes.
+	Interval time.Duration
+	// HistoryWeeks is how many prior weeks are ingested for training and
+	// predictability; defaults to the metrics config's 3.
+	HistoryWeeks int
+	// Workers bounds the parallel accuracy evaluation; 0 means NumCPU, 1
+	// forces the single-threaded baseline.
+	Workers int
+	// Metrics carries the accuracy constants (Definitions 1–9).
+	Metrics metrics.Config
+	// Seed drives stochastic models.
+	Seed int64
+	// MinFleetAccuracy is the LL-window accuracy below which the run demotes
+	// the deployed model and falls back to the last known-good version.
+	// Zero disables fallback.
+	MinFleetAccuracy float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModelName == "" {
+		c.ModelName = forecast.NamePersistentPrevDay
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Minute
+	}
+	if c.Metrics == (metrics.Config{}) {
+		c.Metrics = metrics.DefaultConfig()
+	}
+	if c.HistoryWeeks == 0 {
+		c.HistoryWeeks = c.Metrics.HistoryWeeks
+	}
+	return c
+}
+
+// PredictionDoc is the per-server output stored in the predictions
+// collection: the predicted load for the server's backup day.
+type PredictionDoc struct {
+	ServerID     string    `json:"server_id"`
+	Region       string    `json:"region"`
+	Week         int       `json:"week"`
+	Model        string    `json:"model"`
+	BackupDay    time.Time `json:"backup_day"` // midnight of the predicted day
+	WindowPoints int       `json:"window_points"`
+	IntervalMin  int       `json:"interval_min"`
+	// DefaultStart is the server's current activity-agnostic backup window
+	// start; the scheduler falls back to it for unpredictable servers.
+	DefaultStart time.Time `json:"default_start"`
+	Values       []float64 `json:"values"`
+	// LLStart is the start index of the predicted lowest-load window.
+	LLStart int `json:"ll_start"`
+	// LLAvg is the predicted average load inside that window.
+	LLAvg float64 `json:"ll_avg"`
+}
+
+// Series reconstructs the predicted day as a series.
+func (p *PredictionDoc) Series() timeseries.Series {
+	return timeseries.New(p.BackupDay, time.Duration(p.IntervalMin)*time.Minute, p.Values)
+}
+
+// EvalDoc is the per-server accuracy record stored in the evaluations
+// collection (one per server per week).
+type EvalDoc struct {
+	ServerID       string  `json:"server_id"`
+	Week           int     `json:"week"`
+	WindowCorrect  bool    `json:"window_correct"`
+	WindowAccurate bool    `json:"window_accurate"`
+	WindowRatio    float64 `json:"window_ratio"`
+	TrueLLStart    int     `json:"true_ll_start"`
+	PredLLStart    int     `json:"pred_ll_start"`
+	TrueLLAvg      float64 `json:"true_ll_avg"`
+	PredWindowTrue float64 `json:"pred_window_true_avg"`
+	// Predictable is the Definition 9 verdict using history up to this week.
+	Predictable bool `json:"predictable"`
+}
+
+// SummaryDoc is the per-region weekly fleet summary.
+type SummaryDoc struct {
+	Region          string  `json:"region"`
+	Week            int     `json:"week"`
+	Servers         int     `json:"servers"`
+	PctCorrect      float64 `json:"pct_ll_correct"`
+	PctAccurate     float64 `json:"pct_ll_accurate"`
+	PctPredictable  float64 `json:"pct_predictable"`
+	MeanBucketRatio float64 `json:"mean_bucket_ratio"`
+	Model           string  `json:"model"`
+	Version         int     `json:"version"`
+}
+
+// Result is the outcome of one weekly run.
+type Result struct {
+	Region       string
+	Week         int
+	Rows         int
+	Servers      int
+	Predicted    int
+	Evaluated    int
+	Summary      metrics.FleetSummary
+	Classes      *classify.Summary
+	Validation   *validate.Report
+	Version      int
+	FellBack     bool
+	StageTimings []insights.StageTiming
+	Total        time.Duration
+}
+
+// Pipeline wires the use-case-agnostic components together.
+type Pipeline struct {
+	Store    *lake.Store
+	DB       *cosmos.DB
+	Registry *registry.Registry
+	Dash     *insights.Dashboard
+	// Clock is injectable for simulated time; nil means wall clock (timings
+	// always use the wall clock — they measure real work).
+	Clock func() time.Time
+}
+
+// New returns a pipeline over the given substrates. dash may be nil (a
+// fresh dashboard is created).
+func New(store *lake.Store, db *cosmos.DB, reg *registry.Registry, dash *insights.Dashboard) *Pipeline {
+	if dash == nil {
+		dash = insights.New(nil)
+	}
+	return &Pipeline{Store: store, DB: db, Registry: reg, Dash: dash, Clock: time.Now}
+}
+
+// RunWeek executes the full weekly pipeline for one region.
+func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Region: cfg.Region, Week: cfg.Week}
+	runStart := time.Now()
+	record := func(stage string, d time.Duration) {
+		res.StageTimings = append(res.StageTimings, insights.StageTiming{Stage: stage, Duration: d})
+	}
+	fail := func(stage string, err error) (*Result, error) {
+		p.Dash.Raise(insights.SevError, cfg.Region, stage, "%v", err)
+		res.Total = time.Since(runStart)
+		p.Dash.RecordRun(insights.RunRecord{
+			Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock(),
+			Total: res.Total, Stages: res.StageTimings,
+			Rows: res.Rows, Servers: res.Servers, Succeeded: false, Error: err.Error(),
+		})
+		return res, fmt.Errorf("pipeline %s week %d: %s: %w", cfg.Region, cfg.Week, stage, err)
+	}
+
+	// --- Ingestion: current week plus trailing history weeks. ---
+	t := time.Now()
+	histories, weekLoads, err := p.ingest(cfg)
+	record(StageIngestion, time.Since(t))
+	if err != nil {
+		return fail(StageIngestion, err)
+	}
+	res.Servers = len(weekLoads)
+	for _, sl := range weekLoads {
+		res.Rows += sl.Load.Len()
+	}
+
+	// --- Validation: raw extract re-scan plus ingested-series checks. ---
+	t = time.Now()
+	rep, err := p.validateWeek(cfg, weekLoads)
+	record(StageValidation, time.Since(t))
+	if err != nil {
+		return fail(StageValidation, err)
+	}
+	res.Validation = rep
+	if !rep.Valid {
+		p.Dash.Raise(insights.SevWarning, cfg.Region, StageValidation,
+			"%d anomalies in week %d extract", len(rep.Anomalies), cfg.Week)
+	}
+
+	// --- Feature extraction / classification. ---
+	t = time.Now()
+	res.Classes = p.extractFeatures(cfg, histories)
+	record(StageFeatures, time.Since(t))
+
+	// --- Model deployment & tracking. ---
+	t = time.Now()
+	version := p.Registry.Deploy(registry.Target{Scenario: Scenario, Region: cfg.Region},
+		cfg.ModelName, fmt.Sprintf("week %d", cfg.Week))
+	res.Version = version
+	record(StageDeployment, time.Since(t))
+
+	// --- Training & inference: predict each server's backup day. ---
+	t = time.Now()
+	preds, evals, err := p.trainInferEvaluate(cfg, histories)
+	record(StageTrainInfer, time.Since(t))
+	if err != nil {
+		return fail(StageTrainInfer, err)
+	}
+	res.Predicted = len(preds)
+
+	// --- Accuracy evaluation & persistence. ---
+	t = time.Now()
+	summary, err := p.persistResults(cfg, version, preds, evals)
+	record(StageAccuracy, time.Since(t))
+	if err != nil {
+		return fail(StageAccuracy, err)
+	}
+	res.Evaluated = len(evals)
+	res.Summary = summary
+
+	// Known-good fallback when fleet accuracy regresses (Section 2.2).
+	if cfg.MinFleetAccuracy > 0 && summary.Servers > 0 && summary.PctCorrect < cfg.MinFleetAccuracy {
+		if back, err := p.Registry.Fallback(registry.Target{Scenario: Scenario, Region: cfg.Region}, cfg.MinFleetAccuracy); err == nil {
+			res.FellBack = true
+			p.Dash.Raise(insights.SevWarning, cfg.Region, StageAccuracy,
+				"accuracy %.3f below %.3f; fell back to %s v%d",
+				summary.PctCorrect, cfg.MinFleetAccuracy, back.ModelName, back.Number)
+		} else {
+			p.Dash.Raise(insights.SevCritical, cfg.Region, StageAccuracy,
+				"accuracy %.3f below %.3f and no known-good fallback: %v",
+				summary.PctCorrect, cfg.MinFleetAccuracy, err)
+		}
+	}
+
+	res.Total = time.Since(runStart)
+	p.Dash.RecordRun(insights.RunRecord{
+		Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock(),
+		Total: res.Total, Stages: res.StageTimings,
+		Rows: res.Rows, Servers: res.Servers, Succeeded: true,
+	})
+	return res, nil
+}
+
+// serverHistory is a server's concatenated load across the ingested weeks.
+type serverHistory struct {
+	id           string
+	load         timeseries.Series
+	backupStart  time.Time
+	backupEnd    time.Time
+	windowPoints int
+}
+
+// ingest loads the current week plus up to HistoryWeeks prior weeks and
+// concatenates them per server. It returns the per-server histories and the
+// current week's loads (for validation).
+func (p *Pipeline) ingest(cfg Config) (map[string]*serverHistory, []*extract.ServerLoad, error) {
+	firstWeek := cfg.Week - cfg.HistoryWeeks
+	if firstWeek < 0 {
+		firstWeek = 0
+	}
+	histories := map[string]*serverHistory{}
+	var weekLoads []*extract.ServerLoad
+	for w := firstWeek; w <= cfg.Week; w++ {
+		loads, err := extract.Ingest(p.Store, cfg.Region, w, cfg.Interval)
+		if err != nil {
+			if errors.Is(err, lake.ErrNotFound) && w != cfg.Week {
+				continue // older weeks may predate the dataset
+			}
+			return nil, nil, err
+		}
+		if w == cfg.Week {
+			weekLoads = loads
+		}
+		for _, sl := range loads {
+			h := histories[sl.ServerID]
+			if h == nil {
+				h = &serverHistory{id: sl.ServerID, load: sl.Load}
+				histories[sl.ServerID] = h
+			} else {
+				// Append, bridging any gap between weeks with missing points.
+				gap := int(sl.Load.Start.Sub(h.load.End()) / cfg.Interval)
+				for g := 0; g < gap; g++ {
+					h.load.Append(timeseries.Missing)
+				}
+				h.load.Append(sl.Load.Values...)
+			}
+			h.backupStart, h.backupEnd = sl.BackupStart, sl.BackupEnd
+			h.windowPoints = sl.WindowPoints()
+		}
+	}
+	if len(weekLoads) == 0 {
+		return nil, nil, ErrNoData
+	}
+	return histories, weekLoads, nil
+}
+
+// validateWeek re-scans the raw extract against the schema and checks the
+// ingested series.
+func (p *Pipeline) validateWeek(cfg Config, weekLoads []*extract.ServerLoad) (*validate.Report, error) {
+	rd, err := p.Store.Reader(extract.Dataset, cfg.Region, cfg.Week)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	schema := validate.DefaultSchema()
+	rowRep, err := validate.ValidateRows(rd, schema)
+	if err != nil {
+		return nil, err
+	}
+	weekPoints := int(7 * 24 * time.Hour / cfg.Interval)
+	loadRep := validate.ValidateLoads(weekLoads, schema, weekPoints)
+	rowRep.Anomalies = append(rowRep.Anomalies, loadRep.Anomalies...)
+	rowRep.Valid = rowRep.Valid && loadRep.Valid
+	return rowRep, nil
+}
+
+// extractFeatures classifies every server on its concatenated history.
+func (p *Pipeline) extractFeatures(cfg Config, histories map[string]*serverHistory) *classify.Summary {
+	sum := classify.NewSummary()
+	for _, h := range histories {
+		cat, err := classify.Categorize(h.load, h.load.NumDays(), cfg.Metrics)
+		if err != nil {
+			p.Dash.Raise(insights.SevWarning, cfg.Region, StageFeatures, "%s: %v", h.id, err)
+			continue
+		}
+		sum.Add(cat)
+	}
+	return sum
+}
+
+// trainInferEvaluate predicts each server's backup day within the processed
+// week using the week of history immediately preceding it, and evaluates the
+// prediction against the actuals (which are available because the run
+// happens at the end of the week). Servers are processed in parallel
+// partitions, Dask-style.
+func (p *Pipeline) trainInferEvaluate(cfg Config, histories map[string]*serverHistory) ([]*PredictionDoc, []*EvalDoc, error) {
+	ids := make([]string, 0, len(histories))
+	for id := range histories {
+		ids = append(ids, id)
+	}
+	pool := parallel.NewPool(cfg.Workers)
+	type outcome struct {
+		pred *PredictionDoc
+		eval *EvalDoc
+	}
+	outs, err := parallel.Map(pool, ids, func(id string) (outcome, error) {
+		h := histories[id]
+		pd, ed := p.predictServer(cfg, h)
+		return outcome{pred: pd, eval: ed}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var preds []*PredictionDoc
+	var evals []*EvalDoc
+	for _, o := range outs {
+		if o.pred != nil {
+			preds = append(preds, o.pred)
+		}
+		if o.eval != nil {
+			evals = append(evals, o.eval)
+		}
+	}
+	return preds, evals, nil
+}
+
+// predictServer runs train→infer→evaluate for one server. Servers whose
+// history cannot support the model (too young, no backup day in week) are
+// skipped — they default to the activity-agnostic backup window.
+func (p *Pipeline) predictServer(cfg Config, h *serverHistory) (*PredictionDoc, *EvalDoc) {
+	ppd := h.load.PointsPerDay()
+	backupMidnight := h.backupStart.Truncate(24 * time.Hour)
+	dayIdx, ok := h.load.IndexOf(backupMidnight)
+	if !ok || dayIdx%ppd != 0 {
+		// Align to the containing day.
+		if !ok {
+			return nil, nil
+		}
+		dayIdx -= dayIdx % ppd
+	}
+	if dayIdx+ppd > h.load.Len() {
+		return nil, nil // backup day not fully covered by telemetry
+	}
+	trainPoints := 7 * ppd
+	if dayIdx < trainPoints {
+		trainPoints = dayIdx - dayIdx%ppd // use whole days available
+	}
+	if trainPoints < 3*ppd {
+		return nil, nil // under three days of history (Section 5.3.1)
+	}
+	history, err := h.load.Slice(dayIdx-trainPoints, dayIdx)
+	if err != nil {
+		return nil, nil
+	}
+	model, err := forecast.New(cfg.ModelName, cfg.Seed)
+	if err != nil {
+		p.Dash.Raise(insights.SevError, cfg.Region, StageTrainInfer, "model %q: %v", cfg.ModelName, err)
+		return nil, nil
+	}
+	pred, err := forecast.PredictDay(model, history)
+	if err != nil {
+		return nil, nil
+	}
+	w := h.windowPoints
+	if w < 1 {
+		w = 1
+	}
+	if w > ppd {
+		w = ppd
+	}
+	llw, err := metrics.LowestLoadWindow(pred, w)
+	if err != nil {
+		return nil, nil
+	}
+	pdoc := &PredictionDoc{
+		ServerID:     h.id,
+		Region:       cfg.Region,
+		Week:         cfg.Week,
+		Model:        cfg.ModelName,
+		BackupDay:    h.load.TimeAt(dayIdx),
+		WindowPoints: w,
+		IntervalMin:  int(h.load.Interval / time.Minute),
+		DefaultStart: h.backupStart,
+		Values:       pred.Values,
+		LLStart:      llw.Start,
+		LLAvg:        llw.AvgLoad,
+	}
+
+	// Evaluate against actuals (run happens after the week completed).
+	trueDay, err := h.load.Slice(dayIdx, dayIdx+ppd)
+	if err != nil {
+		return pdoc, nil
+	}
+	dr, err := metrics.EvaluateDay(trueDay.FillGaps(), pred, w, cfg.Metrics)
+	if err != nil {
+		return pdoc, nil
+	}
+	edoc := &EvalDoc{
+		ServerID:       h.id,
+		Week:           cfg.Week,
+		WindowCorrect:  dr.Window.Correct,
+		WindowAccurate: dr.WindowAccurate,
+		WindowRatio:    dr.WindowRatio,
+		TrueLLStart:    dr.Window.True.Start,
+		PredLLStart:    dr.Window.Predicted.Start,
+		TrueLLAvg:      dr.Window.True.AvgLoad,
+		PredWindowTrue: dr.Window.TrueLoadInPredicted,
+	}
+	return pdoc, edoc
+}
+
+// persistResults stores predictions and evaluations in Cosmos, computes the
+// Definition 9 predictability per server from the trailing weeks, and
+// records the fleet summary.
+func (p *Pipeline) persistResults(cfg Config, version int, preds []*PredictionDoc, evals []*EvalDoc) (metrics.FleetSummary, error) {
+	var summary metrics.FleetSummary
+	predCol := p.DB.Collection("predictions")
+	evalCol := p.DB.Collection("evaluations")
+	sumCol := p.DB.Collection("summaries")
+
+	for _, pd := range preds {
+		if err := predCol.Upsert(cfg.Region, docID(pd.ServerID, pd.Week), pd); err != nil {
+			return summary, err
+		}
+	}
+	for _, ed := range evals {
+		// Definition 9: predictable when the trailing HistoryWeeks (including
+		// this one) were all correct and accurate.
+		predictable := ed.WindowCorrect && ed.WindowAccurate
+		weeksSeen := 1
+		for w := ed.Week - 1; w > ed.Week-cfg.Metrics.HistoryWeeks && predictable; w-- {
+			var prev EvalDoc
+			if err := evalCol.Get(cfg.Region, docID(ed.ServerID, w), &prev); err != nil {
+				predictable = false
+				break
+			}
+			weeksSeen++
+			predictable = prev.WindowCorrect && prev.WindowAccurate
+		}
+		if weeksSeen < cfg.Metrics.HistoryWeeks {
+			predictable = false
+		}
+		ed.Predictable = predictable
+		if err := evalCol.Upsert(cfg.Region, docID(ed.ServerID, ed.Week), ed); err != nil {
+			return summary, err
+		}
+		summary.Add(metrics.DayResult{
+			Window: metrics.WindowResult{
+				Correct: ed.WindowCorrect,
+				True:    metrics.Window{Start: ed.TrueLLStart, AvgLoad: ed.TrueLLAvg},
+				Predicted: metrics.Window{
+					Start: ed.PredLLStart,
+				},
+				TrueLoadInPredicted: ed.PredWindowTrue,
+			},
+			WindowAccurate: ed.WindowAccurate,
+			WindowRatio:    ed.WindowRatio,
+		}, predictable)
+	}
+
+	target := registry.Target{Scenario: Scenario, Region: cfg.Region}
+	if summary.Servers > 0 {
+		if err := p.Registry.RecordAccuracy(target, version, summary.PctCorrect); err != nil {
+			return summary, err
+		}
+	}
+	doc := SummaryDoc{
+		Region: cfg.Region, Week: cfg.Week,
+		Servers:         summary.Servers,
+		PctCorrect:      summary.PctCorrect,
+		PctAccurate:     summary.PctAccurate,
+		PctPredictable:  summary.PctPredictable,
+		MeanBucketRatio: summary.MeanBucketRatio,
+		Model:           cfg.ModelName,
+		Version:         version,
+	}
+	if err := sumCol.Upsert(cfg.Region, fmt.Sprintf("week-%04d", cfg.Week), doc); err != nil {
+		return summary, err
+	}
+	return summary, nil
+}
+
+func docID(serverID string, week int) string {
+	return fmt.Sprintf("%s/week-%04d", serverID, week)
+}
+
+// RunSchedule executes weekly runs for several regions and weeks in
+// sequence, as the recurring Pipeline Scheduler does in production. Failed
+// runs raise incidents but do not stop the schedule.
+func (p *Pipeline) RunSchedule(base Config, regions []string, weeks []int) []*Result {
+	var out []*Result
+	for _, region := range regions {
+		for _, week := range weeks {
+			cfg := base
+			cfg.Region = region
+			cfg.Week = week
+			res, err := p.RunWeek(cfg)
+			if err != nil {
+				// RunWeek already raised the incident; keep the partial result.
+				out = append(out, res)
+				continue
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/forecast"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/registry"
+	"seagull/internal/simulate"
+)
+
+// fixture builds a small fleet, extracts all weeks into a lake, and returns
+// a ready pipeline.
+func fixture(t *testing.T, servers int) (*Pipeline, *simulate.Fleet) {
+	t.Helper()
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "testreg", Servers: servers, Weeks: 4, Seed: 21,
+	})
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extract.ExtractAll(store, fleet); err != nil {
+		t.Fatal(err)
+	}
+	db, err := cosmos.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(store, db, registry.New(nil), insights.New(nil))
+	return p, fleet
+}
+
+func TestRunWeekEndToEnd(t *testing.T) {
+	p, _ := fixture(t, 60)
+	res, err := p.RunWeek(Config{Region: "testreg", Week: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers == 0 || res.Rows == 0 {
+		t.Fatalf("no data processed: %+v", res)
+	}
+	if res.Predicted == 0 || res.Evaluated == 0 {
+		t.Fatalf("no predictions: %+v", res)
+	}
+	if res.Version != 1 {
+		t.Errorf("version = %d", res.Version)
+	}
+	// All six stages must report timings.
+	stages := map[string]bool{}
+	for _, st := range res.StageTimings {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{StageIngestion, StageValidation, StageFeatures,
+		StageDeployment, StageTrainInfer, StageAccuracy} {
+		if !stages[want] {
+			t.Errorf("missing stage timing %q", want)
+		}
+	}
+	// Persistent forecast on the paper-mix fleet chooses LL windows well.
+	if res.Summary.PctCorrect < 0.85 {
+		t.Errorf("LL correct = %.3f, want ≥ 0.85", res.Summary.PctCorrect)
+	}
+	// Week 1 cannot have predictable servers yet (needs 3 weeks of history).
+	if res.Summary.PredictableCount != 0 {
+		t.Errorf("predictable after week 1 = %d, want 0", res.Summary.PredictableCount)
+	}
+	// Documents persisted.
+	if n := p.DB.Collection("predictions").Count("testreg"); n != res.Predicted {
+		t.Errorf("stored predictions = %d, want %d", n, res.Predicted)
+	}
+	if n := p.DB.Collection("evaluations").Count("testreg"); n != res.Evaluated {
+		t.Errorf("stored evaluations = %d, want %d", n, res.Evaluated)
+	}
+	var sum SummaryDoc
+	if err := p.DB.Collection("summaries").Get("testreg", "week-0001", &sum); err != nil {
+		t.Errorf("summary doc: %v", err)
+	}
+	// Dashboard recorded the run.
+	runs := p.Dash.Runs()
+	if len(runs) != 1 || !runs[0].Succeeded {
+		t.Errorf("dashboard runs = %+v", runs)
+	}
+}
+
+func TestRunScheduleBuildsPredictability(t *testing.T) {
+	p, _ := fixture(t, 80)
+	results := p.RunSchedule(Config{}, []string{"testreg"}, []int{0, 1, 2, 3})
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Weeks 0 and 1 cannot satisfy the three-week gate of Definition 9.
+	for i, r := range results[:2] {
+		if r.Summary.PredictableCount != 0 {
+			t.Errorf("week %d predictable = %d, want 0", i, r.Summary.PredictableCount)
+		}
+	}
+	// By week 3 the stable majority has three good weeks behind it.
+	w3 := results[3]
+	if w3.Summary.PctPredictable < 0.5 {
+		t.Errorf("week 3 predictable = %.3f, want ≥ 0.5", w3.Summary.PctPredictable)
+	}
+	// Registry tracked four versions with recorded accuracy.
+	hist := p.Registry.History(registry.Target{Scenario: Scenario, Region: "testreg"})
+	if len(hist) != 4 {
+		t.Fatalf("registry history = %d", len(hist))
+	}
+	for _, v := range hist {
+		if v.Accuracy < 0 {
+			t.Errorf("version %d accuracy unrecorded", v.Number)
+		}
+	}
+	active, err := p.Registry.Active(registry.Target{Scenario: Scenario, Region: "testreg"})
+	if err != nil || active.Number != 4 {
+		t.Errorf("active = %+v err %v", active, err)
+	}
+}
+
+func TestRunWeekMissingExtract(t *testing.T) {
+	p, _ := fixture(t, 10)
+	_, err := p.RunWeek(Config{Region: "ghost", Week: 0})
+	if err == nil {
+		t.Fatal("missing region should fail")
+	}
+	// The failure raised an incident and recorded a failed run.
+	if incs := p.Dash.Incidents(); len(incs) == 0 {
+		t.Error("no incident raised")
+	}
+	runs := p.Dash.Runs()
+	if len(runs) != 1 || runs[0].Succeeded {
+		t.Errorf("failed run not recorded: %+v", runs)
+	}
+}
+
+func TestRunWeekUnknownModel(t *testing.T) {
+	p, _ := fixture(t, 15)
+	res, err := p.RunWeek(Config{Region: "testreg", Week: 1, ModelName: "bogus"})
+	// The run completes (each server is skipped) but predicts nothing and
+	// raises incidents.
+	if err != nil {
+		t.Fatalf("unexpected hard failure: %v", err)
+	}
+	if res.Predicted != 0 {
+		t.Errorf("predicted = %d with bogus model", res.Predicted)
+	}
+	if len(p.Dash.Incidents()) == 0 {
+		t.Error("no incidents for unknown model")
+	}
+}
+
+func TestFallbackOnRegression(t *testing.T) {
+	// A fleet of unstable, pattern-free servers: persistent forecast chooses
+	// only ~2/3 of LL windows correctly here (deterministic given the seed),
+	// well under a 0.9 production bar.
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "testreg", Servers: 60, Weeks: 4, Seed: 33,
+		Mix: simulate.Mix{NoPattern: 1},
+	})
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extract.ExtractAll(store, fleet); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), insights.New(nil))
+
+	// A previously deployed version is on record as known-good.
+	target := registry.Target{Scenario: Scenario, Region: "testreg"}
+	v1 := p.Registry.Deploy(target, forecast.NameSSA, "known good")
+	if err := p.Registry.RecordAccuracy(target, v1, 0.99); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := p.RunWeek(Config{
+		Region: "testreg", Week: 2,
+		MinFleetAccuracy: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PctCorrect >= 0.9 {
+		t.Fatalf("fixture regression broke: accuracy %.3f", res.Summary.PctCorrect)
+	}
+	if !res.FellBack {
+		t.Error("expected fallback to the known-good version")
+	}
+	active, err := p.Registry.Active(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active.Number != v1 || active.ModelName != forecast.NameSSA {
+		t.Errorf("active after fallback = %+v", active)
+	}
+	// The regression raised a warning incident.
+	if len(p.Dash.Incidents()) == 0 {
+		t.Error("no incident for the regression")
+	}
+}
+
+func TestWorkersProduceSameResults(t *testing.T) {
+	p1, _ := fixture(t, 40)
+	p2, _ := fixture(t, 40)
+	r1, err := p1.RunWeek(Config{Region: "testreg", Week: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := p2.RunWeek(Config{Region: "testreg", Week: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Predicted != r8.Predicted || r1.Evaluated != r8.Evaluated {
+		t.Errorf("parallelism changed results: %d/%d vs %d/%d",
+			r1.Predicted, r1.Evaluated, r8.Predicted, r8.Evaluated)
+	}
+	if r1.Summary.PctCorrect != r8.Summary.PctCorrect {
+		t.Errorf("accuracy differs: %v vs %v", r1.Summary.PctCorrect, r8.Summary.PctCorrect)
+	}
+}
+
+func TestPredictionDocSeries(t *testing.T) {
+	d := PredictionDoc{
+		BackupDay:   time.Date(2019, 12, 5, 0, 0, 0, 0, time.UTC),
+		IntervalMin: 5,
+		Values:      []float64{1, 2, 3},
+	}
+	s := d.Series()
+	if s.Len() != 3 || s.Interval != 5*time.Minute || !s.Start.Equal(d.BackupDay) {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ModelName != forecast.NamePersistentPrevDay {
+		t.Errorf("default model = %q", c.ModelName)
+	}
+	if c.Interval != 5*time.Minute || c.HistoryWeeks != 3 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestErrNoData(t *testing.T) {
+	store, err := lake.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write an empty (header-only) extract.
+	w, err := store.Writer(extract.Dataset, "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(lake.Header + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := cosmos.Open("")
+	p := New(store, db, registry.New(nil), nil)
+	_, err = p.RunWeek(Config{Region: "empty", Week: 0})
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package registry implements Seagull's Model Deployment and Tracking
+// modules (Section 2.2): versioned model deployments per (region, scenario),
+// promotion of newly trained models, and automatic fallback to the previous
+// known-good version when accuracy regresses — "Seagull continually
+// re-evaluates accuracy of predictions, falls back to previously known good
+// models and triggers alerts as appropriate".
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	ErrNoDeployment = errors.New("registry: no deployment")
+	ErrBadVersion   = errors.New("registry: unknown version")
+)
+
+// Status of a deployed model version.
+type Status string
+
+// Deployment statuses.
+const (
+	StatusActive     Status = "active"      // serving traffic
+	StatusRetired    Status = "retired"     // replaced by a newer version
+	StatusRolledBack Status = "rolled-back" // demoted after an accuracy regression
+)
+
+// Version is one tracked model deployment.
+type Version struct {
+	Number    int
+	ModelName string    // forecast model registry name
+	Deployed  time.Time // deployment wall-clock time
+	Status    Status
+	// Accuracy is the most recent fleet accuracy (fraction of correctly
+	// chosen LL windows) recorded for this version; negative until evaluated.
+	Accuracy float64
+	// Notes carries free-form deployment context (training week, region).
+	Notes string
+}
+
+// Target identifies a deployment slot: one scenario in one region.
+type Target struct {
+	Scenario string
+	Region   string
+}
+
+func (t Target) String() string { return t.Scenario + "/" + t.Region }
+
+// Registry tracks deployments per target. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	targets map[Target][]*Version // version history, oldest first
+	clock   func() time.Time
+}
+
+// New returns an empty registry. clock may be nil for wall time; tests and
+// the simulated pipeline inject their own.
+func New(clock func() time.Time) *Registry {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{targets: map[Target][]*Version{}, clock: clock}
+}
+
+// Deploy records a new active version of modelName at target, retiring the
+// previous active version. It returns the new version number (1-based).
+func (r *Registry) Deploy(target Target, modelName, notes string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hist := r.targets[target]
+	for _, v := range hist {
+		if v.Status == StatusActive {
+			v.Status = StatusRetired
+		}
+	}
+	v := &Version{
+		Number:    len(hist) + 1,
+		ModelName: modelName,
+		Deployed:  r.clock(),
+		Status:    StatusActive,
+		Accuracy:  -1,
+		Notes:     notes,
+	}
+	r.targets[target] = append(hist, v)
+	return v.Number
+}
+
+// Active returns the currently serving version for target.
+func (r *Registry) Active(target Target) (Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i := len(r.targets[target]) - 1; i >= 0; i-- {
+		if v := r.targets[target][i]; v.Status == StatusActive {
+			return *v, nil
+		}
+	}
+	return Version{}, fmt.Errorf("%w: %s", ErrNoDeployment, target)
+}
+
+// RecordAccuracy stores the latest evaluated accuracy for a version.
+func (r *Registry) RecordAccuracy(target Target, version int, accuracy float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hist := r.targets[target]
+	if version < 1 || version > len(hist) {
+		return fmt.Errorf("%w: %s v%d", ErrBadVersion, target, version)
+	}
+	hist[version-1].Accuracy = accuracy
+	return nil
+}
+
+// Fallback demotes the active version (marking it rolled back) and
+// re-activates the most recent previous version whose recorded accuracy is at
+// least minAccuracy — the known-good fallback of Section 2.2. It returns the
+// re-activated version, or ErrNoDeployment when no known-good version exists
+// (the active version stays demoted either way; callers should alert).
+func (r *Registry) Fallback(target Target, minAccuracy float64) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hist := r.targets[target]
+	var active *Version
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].Status == StatusActive {
+			active = hist[i]
+			break
+		}
+	}
+	if active == nil {
+		return Version{}, fmt.Errorf("%w: %s", ErrNoDeployment, target)
+	}
+	active.Status = StatusRolledBack
+	for i := len(hist) - 1; i >= 0; i-- {
+		v := hist[i]
+		if v.Number == active.Number {
+			continue
+		}
+		if v.Accuracy >= minAccuracy {
+			v.Status = StatusActive
+			return *v, nil
+		}
+	}
+	return Version{}, fmt.Errorf("%w: no known-good version for %s", ErrNoDeployment, target)
+}
+
+// History returns the full version history for target, oldest first.
+func (r *Registry) History(target Target) []Version {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	hist := r.targets[target]
+	out := make([]Version, len(hist))
+	for i, v := range hist {
+		out[i] = *v
+	}
+	return out
+}
+
+// Targets lists every deployment slot, sorted.
+func (r *Registry) Targets() []Target {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Target, 0, len(r.targets))
+	for t := range r.targets {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,150 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Hour)
+		return t
+	}
+}
+
+var target = Target{Scenario: "backup", Region: "westus"}
+
+func TestDeployAndActive(t *testing.T) {
+	r := New(fixedClock())
+	if _, err := r.Active(target); !errors.Is(err, ErrNoDeployment) {
+		t.Errorf("empty registry Active err = %v", err)
+	}
+	v1 := r.Deploy(target, "pf-prev-day", "week 1")
+	if v1 != 1 {
+		t.Errorf("first version = %d", v1)
+	}
+	active, err := r.Active(target)
+	if err != nil || active.ModelName != "pf-prev-day" || active.Status != StatusActive {
+		t.Errorf("active = %+v err %v", active, err)
+	}
+	if active.Accuracy >= 0 {
+		t.Error("fresh deployment must be unevaluated (negative accuracy)")
+	}
+
+	v2 := r.Deploy(target, "nimbus-ssa", "week 2")
+	if v2 != 2 {
+		t.Errorf("second version = %d", v2)
+	}
+	hist := r.History(target)
+	if len(hist) != 2 || hist[0].Status != StatusRetired || hist[1].Status != StatusActive {
+		t.Errorf("history = %+v", hist)
+	}
+}
+
+func TestRecordAccuracy(t *testing.T) {
+	r := New(fixedClock())
+	v := r.Deploy(target, "pf-prev-day", "")
+	if err := r.RecordAccuracy(target, v, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	active, _ := r.Active(target)
+	if active.Accuracy != 0.99 {
+		t.Errorf("accuracy = %v", active.Accuracy)
+	}
+	if err := r.RecordAccuracy(target, 99, 0.5); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+	if err := r.RecordAccuracy(target, 0, 0.5); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("zero version err = %v", err)
+	}
+}
+
+func TestFallbackToKnownGood(t *testing.T) {
+	r := New(fixedClock())
+	v1 := r.Deploy(target, "pf-prev-day", "good old model")
+	if err := r.RecordAccuracy(target, v1, 0.97); err != nil {
+		t.Fatal(err)
+	}
+	v2 := r.Deploy(target, "gluon-ffnn", "regressing model")
+	if err := r.RecordAccuracy(target, v2, 0.40); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := r.Fallback(target, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Number != v1 || back.ModelName != "pf-prev-day" {
+		t.Errorf("fell back to %+v", back)
+	}
+	active, err := r.Active(target)
+	if err != nil || active.Number != v1 {
+		t.Errorf("active after fallback = %+v err %v", active, err)
+	}
+	hist := r.History(target)
+	if hist[v2-1].Status != StatusRolledBack {
+		t.Errorf("v2 status = %v", hist[v2-1].Status)
+	}
+}
+
+func TestFallbackNoKnownGood(t *testing.T) {
+	r := New(fixedClock())
+	v1 := r.Deploy(target, "a", "")
+	_ = r.RecordAccuracy(target, v1, 0.2)
+	r.Deploy(target, "b", "")
+	if _, err := r.Fallback(target, 0.9); !errors.Is(err, ErrNoDeployment) {
+		t.Errorf("err = %v", err)
+	}
+	// The bad active version stays demoted — nothing is serving.
+	if _, err := r.Active(target); !errors.Is(err, ErrNoDeployment) {
+		t.Errorf("Active after failed fallback err = %v", err)
+	}
+}
+
+func TestFallbackWithoutActive(t *testing.T) {
+	r := New(fixedClock())
+	if _, err := r.Fallback(target, 0.5); !errors.Is(err, ErrNoDeployment) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFallbackSkipsUnevaluated(t *testing.T) {
+	r := New(fixedClock())
+	r.Deploy(target, "a", "") // never evaluated: accuracy -1
+	r.Deploy(target, "b", "")
+	if _, err := r.Fallback(target, 0.0); err == nil {
+		t.Error("unevaluated versions must not be fallback targets")
+	}
+}
+
+func TestTargetsSorted(t *testing.T) {
+	r := New(fixedClock())
+	r.Deploy(Target{Scenario: "backup", Region: "z"}, "m", "")
+	r.Deploy(Target{Scenario: "autoscale", Region: "a"}, "m", "")
+	ts := r.Targets()
+	if len(ts) != 2 || ts[0].Scenario != "autoscale" {
+		t.Errorf("Targets = %v", ts)
+	}
+}
+
+func TestHistoryIsCopy(t *testing.T) {
+	r := New(fixedClock())
+	r.Deploy(target, "m", "")
+	h := r.History(target)
+	h[0].ModelName = "mutated"
+	if fresh := r.History(target); fresh[0].ModelName != "m" {
+		t.Error("History must return copies")
+	}
+}
+
+func TestDeployTimestampsAdvance(t *testing.T) {
+	r := New(fixedClock())
+	r.Deploy(target, "a", "")
+	r.Deploy(target, "b", "")
+	h := r.History(target)
+	if !h[1].Deployed.After(h[0].Deployed) {
+		t.Error("deployment times should advance")
+	}
+}

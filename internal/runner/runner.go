@@ -1,0 +1,239 @@
+// Package runner is the Master Data Service (MDS) runner analog of
+// Section 2.3: "the Runner Service deploys executables which probe their
+// respective services resulting in measurement of availability and quality
+// of service. The runner service is deployed in each Azure region." The
+// backup scheduler runs within this runner per day and cluster.
+//
+// A Runner executes registered probes (service health checks) and jobs (the
+// backup scheduler) on a cadence, accumulating availability and latency
+// statistics per probe.
+package runner
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProbeResult is one measurement of a service.
+type ProbeResult struct {
+	Probe   string
+	At      time.Time
+	Healthy bool
+	Latency time.Duration
+	Detail  string
+}
+
+// Probe measures the availability/QoS of one service.
+type Probe interface {
+	// Name identifies the probe in statistics.
+	Name() string
+	// Check performs one measurement.
+	Check() ProbeResult
+}
+
+// ProbeFunc adapts a function to the Probe interface.
+type ProbeFunc struct {
+	ProbeName string
+	Fn        func() ProbeResult
+}
+
+// Name implements Probe.
+func (p ProbeFunc) Name() string { return p.ProbeName }
+
+// Check implements Probe.
+func (p ProbeFunc) Check() ProbeResult { return p.Fn() }
+
+// HTTPProbe checks an HTTP health endpoint — the shape of the probes MDS
+// deploys against the serving endpoint.
+type HTTPProbe struct {
+	ProbeName string
+	URL       string
+	Client    *http.Client
+}
+
+// Name implements Probe.
+func (p *HTTPProbe) Name() string { return p.ProbeName }
+
+// Check implements Probe: GET the URL; 2xx within the client timeout is
+// healthy.
+func (p *HTTPProbe) Check() ProbeResult {
+	client := p.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	start := time.Now()
+	res := ProbeResult{Probe: p.ProbeName, At: start}
+	resp, err := client.Get(p.URL)
+	res.Latency = time.Since(start)
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	res.Healthy = resp.StatusCode >= 200 && resp.StatusCode < 300
+	if !res.Healthy {
+		res.Detail = resp.Status
+	}
+	return res
+}
+
+// Job is a recurring operational task hosted by the runner (the backup
+// scheduler in production).
+type Job interface {
+	Name() string
+	Run() error
+}
+
+// JobFunc adapts a function to the Job interface.
+type JobFunc struct {
+	JobName string
+	Fn      func() error
+}
+
+// Name implements Job.
+func (j JobFunc) Name() string { return j.JobName }
+
+// Run implements Job.
+func (j JobFunc) Run() error { return j.Fn() }
+
+// Stats accumulates one probe's availability measurements.
+type Stats struct {
+	Checks       int
+	Healthy      int
+	TotalLatency time.Duration
+	LastResult   ProbeResult
+}
+
+// Availability returns the healthy fraction of checks.
+func (s Stats) Availability() float64 {
+	if s.Checks == 0 {
+		return 0
+	}
+	return float64(s.Healthy) / float64(s.Checks)
+}
+
+// MeanLatency returns the average check latency.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Checks == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Checks)
+}
+
+// Runner executes probes and jobs for one cluster. Safe for concurrent use.
+type Runner struct {
+	Cluster string
+
+	mu      sync.Mutex
+	probes  []Probe
+	jobs    []Job
+	stats   map[string]*Stats
+	jobErrs map[string][]string
+	clock   func() time.Time
+}
+
+// New returns a runner for a cluster. clock may be nil for wall time.
+func New(cluster string, clock func() time.Time) *Runner {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Runner{
+		Cluster: cluster,
+		stats:   map[string]*Stats{},
+		jobErrs: map[string][]string{},
+		clock:   clock,
+	}
+}
+
+// Register adds a probe.
+func (r *Runner) Register(p Probe) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes = append(r.probes, p)
+}
+
+// AddJob adds a recurring job.
+func (r *Runner) AddJob(j Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs = append(r.jobs, j)
+}
+
+// RunOnce executes every probe and job once — one tick of the per-day MDS
+// cadence. Probe results are accumulated; job errors are recorded and
+// returned (the first one).
+func (r *Runner) RunOnce() ([]ProbeResult, error) {
+	r.mu.Lock()
+	probes := append([]Probe(nil), r.probes...)
+	jobs := append([]Job(nil), r.jobs...)
+	r.mu.Unlock()
+
+	results := make([]ProbeResult, 0, len(probes))
+	for _, p := range probes {
+		res := p.Check()
+		if res.At.IsZero() {
+			res.At = r.clock()
+		}
+		results = append(results, res)
+		r.mu.Lock()
+		st := r.stats[p.Name()]
+		if st == nil {
+			st = &Stats{}
+			r.stats[p.Name()] = st
+		}
+		st.Checks++
+		if res.Healthy {
+			st.Healthy++
+		}
+		st.TotalLatency += res.Latency
+		st.LastResult = res
+		r.mu.Unlock()
+	}
+
+	var firstErr error
+	for _, j := range jobs {
+		if err := j.Run(); err != nil {
+			wrapped := fmt.Errorf("runner %s: job %s: %w", r.Cluster, j.Name(), err)
+			r.mu.Lock()
+			r.jobErrs[j.Name()] = append(r.jobErrs[j.Name()], err.Error())
+			r.mu.Unlock()
+			if firstErr == nil {
+				firstErr = wrapped
+			}
+		}
+	}
+	return results, firstErr
+}
+
+// ProbeStats returns a copy of the accumulated stats for one probe.
+func (r *Runner) ProbeStats(name string) (Stats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stats[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return *st, true
+}
+
+// Probes lists registered probe names, sorted.
+func (r *Runner) Probes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.probes))
+	for _, p := range r.probes {
+		out = append(out, p.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JobErrors returns recorded error messages for a job.
+func (r *Runner) JobErrors(name string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.jobErrs[name]...)
+}

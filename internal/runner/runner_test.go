@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"seagull/internal/registry"
+	"seagull/internal/serving"
+)
+
+func fakeProbe(name string, healthy bool, latency time.Duration) Probe {
+	return ProbeFunc{ProbeName: name, Fn: func() ProbeResult {
+		return ProbeResult{Probe: name, Healthy: healthy, Latency: latency}
+	}}
+}
+
+func TestRunOnceAccumulatesStats(t *testing.T) {
+	r := New("cluster-1", nil)
+	r.Register(fakeProbe("good", true, 10*time.Millisecond))
+	r.Register(fakeProbe("bad", false, 20*time.Millisecond))
+
+	for i := 0; i < 4; i++ {
+		results, err := r.RunOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 2 {
+			t.Fatalf("results = %d", len(results))
+		}
+	}
+	good, ok := r.ProbeStats("good")
+	if !ok || good.Checks != 4 || good.Availability() != 1 {
+		t.Errorf("good stats = %+v ok=%v", good, ok)
+	}
+	if good.MeanLatency() != 10*time.Millisecond {
+		t.Errorf("good latency = %v", good.MeanLatency())
+	}
+	bad, _ := r.ProbeStats("bad")
+	if bad.Availability() != 0 {
+		t.Errorf("bad availability = %v", bad.Availability())
+	}
+	if _, ok := r.ProbeStats("missing"); ok {
+		t.Error("missing probe should not have stats")
+	}
+	if got := r.Probes(); len(got) != 2 || got[0] != "bad" {
+		t.Errorf("Probes = %v", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var s Stats
+	if s.Availability() != 0 || s.MeanLatency() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestJobsRunAndRecordErrors(t *testing.T) {
+	r := New("cluster-1", nil)
+	ran := 0
+	r.AddJob(JobFunc{JobName: "schedule-backups", Fn: func() error {
+		ran++
+		return nil
+	}})
+	boom := errors.New("boom")
+	r.AddJob(JobFunc{JobName: "flaky", Fn: func() error { return boom }})
+
+	_, err := r.RunOnce()
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if ran != 1 {
+		t.Errorf("job ran %d times", ran)
+	}
+	if errs := r.JobErrors("flaky"); len(errs) != 1 {
+		t.Errorf("job errors = %v", errs)
+	}
+	if errs := r.JobErrors("schedule-backups"); len(errs) != 0 {
+		t.Errorf("clean job has errors: %v", errs)
+	}
+}
+
+func TestHTTPProbeAgainstServingEndpoint(t *testing.T) {
+	reg := registry.New(nil)
+	srv := httptest.NewServer(serving.NewHandler(reg))
+	defer srv.Close()
+
+	r := New("cluster-1", nil)
+	r.Register(&HTTPProbe{ProbeName: "serving", URL: srv.URL + "/healthz"})
+	if _, err := r.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := r.ProbeStats("serving")
+	if !ok || st.Availability() != 1 {
+		t.Errorf("stats = %+v ok=%v", st, ok)
+	}
+	if st.LastResult.Latency <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestHTTPProbeUnhealthy(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+
+	p := &HTTPProbe{ProbeName: "down", URL: down.URL}
+	res := p.Check()
+	if res.Healthy || res.Detail == "" {
+		t.Errorf("result = %+v", res)
+	}
+
+	// Unreachable endpoint.
+	p = &HTTPProbe{ProbeName: "gone", URL: "http://127.0.0.1:1/healthz",
+		Client: &http.Client{Timeout: 200 * time.Millisecond}}
+	res = p.Check()
+	if res.Healthy {
+		t.Error("unreachable endpoint should be unhealthy")
+	}
+}
+
+func TestProbeTimestampFilledByClock(t *testing.T) {
+	fixed := time.Date(2020, 3, 1, 12, 0, 0, 0, time.UTC)
+	r := New("c", func() time.Time { return fixed })
+	r.Register(fakeProbe("p", true, 0)) // fake probe leaves At zero
+	results, err := r.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].At.Equal(fixed) {
+		t.Errorf("At = %v, want %v", results[0].At, fixed)
+	}
+}

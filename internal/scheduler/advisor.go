@@ -1,0 +1,161 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/timeseries"
+)
+
+// This file implements the two scheduler extensions the paper commits to:
+//
+//   - Section 6.2: "We also use the lowest load window metric to measure if
+//     backup windows selected by customers correspond to predictable lowest
+//     load windows and suggest windows with expected lower load instead."
+//     → AdviseWindow.
+//
+//   - Section 6.1: "To further optimize backup scheduling, we will move a
+//     backup of a server from its default backup day to other day of the
+//     week if the load is lower and/or prediction is more accurate on
+//     another day." → BestBackupDay.
+
+// ErrNoForecast is returned when a forecast cannot be produced.
+var ErrNoForecast = errors.New("scheduler: no forecast available")
+
+// Advice is the outcome of reviewing a customer-selected backup window.
+type Advice struct {
+	// KeepCurrent is true when the customer's window is already within the
+	// acceptable bound of the predicted lowest-load window.
+	KeepCurrent bool
+	// SuggestedStart is the predicted LL window start index within the day
+	// (meaningful when !KeepCurrent).
+	SuggestedStart int
+	// CurrentAvg and SuggestedAvg are the predicted average loads of the
+	// customer's window and the suggested window.
+	CurrentAvg   float64
+	SuggestedAvg float64
+}
+
+// AdviseWindow reviews a customer-selected backup window (start index within
+// the predicted day, w observations long) against the predicted lowest-load
+// window. A suggestion is produced only when the customer window's predicted
+// load is outside the acceptable bound of the predicted optimum — the same
+// "not significantly better" tolerance of Definition 8.
+func AdviseWindow(predictedDay timeseries.Series, customerStart, w int, cfg metrics.Config) (Advice, error) {
+	ll, err := metrics.LowestLoadWindow(predictedDay, w)
+	if err != nil {
+		return Advice{}, err
+	}
+	customerStart = clampWindowStart(customerStart, w, predictedDay.Len())
+	cur, err := predictedDay.WindowMean(customerStart, w)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv := Advice{
+		SuggestedStart: ll.Start,
+		CurrentAvg:     cur,
+		SuggestedAvg:   ll.AvgLoad,
+	}
+	adv.KeepCurrent = cfg.WindowBound.Contains(ll.AvgLoad, cur)
+	return adv, nil
+}
+
+// DayChoice is one candidate backup day in the cross-day optimization.
+type DayChoice struct {
+	DayOffset int // days ahead of the history end (0 = first forecast day)
+	Window    metrics.Window
+	// Ratio is the backtest bucket ratio of the model on this weekday over
+	// the training history (a proxy for "prediction is more accurate on
+	// another day").
+	Ratio float64
+}
+
+// BestBackupDay implements the Section 6.1 extension: forecast the whole
+// next week, find each day's LL window, and choose the day whose window has
+// the lowest predicted load among days the model predicts accurately. The
+// model must already implement Model semantics; history must cover at least
+// cfg-required days plus one week for backtesting.
+func BestBackupDay(m forecast.Model, history timeseries.Series, w int, cfg metrics.Config) (DayChoice, []DayChoice, error) {
+	ppd := history.PointsPerDay()
+	if ppd == 0 {
+		return DayChoice{}, nil, timeseries.ErrBadInterval
+	}
+	if err := m.Train(history); err != nil {
+		return DayChoice{}, nil, fmt.Errorf("%w: %v", ErrNoForecast, err)
+	}
+	week, err := m.Forecast(7 * ppd)
+	if err != nil {
+		return DayChoice{}, nil, fmt.Errorf("%w: %v", ErrNoForecast, err)
+	}
+
+	// Backtest: how accurate was the same model one week earlier, per
+	// weekday? Compare the trailing week of history against its prediction
+	// from the week before.
+	ratios := backtestWeek(m, history, cfg)
+
+	choices := make([]DayChoice, 0, 7)
+	for d := 0; d < 7; d++ {
+		day, err := week.Slice(d*ppd, (d+1)*ppd)
+		if err != nil {
+			return DayChoice{}, nil, err
+		}
+		ll, err := metrics.LowestLoadWindow(day, w)
+		if err != nil {
+			return DayChoice{}, nil, err
+		}
+		choices = append(choices, DayChoice{DayOffset: d, Window: ll, Ratio: ratios[d]})
+	}
+
+	best := choices[0]
+	for _, c := range choices[1:] {
+		accurate := c.Ratio >= cfg.AccuracyThreshold
+		bestAccurate := best.Ratio >= cfg.AccuracyThreshold
+		switch {
+		case accurate && !bestAccurate:
+			best = c
+		case accurate == bestAccurate && c.Window.AvgLoad < best.Window.AvgLoad:
+			best = c
+		}
+	}
+	return best, choices, nil
+}
+
+// backtestWeek predicts the final week of history from the data before it
+// and returns the per-weekday bucket ratio (index 0 = first day of the
+// forecast week). Days that cannot be backtested get ratio 1 so they are not
+// unfairly penalized.
+func backtestWeek(m forecast.Model, history timeseries.Series, cfg metrics.Config) [7]float64 {
+	var ratios [7]float64
+	for i := range ratios {
+		ratios[i] = 1
+	}
+	ppd := history.PointsPerDay()
+	if history.NumDays() < 8 {
+		return ratios
+	}
+	cut := history.Len() - 7*ppd
+	train, err := history.Slice(0, cut)
+	if err != nil {
+		return ratios
+	}
+	if err := m.Train(train); err != nil {
+		return ratios
+	}
+	pred, err := m.Forecast(7 * ppd)
+	if err != nil {
+		return ratios
+	}
+	for d := 0; d < 7; d++ {
+		trueDay, err1 := history.Slice(cut+d*ppd, cut+(d+1)*ppd)
+		predDay, err2 := pred.Slice(d*ppd, (d+1)*ppd)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if r, err := metrics.BucketRatio(trueDay.FillGaps(), predDay, cfg.Bound); err == nil {
+			ratios[d] = r
+		}
+	}
+	return ratios
+}

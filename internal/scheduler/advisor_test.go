@@ -1,0 +1,149 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/timeseries"
+)
+
+var at0 = time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+
+// mkWeekdayLoad builds n days at 5-minute granularity where each day's load
+// is base plus a per-weekday bump amplitude.
+func mkWeekdayLoad(days int, amp [7]float64, rng *rand.Rand) timeseries.Series {
+	const ppd = 288
+	vals := make([]float64, days*ppd)
+	for d := 0; d < days; d++ {
+		for s := 0; s < ppd; s++ {
+			v := 8.0
+			if s >= 96 && s < 192 {
+				v += amp[d%7]
+			}
+			if rng != nil {
+				v += rng.NormFloat64() * 0.5
+			}
+			vals[d*ppd+s] = v
+		}
+	}
+	return timeseries.New(at0, 5*time.Minute, vals)
+}
+
+func TestAdviseWindowKeep(t *testing.T) {
+	cfg := metrics.DefaultConfig()
+	// Flat predicted day: any customer window is as good as the optimum.
+	day := timeseries.New(at0, 5*time.Minute, make([]float64, 288))
+	for i := range day.Values {
+		day.Values[i] = 20
+	}
+	adv, err := AdviseWindow(day, 100, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.KeepCurrent {
+		t.Errorf("flat day: advice = %+v, want keep", adv)
+	}
+}
+
+func TestAdviseWindowSuggest(t *testing.T) {
+	cfg := metrics.DefaultConfig()
+	// Busy business hours, idle night: a customer window at noon is bad.
+	day := mkWeekdayLoad(1, [7]float64{60, 60, 60, 60, 60, 60, 60}, nil)
+	adv, err := AdviseWindow(day, 120, 12, cfg) // slot 120 is inside the bump
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.KeepCurrent {
+		t.Fatalf("noon window should be replaced: %+v", adv)
+	}
+	if adv.SuggestedAvg >= adv.CurrentAvg {
+		t.Errorf("suggested window (%.1f) should undercut current (%.1f)",
+			adv.SuggestedAvg, adv.CurrentAvg)
+	}
+	// The suggestion must be outside the bump.
+	if adv.SuggestedStart >= 96-12 && adv.SuggestedStart < 192 {
+		t.Errorf("suggested start %d lies in the busy band", adv.SuggestedStart)
+	}
+}
+
+func TestAdviseWindowClampsOverflow(t *testing.T) {
+	cfg := metrics.DefaultConfig()
+	day := mkWeekdayLoad(1, [7]float64{}, nil)
+	// Customer window starts 10 minutes before midnight: must clamp, not error.
+	if _, err := AdviseWindow(day, 286, 12, cfg); err != nil {
+		t.Fatalf("overflowing window: %v", err)
+	}
+}
+
+func TestBestBackupDayPrefersQuietDay(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// One weekday class is idle around the clock; the others stay loaded all
+	// day (no idle night to hide a backup in). The cross-day optimizer must
+	// move the backup onto the idle day.
+	const ppd = 288
+	base := [7]float64{8, 55, 55, 55, 55, 55, 55}
+	vals := make([]float64, 21*ppd)
+	for d := 0; d < 21; d++ {
+		for s := 0; s < ppd; s++ {
+			vals[d*ppd+s] = base[d%7] + rng.NormFloat64()*0.5
+		}
+	}
+	hist := timeseries.New(at0, 5*time.Minute, vals)
+	m := forecast.NewPersistent(forecast.PrevEquivalentDay)
+	best, choices, err := BestBackupDay(m, hist, 12, metrics.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 7 {
+		t.Fatalf("choices = %d", len(choices))
+	}
+	// The idle weekday class repeats every 7 days; forecast offset 0
+	// corresponds to day 21, whose class is 21%7 == 0 — the idle one.
+	if best.DayOffset != 0 {
+		t.Errorf("best day offset = %d (avg %.1f), want the idle day 0; choices: %+v",
+			best.DayOffset, best.Window.AvgLoad, choices)
+	}
+	if best.Window.AvgLoad > 15 {
+		t.Errorf("best window avg %.1f, want idle-level", best.Window.AvgLoad)
+	}
+}
+
+func TestBestBackupDayAccuracyGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// All days equally loaded: the choice then keys on backtest accuracy,
+	// and no day should be rejected (prev-day predicts flat load well).
+	amp := [7]float64{30, 30, 30, 30, 30, 30, 30}
+	hist := mkWeekdayLoad(21, amp, rng)
+	m := forecast.NewPersistent(forecast.PrevDay)
+	best, choices, err := BestBackupDay(m, hist, 12, metrics.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range choices {
+		if c.Ratio < 0.9 {
+			t.Errorf("day %d backtest ratio %.2f, want ≥ 0.9 on uniform load", c.DayOffset, c.Ratio)
+		}
+	}
+	if best.Ratio < 0.9 {
+		t.Errorf("best day ratio %.2f", best.Ratio)
+	}
+}
+
+func TestBestBackupDayErrors(t *testing.T) {
+	cfg := metrics.DefaultConfig()
+	m := forecast.NewPersistent(PrevDayVariant())
+	short := timeseries.New(at0, 5*time.Minute, make([]float64, 10))
+	if _, _, err := BestBackupDay(m, short, 12, cfg); err == nil {
+		t.Error("too-short history should error")
+	}
+	var zero timeseries.Series
+	if _, _, err := BestBackupDay(m, zero, 12, cfg); err == nil {
+		t.Error("zero series should error")
+	}
+}
+
+// PrevDayVariant keeps the test readable without importing the variant enum.
+func PrevDayVariant() forecast.Variant { return forecast.PrevDay }

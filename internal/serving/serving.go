@@ -1,0 +1,222 @@
+// Package serving exposes deployed forecast models through a REST endpoint,
+// mirroring the AML-deployed REST endpoints of Section 2.2: the pipeline
+// deploys a model version per (scenario, region); clients post a server's
+// load history and receive the predicted series.
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"seagull/internal/forecast"
+	"seagull/internal/registry"
+	"seagull/internal/timeseries"
+)
+
+// SeriesJSON is the wire form of a time series.
+type SeriesJSON struct {
+	Start       time.Time `json:"start"`
+	IntervalMin int       `json:"interval_min"`
+	Values      []float64 `json:"values"`
+}
+
+// ToSeries converts the wire form into a Series.
+func (s SeriesJSON) ToSeries() timeseries.Series {
+	return timeseries.New(s.Start, time.Duration(s.IntervalMin)*time.Minute, s.Values)
+}
+
+// FromSeries converts a Series into its wire form.
+func FromSeries(s timeseries.Series) SeriesJSON {
+	return SeriesJSON{Start: s.Start, IntervalMin: int(s.Interval / time.Minute), Values: s.Values}
+}
+
+// PredictRequest asks the deployed model of one (scenario, region) to
+// forecast `horizon` observations following the supplied history.
+type PredictRequest struct {
+	Scenario string     `json:"scenario"`
+	Region   string     `json:"region"`
+	History  SeriesJSON `json:"history"`
+	Horizon  int        `json:"horizon"`
+}
+
+// PredictResponse carries the forecast and the serving model's identity.
+type PredictResponse struct {
+	Model    string     `json:"model"`
+	Version  int        `json:"version"`
+	Forecast SeriesJSON `json:"forecast"`
+}
+
+// ModelInfo describes one deployment slot in the /v1/models listing.
+type ModelInfo struct {
+	Scenario string  `json:"scenario"`
+	Region   string  `json:"region"`
+	Model    string  `json:"model"`
+	Version  int     `json:"version"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Handler serves the model endpoint backed by a registry. Model instances
+// are created per request from the deployed model name; persistent forecast
+// instances are stateless between requests, making this safe.
+type Handler struct {
+	reg *registry.Registry
+	// NewModel builds a model by name; defaults to forecast.New with seed 0.
+	NewModel func(name string) (forecast.Model, error)
+	mux      *http.ServeMux
+}
+
+// NewHandler returns an http.Handler exposing the registry's models.
+func NewHandler(reg *registry.Registry) *Handler {
+	h := &Handler{
+		reg: reg,
+		NewModel: func(name string) (forecast.Model, error) {
+			return forecast.New(name, 0)
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.handleHealth)
+	mux.HandleFunc("GET /v1/models", h.handleModels)
+	mux.HandleFunc("POST /v1/predict", h.handlePredict)
+	h.mux = mux
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) handleModels(w http.ResponseWriter, _ *http.Request) {
+	var out []ModelInfo
+	for _, t := range h.reg.Targets() {
+		v, err := h.reg.Active(t)
+		if err != nil {
+			continue
+		}
+		out = append(out, ModelInfo{
+			Scenario: t.Scenario, Region: t.Region,
+			Model: v.ModelName, Version: v.Number, Accuracy: v.Accuracy,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Horizon <= 0 {
+		httpError(w, http.StatusBadRequest, errors.New("horizon must be positive"))
+		return
+	}
+	if req.History.IntervalMin <= 0 || len(req.History.Values) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("history must be a non-empty series with a positive interval"))
+		return
+	}
+	target := registry.Target{Scenario: req.Scenario, Region: req.Region}
+	v, err := h.reg.Active(target)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	m, err := h.NewModel(v.ModelName)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := m.Train(req.History.ToSeries()); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("train: %w", err))
+		return
+	}
+	pred, err := m.Forecast(req.Horizon)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("forecast: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Model: v.ModelName, Version: v.Number, Forecast: FromSeries(pred),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Client is a typed client for the serving endpoint.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for baseURL (no trailing slash required).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// Predict posts a history series and returns the forecast.
+func (c *Client) Predict(scenario, region string, history timeseries.Series, horizon int) (timeseries.Series, PredictResponse, error) {
+	req := PredictRequest{
+		Scenario: scenario, Region: region,
+		History: FromSeries(history), Horizon: horizon,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return timeseries.Series{}, PredictResponse{}, fmt.Errorf("serving: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	return pr.Forecast.ToSeries(), pr, nil
+}
+
+// Models fetches the deployment listing.
+func (c *Client) Models() ([]ModelInfo, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serving: %s", resp.Status)
+	}
+	var out []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the endpoint responds to /healthz.
+func (c *Client) Healthy() bool {
+	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,237 @@
+// Package validate implements Seagull's Data Validation module (Section 2.2):
+// schema inference from input data, expert-verifiable schema files, and
+// detection of schema and bound anomalies — the rules of Breck et al. the
+// paper cites — plus per-server telemetry quality checks (gaps, duplicates,
+// coverage).
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"seagull/internal/extract"
+	"seagull/internal/lake"
+	"seagull/internal/timeseries"
+)
+
+// Schema captures the deduced data properties of an extract dataset: the
+// expected header and the observed numeric bounds. It is persisted as JSON,
+// "verified by a domain expert", and then used to detect anomalies in later
+// weeks (Section 2.4).
+type Schema struct {
+	Header       string  `json:"header"`
+	MinTimestamp int64   `json:"min_timestamp_min"`
+	MaxTimestamp int64   `json:"max_timestamp_min"`
+	MinCPU       float64 `json:"min_cpu_pct"`
+	MaxCPU       float64 `json:"max_cpu_pct"`
+	// MissingSentinel is the encoding of missing observations (< 0 CPU).
+	MissingSentinel float64 `json:"missing_sentinel"`
+	// MaxMissingRatio is the tolerated per-server share of missing points.
+	MaxMissingRatio float64 `json:"max_missing_ratio"`
+}
+
+// DefaultSchema returns the production schema for the backup-scheduling
+// extracts: CPU percentages in [0,100] with -1 as the missing sentinel, and
+// at most 20% missing points per server.
+func DefaultSchema() Schema {
+	return Schema{
+		Header:          lake.Header,
+		MinCPU:          0,
+		MaxCPU:          100,
+		MissingSentinel: -1,
+		MaxMissingRatio: 0.2,
+	}
+}
+
+// Infer deduces a schema from an extract stream: observed bounds widened to
+// the physical CPU range.
+func Infer(r io.Reader) (Schema, error) {
+	s := DefaultSchema()
+	first := true
+	err := lake.ScanRows(r, func(row lake.Row) error {
+		if first {
+			s.MinTimestamp, s.MaxTimestamp = row.TimestampMin, row.TimestampMin
+			first = false
+		}
+		if row.TimestampMin < s.MinTimestamp {
+			s.MinTimestamp = row.TimestampMin
+		}
+		if row.TimestampMin > s.MaxTimestamp {
+			s.MaxTimestamp = row.TimestampMin
+		}
+		return nil
+	})
+	if err != nil {
+		return Schema{}, fmt.Errorf("validate: infer: %w", err)
+	}
+	return s, nil
+}
+
+// Marshal renders the schema as the JSON document a domain expert signs off.
+func (s Schema) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSchema loads a schema document.
+func ParseSchema(data []byte) (Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schema{}, fmt.Errorf("validate: parse schema: %w", err)
+	}
+	if s.Header == "" {
+		return Schema{}, fmt.Errorf("validate: schema missing header")
+	}
+	return s, nil
+}
+
+// AnomalyKind classifies a detected problem.
+type AnomalyKind string
+
+// Anomaly kinds detected by the validator.
+const (
+	KindSchema    AnomalyKind = "schema"    // malformed row / wrong header
+	KindBound     AnomalyKind = "bound"     // value outside schema bounds
+	KindDuplicate AnomalyKind = "duplicate" // repeated (server, timestamp)
+	KindGap       AnomalyKind = "gap"       // per-server missing data above threshold
+	KindOrder     AnomalyKind = "order"     // timestamps regress within a server block
+	KindEmpty     AnomalyKind = "empty"     // no data at all
+	KindCoverage  AnomalyKind = "coverage"  // server span shorter than the week
+)
+
+// Anomaly is one detected data problem.
+type Anomaly struct {
+	Kind     AnomalyKind
+	ServerID string
+	Detail   string
+}
+
+func (a Anomaly) String() string {
+	if a.ServerID == "" {
+		return fmt.Sprintf("[%s] %s", a.Kind, a.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", a.Kind, a.ServerID, a.Detail)
+}
+
+// Report is the outcome of validating one weekly extract.
+type Report struct {
+	Rows      int
+	Servers   int
+	Anomalies []Anomaly
+	// Valid means no anomalies severe enough to halt the pipeline; the
+	// incident-management module alerts on !Valid (Section 2.2).
+	Valid bool
+}
+
+// maxAnomalies caps the anomaly list so a corrupt file cannot blow up the
+// report (the count still reflects reality via Truncated).
+const maxAnomalies = 100
+
+func (r *Report) add(a Anomaly) {
+	if len(r.Anomalies) < maxAnomalies {
+		r.Anomalies = append(r.Anomalies, a)
+	}
+}
+
+// ValidateRows checks one extract stream against the schema: header, field
+// bounds, per-server duplicate timestamps and ordering.
+func ValidateRows(rd io.Reader, schema Schema) (*Report, error) {
+	rep := &Report{}
+	var (
+		curServer string
+		lastTS    int64
+		seen      = map[string]bool{} // servers completed (detects interleaving)
+	)
+	err := lake.ScanRows(rd, func(row lake.Row) error {
+		rep.Rows++
+		if row.ServerID == "" {
+			rep.add(Anomaly{Kind: KindSchema, Detail: "empty server id"})
+		}
+		if row.CPUPct != schema.MissingSentinel && (row.CPUPct < schema.MinCPU || row.CPUPct > schema.MaxCPU) {
+			rep.add(Anomaly{Kind: KindBound, ServerID: row.ServerID,
+				Detail: fmt.Sprintf("cpu %.3f outside [%.1f,%.1f]", row.CPUPct, schema.MinCPU, schema.MaxCPU)})
+		}
+		if schema.MaxTimestamp > 0 && (row.TimestampMin < schema.MinTimestamp || row.TimestampMin > schema.MaxTimestamp) {
+			rep.add(Anomaly{Kind: KindBound, ServerID: row.ServerID,
+				Detail: fmt.Sprintf("timestamp %d outside schema span", row.TimestampMin)})
+		}
+		if row.ServerID != curServer {
+			if seen[row.ServerID] {
+				rep.add(Anomaly{Kind: KindOrder, ServerID: row.ServerID,
+					Detail: "server block interleaved"})
+			}
+			if curServer != "" {
+				seen[curServer] = true
+			}
+			curServer = row.ServerID
+			rep.Servers++
+			lastTS = row.TimestampMin
+			return nil
+		}
+		if row.TimestampMin == lastTS {
+			rep.add(Anomaly{Kind: KindDuplicate, ServerID: row.ServerID,
+				Detail: fmt.Sprintf("duplicate timestamp %d", row.TimestampMin)})
+		} else if row.TimestampMin < lastTS {
+			rep.add(Anomaly{Kind: KindOrder, ServerID: row.ServerID,
+				Detail: fmt.Sprintf("timestamp %d after %d", row.TimestampMin, lastTS)})
+		}
+		lastTS = row.TimestampMin
+		return nil
+	})
+	if err != nil {
+		// A malformed row is a schema anomaly, not a hard error: record it so
+		// the incident manager can alert with context.
+		rep.add(Anomaly{Kind: KindSchema, Detail: err.Error()})
+	}
+	if rep.Rows == 0 {
+		rep.add(Anomaly{Kind: KindEmpty, Detail: "extract contains no rows"})
+	}
+	rep.Valid = len(rep.Anomalies) == 0
+	return rep, nil
+}
+
+// ValidateLoads checks ingested per-server series: missing-data ratio,
+// physically impossible values and sub-week coverage. weekPoints is the
+// expected number of observations for a full week at the dataset interval.
+func ValidateLoads(loads []*extract.ServerLoad, schema Schema, weekPoints int) *Report {
+	rep := &Report{Servers: len(loads)}
+	for _, sl := range loads {
+		rep.Rows += sl.Load.Len()
+		n := sl.Load.Len()
+		if n == 0 {
+			rep.add(Anomaly{Kind: KindEmpty, ServerID: sl.ServerID, Detail: "no observations"})
+			continue
+		}
+		missing := sl.Load.MissingCount()
+		if ratio := float64(missing) / float64(n); ratio > schema.MaxMissingRatio {
+			rep.add(Anomaly{Kind: KindGap, ServerID: sl.ServerID,
+				Detail: fmt.Sprintf("%.1f%% missing exceeds %.1f%%", 100*ratio, 100*schema.MaxMissingRatio)})
+		}
+		for _, v := range sl.Load.Values {
+			if timeseries.IsMissing(v) {
+				continue
+			}
+			if v < schema.MinCPU || v > schema.MaxCPU || math.IsInf(v, 0) {
+				rep.add(Anomaly{Kind: KindBound, ServerID: sl.ServerID,
+					Detail: fmt.Sprintf("load %.3f outside [%.1f,%.1f]", v, schema.MinCPU, schema.MaxCPU)})
+				break
+			}
+		}
+		if weekPoints > 0 && n < weekPoints && n >= weekPoints/7 {
+			// Partial coverage is expected for servers created or deleted
+			// mid-week; only note it (it feeds the lifespan feature).
+			rep.add(Anomaly{Kind: KindCoverage, ServerID: sl.ServerID,
+				Detail: fmt.Sprintf("%d of %d expected points", n, weekPoints)})
+		}
+	}
+	// Coverage notes do not invalidate a batch; anything else does.
+	rep.Valid = true
+	for _, a := range rep.Anomalies {
+		if a.Kind != KindCoverage {
+			rep.Valid = false
+			break
+		}
+	}
+	return rep
+}

@@ -1,0 +1,366 @@
+// Package seagull is the public API of the Seagull reproduction: an
+// infrastructure for load prediction and optimized resource allocation
+// (Poppe et al., VLDB 2020).
+//
+// Seagull ingests per-server CPU telemetry, validates it, classifies servers
+// by their activity patterns, trains and deploys forecasting models,
+// predicts each server's load 24 hours ahead, and uses the predictions to
+// schedule full backups inside each server's lowest-load window. The same
+// infrastructure powers a second scenario: preemptive auto-scale of SQL
+// databases.
+//
+// The System type wires every substrate together — data lake, document
+// store, model registry, dashboard, pipeline and backup scheduler — over a
+// data directory (or fully in temporary storage):
+//
+//	sys, err := seagull.NewSystem(seagull.SystemConfig{})
+//	fleet := seagull.GenerateFleet(seagull.FleetConfig{Region: "westus", Servers: 500, Weeks: 4, Seed: 1})
+//	sys.LoadFleet(fleet)
+//	res, err := sys.RunWeeks("westus", 0, 3, seagull.PipelineConfig{})
+//	decisions, err := sys.ScheduleBackups("westus", 3)
+//
+// See the examples directory for complete programs.
+package seagull
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seagull/internal/autoscale"
+	"seagull/internal/classify"
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/forecast"
+	"seagull/internal/insights"
+	"seagull/internal/lake"
+	"seagull/internal/metrics"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/scheduler"
+	"seagull/internal/serving"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+// Re-exported core types. Aliases keep the public API a single import while
+// the implementation stays modular.
+type (
+	// Series is a uniformly sampled load time series.
+	Series = timeseries.Series
+
+	// Fleet is a synthetic regional server population with telemetry.
+	Fleet = simulate.Fleet
+	// FleetConfig parameterizes fleet generation.
+	FleetConfig = simulate.Config
+	// Mix is a fleet's class composition (Figure 3 shares by default).
+	Mix = simulate.Mix
+	// Server is one synthetic server.
+	Server = simulate.Server
+	// Database is one synthetic SQL database (Appendix A).
+	Database = simulate.Database
+	// SQLConfig parameterizes SQL database generation.
+	SQLConfig = simulate.SQLConfig
+
+	// Model is a pluggable per-server load forecaster.
+	Model = forecast.Model
+
+	// MetricsConfig carries the accuracy constants of Definitions 1–9.
+	MetricsConfig = metrics.Config
+	// Bound is an asymmetric acceptable error bound (Definition 1).
+	Bound = metrics.Bound
+	// DayResult is a backup-day evaluation (Definitions 2 and 8 combined).
+	DayResult = metrics.DayResult
+	// FleetSummary aggregates backup-day evaluations over a fleet.
+	FleetSummary = metrics.FleetSummary
+
+	// PipelineConfig parameterizes a weekly pipeline run.
+	PipelineConfig = pipeline.Config
+	// PipelineResult is the outcome of one weekly pipeline run.
+	PipelineResult = pipeline.Result
+	// PredictionDoc is a stored per-server backup-day prediction.
+	PredictionDoc = pipeline.PredictionDoc
+
+	// Decision is one backup-window scheduling outcome.
+	Decision = scheduler.Decision
+	// Impact aggregates scheduling outcomes (Figure 13(a)).
+	Impact = scheduler.Impact
+	// TrueDayFunc supplies actual backup-day load for impact evaluation.
+	TrueDayFunc = scheduler.TrueDayFunc
+
+	// Category is a server class (Figure 3 taxonomy).
+	Category = classify.Category
+	// ClassSummary is a population breakdown by category.
+	ClassSummary = classify.Summary
+
+	// AutoscaleEval is one model's Appendix A evaluation row.
+	AutoscaleEval = autoscale.ModelEval
+	// AutoscaleConfig parameterizes the Appendix A evaluation.
+	AutoscaleConfig = autoscale.EvalConfig
+)
+
+// Model registry names (Section 5.1's zoo).
+const (
+	ModelPersistentPrevDay = forecast.NamePersistentPrevDay
+	ModelPersistentPrevEq  = forecast.NamePersistentPrevWeek
+	ModelPersistentWeekAvg = forecast.NamePersistentWeekAvg
+	ModelSSA               = forecast.NameSSA
+	ModelFFNN              = forecast.NameFFNN
+	ModelAdditive          = forecast.NameAdditive
+	ModelARIMA             = forecast.NameARIMA
+)
+
+// Server categories (Figure 3).
+const (
+	CategoryShortLived    = classify.ShortLived
+	CategoryStable        = classify.Stable
+	CategoryDailyPattern  = classify.DailyPattern
+	CategoryWeeklyPattern = classify.WeeklyPattern
+	CategoryNoPattern     = classify.NoPattern
+)
+
+// StandardModels lists the models compared in Figure 11 (persistent
+// forecast, SSA, feed-forward network, additive/Prophet analog).
+func StandardModels() []string {
+	return append([]string(nil), forecast.StandardNames...)
+}
+
+// GenerateFleet builds a deterministic synthetic server fleet.
+func GenerateFleet(cfg FleetConfig) *Fleet { return simulate.GenerateFleet(cfg) }
+
+// GenerateSQL builds a deterministic synthetic SQL database population.
+func GenerateSQL(cfg SQLConfig) []*Database { return simulate.GenerateSQL(cfg) }
+
+// NewModel builds a forecasting model by registry name.
+func NewModel(name string, seed int64) (Model, error) { return forecast.New(name, seed) }
+
+// PredictDay trains a model on history and forecasts the next day.
+func PredictDay(m Model, history Series) (Series, error) { return forecast.PredictDay(m, history) }
+
+// DefaultMetrics returns the production accuracy constants (Definitions 1–9).
+func DefaultMetrics() MetricsConfig { return metrics.DefaultConfig() }
+
+// EvaluateDay runs the full backup-day evaluation for one server: was the
+// lowest-load window chosen correctly (Definition 8) and was the load during
+// it predicted accurately (Definition 2)? window is the backup duration in
+// observations.
+func EvaluateDay(trueDay, predicted Series, window int, cfg MetricsConfig) (DayResult, error) {
+	return metrics.EvaluateDay(trueDay, predicted, window, cfg)
+}
+
+// Predictable applies Definition 9 to a server's chronological backup-day
+// results: every one of the trailing HistoryWeeks evaluations must have a
+// correctly chosen window with accurately predicted load.
+func Predictable(history []DayResult, cfg MetricsConfig) bool {
+	return metrics.Predictable(history, cfg)
+}
+
+// BucketRatio returns the Definition 1 metric: the share of predicted points
+// within the acceptable error bound of their true counterparts.
+func BucketRatio(trueS, predicted Series, b Bound) (float64, error) {
+	return metrics.BucketRatio(trueS, predicted, b)
+}
+
+// Classify categorizes a server from its load and lifespan in days.
+func Classify(load Series, lifespanDays int, cfg MetricsConfig) (Category, error) {
+	return classify.Categorize(load, lifespanDays, cfg)
+}
+
+// NewClassSummary returns an empty class population summary.
+func NewClassSummary() *ClassSummary { return classify.NewSummary() }
+
+// EvaluateImpact classifies scheduling decisions against actual backup-day
+// load (Figure 13(a)).
+func EvaluateImpact(decisions []Decision, trueDay TrueDayFunc, cfg MetricsConfig) (Impact, error) {
+	return scheduler.EvaluateImpact(decisions, trueDay, cfg)
+}
+
+// Advice is the outcome of reviewing a customer-selected backup window
+// against the predicted lowest-load window (Section 6.2).
+type Advice = scheduler.Advice
+
+// AdviseWindow reviews a customer-selected backup window (start index within
+// the predicted day, window observations long) and suggests the predicted
+// lowest-load window when the customer's choice is significantly worse.
+func AdviseWindow(predictedDay Series, customerStart, window int, cfg MetricsConfig) (Advice, error) {
+	return scheduler.AdviseWindow(predictedDay, customerStart, window, cfg)
+}
+
+// DayChoice is one candidate backup day in the cross-day optimization.
+type DayChoice = scheduler.DayChoice
+
+// BestBackupDay implements the paper's Section 6.1 extension: forecast the
+// whole next week and pick the backup day whose lowest-load window has the
+// least predicted load among accurately predicted days.
+func BestBackupDay(m Model, history Series, window int, cfg MetricsConfig) (DayChoice, []DayChoice, error) {
+	return scheduler.BestBackupDay(m, history, window, cfg)
+}
+
+// CompareAutoscaleModels runs the Appendix A evaluation (Figures 16/17).
+func CompareAutoscaleModels(names []string, dbs []*Database, cfg AutoscaleConfig) ([]AutoscaleEval, error) {
+	return autoscale.CompareModels(names, dbs, cfg)
+}
+
+// ClassifySQLFleet returns the stable share of a SQL database population
+// (Definition 10, Appendix A.1).
+func ClassifySQLFleet(dbs []*Database) (stable, total int, err error) {
+	var c autoscale.Classifier
+	return c.ClassifySQLFleet(dbs)
+}
+
+// SystemConfig configures a System.
+type SystemConfig struct {
+	// DataDir is the root directory for the lake and the document store.
+	// Empty means an OS temporary directory (removed by Close).
+	DataDir string
+	// Persist keeps the document store durable on disk. Without it the
+	// document store is memory-only (the lake always uses the file system).
+	Persist bool
+}
+
+// System wires all Seagull components over shared storage.
+type System struct {
+	Lake      *lake.Store
+	DB        *cosmos.DB
+	Registry  *registry.Registry
+	Dashboard *insights.Dashboard
+	Pipeline  *pipeline.Pipeline
+	Scheduler *scheduler.Scheduler
+	Fabric    *scheduler.FabricStore
+
+	dataDir string
+	ownsDir bool
+}
+
+// NewSystem builds a ready-to-use system.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	dir := cfg.DataDir
+	owns := false
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "seagull-*")
+		if err != nil {
+			return nil, fmt.Errorf("seagull: temp dir: %w", err)
+		}
+		owns = true
+	}
+	store, err := lake.Open(filepath.Join(dir, "lake"))
+	if err != nil {
+		return nil, err
+	}
+	cosmosDir := ""
+	if cfg.Persist {
+		cosmosDir = filepath.Join(dir, "cosmos")
+	}
+	db, err := cosmos.Open(cosmosDir)
+	if err != nil {
+		return nil, err
+	}
+	reg := registry.New(nil)
+	dash := insights.New(nil)
+	fabric := scheduler.NewFabricStore()
+	sys := &System{
+		Lake:      store,
+		DB:        db,
+		Registry:  reg,
+		Dashboard: dash,
+		Pipeline:  pipeline.New(store, db, reg, dash),
+		Scheduler: scheduler.New(db, fabric, metrics.DefaultConfig()),
+		Fabric:    fabric,
+		dataDir:   dir,
+		ownsDir:   owns,
+	}
+	return sys, nil
+}
+
+// DataDir returns the system's storage root.
+func (s *System) DataDir() string { return s.dataDir }
+
+// Close flushes the document store and removes owned temporary storage.
+func (s *System) Close() error {
+	if err := s.DB.Flush(); err != nil {
+		return err
+	}
+	if s.ownsDir {
+		return os.RemoveAll(s.dataDir)
+	}
+	return nil
+}
+
+// LoadFleet extracts a fleet's full telemetry into the lake, one object per
+// week — the Load Extraction module (Section 2.2). It returns the number of
+// telemetry rows written.
+func (s *System) LoadFleet(fleet *Fleet) (int, error) {
+	return extract.ExtractAll(s.Lake, fleet)
+}
+
+// RunWeek executes one weekly pipeline run.
+func (s *System) RunWeek(cfg PipelineConfig) (*PipelineResult, error) {
+	return s.Pipeline.RunWeek(cfg)
+}
+
+// RunWeeks executes the pipeline for weeks firstWeek..lastWeek (inclusive)
+// in one region, returning the final week's result. Earlier weeks build the
+// prediction history that Definition 9's predictability gate needs.
+func (s *System) RunWeeks(region string, firstWeek, lastWeek int, cfg PipelineConfig) (*PipelineResult, error) {
+	var last *PipelineResult
+	for w := firstWeek; w <= lastWeek; w++ {
+		cfg := cfg
+		cfg.Region = region
+		cfg.Week = w
+		res, err := s.Pipeline.RunWeek(cfg)
+		if err != nil {
+			return res, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// ScheduleBackups chooses backup windows for every server with a stored
+// prediction for week in region (Section 2.3) and records them in the
+// fabric property store.
+func (s *System) ScheduleBackups(region string, week int) ([]Decision, error) {
+	return s.Scheduler.ScheduleWeek(region, week)
+}
+
+// Handler returns the REST serving endpoint over the system's registry
+// (Section 2.2's deployed-model endpoint).
+func (s *System) Handler() http.Handler {
+	return serving.NewHandler(s.Registry)
+}
+
+// DashboardSummary returns the aggregated pipeline-run view.
+func (s *System) DashboardSummary() insights.Summary {
+	return s.Dashboard.Summarize()
+}
+
+// FleetTrueDay returns a TrueDayFunc over a fleet's generated telemetry —
+// the actuals source used when evaluating scheduling impact.
+func FleetTrueDay(fleet *Fleet) TrueDayFunc {
+	byID := make(map[string]*Server, len(fleet.Servers))
+	for _, srv := range fleet.Servers {
+		byID[srv.ID] = srv
+	}
+	return func(serverID string, day time.Time) (Series, bool) {
+		srv := byID[serverID]
+		if srv == nil {
+			return Series{}, false
+		}
+		idx, ok := srv.Load.IndexOf(day)
+		if !ok {
+			return Series{}, false
+		}
+		ppd := srv.Load.PointsPerDay()
+		if idx+ppd > srv.Load.Len() {
+			return Series{}, false
+		}
+		sub, err := srv.Load.Slice(idx, idx+ppd)
+		if err != nil {
+			return Series{}, false
+		}
+		return sub.FillGaps(), true
+	}
+}

@@ -1,0 +1,103 @@
+package seagull
+
+import (
+	"testing"
+	"time"
+
+	"seagull/internal/pipeline"
+)
+
+// TestSystemPersistence verifies the Persist option: results written by one
+// System are visible to a fresh System over the same data directory — the
+// durability role Cosmos DB plays in the paper.
+func TestSystemPersistence(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := NewSystem(SystemConfig{DataDir: dir, Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := GenerateFleet(FleetConfig{Region: "persist", Servers: 30, Weeks: 2, Seed: 9})
+	if _, err := sys.LoadFleet(fleet); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunWeek(PipelineConfig{Region: "persist", Week: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted == 0 {
+		t.Fatal("no predictions")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := NewSystem(SystemConfig{DataDir: dir, Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if n := sys2.DB.Collection("predictions").Count("persist"); n != res.Predicted {
+		t.Errorf("reloaded predictions = %d, want %d", n, res.Predicted)
+	}
+	var sum pipeline.SummaryDoc
+	if err := sys2.DB.Collection("summaries").Get("persist", "week-0001", &sum); err != nil {
+		t.Errorf("summary doc did not survive restart: %v", err)
+	}
+}
+
+func TestPublicAdviseWindow(t *testing.T) {
+	cfg := DefaultMetrics()
+	vals := make([]float64, 288)
+	for i := range vals {
+		if i >= 96 && i < 192 {
+			vals[i] = 70
+		} else {
+			vals[i] = 10
+		}
+	}
+	day := Series{Start: time.Date(2019, 12, 2, 0, 0, 0, 0, time.UTC), Interval: 5 * time.Minute, Values: vals}
+	adv, err := AdviseWindow(day, 120, 12, cfg) // customer picked noon
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.KeepCurrent {
+		t.Errorf("noon window should be replaced: %+v", adv)
+	}
+	adv, err = AdviseWindow(day, 0, 12, cfg) // customer picked midnight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.KeepCurrent {
+		t.Errorf("midnight window should be kept: %+v", adv)
+	}
+}
+
+func TestPublicBestBackupDay(t *testing.T) {
+	const ppd = 288
+	// Day class 0 idle, others busy all day; 21 days of history.
+	vals := make([]float64, 21*ppd)
+	for d := 0; d < 21; d++ {
+		level := 60.0
+		if d%7 == 0 {
+			level = 5
+		}
+		for s := 0; s < ppd; s++ {
+			vals[d*ppd+s] = level
+		}
+	}
+	hist := Series{Start: time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC), Interval: 5 * time.Minute, Values: vals}
+	m, err := NewModel(ModelPersistentPrevEq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, choices, err := BestBackupDay(m, hist, 12, DefaultMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 7 || best.DayOffset != 0 {
+		t.Errorf("best = %+v (choices %d)", best, len(choices))
+	}
+	if best.Window.AvgLoad > 10 {
+		t.Errorf("best window load %.1f, want idle level", best.Window.AvgLoad)
+	}
+}
