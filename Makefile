@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+.PHONY: build test vet bench bench-json race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/...
+
+bench:
+	go test -run '^$$' -bench . -benchmem .
+
+# Full check + machine-readable snapshot (see cmd/seagull-bench).
+bench-json:
+	go run ./cmd/seagull-bench -out BENCH_1.json

@@ -7,13 +7,16 @@ package seagull_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
 	"seagull"
 	"seagull/internal/experiments"
 	"seagull/internal/forecast"
+	"seagull/internal/linalg"
 	"seagull/internal/metrics"
+	"seagull/internal/parallel"
 	"seagull/internal/simulate"
 	"seagull/internal/timeseries"
 )
@@ -164,6 +167,60 @@ func BenchmarkFFNNTrainInfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := forecast.NewFFNN(forecast.FFNNConfig{Seed: 1, Epochs: 5})
 		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkARIMATrain isolates the ARIMA order search — the dominant cost of
+// fig11a and every experiment that trains per-server models. The config
+// mirrors modelFactory's ScaleSmall settings.
+func BenchmarkARIMATrain(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewARIMA(forecast.ARIMAConfig{MaxP: 1, MaxQ: 1, SearchBudget: 60})
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveRidge exercises the normal-equations solver at the shape the
+// Hannan–Rissanen long-AR regression produces (~600×26).
+func BenchmarkSolveRidge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, cols = 600, 26
+	a := linalg.NewMatrix(rows, cols)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	y := make([]float64, rows)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.SolveRidge(a, y, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolForEach measures pure work-distribution overhead: many tiny
+// tasks, so channel sends / chunk claiming dominate.
+func BenchmarkPoolForEach(b *testing.B) {
+	pool := parallel.NewPool(0)
+	sink := make([]int64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := pool.ForEach(len(sink), func(j int) error {
+			sink[j]++
+			return nil
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

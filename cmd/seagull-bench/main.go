@@ -1,0 +1,145 @@
+// Command seagull-bench is the repo's perf-trajectory helper: it runs
+// go vet, the test suite, and a short benchmark pass, then writes a
+// machine-readable BENCH_<n>.json summary (ns/op, B/op, allocs/op per
+// benchmark) so successive PRs can be compared without re-deriving numbers.
+//
+// Usage:
+//
+//	go run ./cmd/seagull-bench                 # vet + test + short benchmarks
+//	go run ./cmd/seagull-bench -out BENCH_2.json
+//	go run ./cmd/seagull-bench -bench 'BenchmarkARIMATrain' -benchtime 10x
+//	go run ./cmd/seagull-bench -skip-checks    # benchmarks only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the hot-path micro-benchmarks plus the headline figure
+// benchmark the acceptance numbers track.
+const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEach|" +
+	"BenchmarkSSATrainInfer|BenchmarkFFNNTrainInfer|BenchmarkPersistentForecastTrainInfer|" +
+	"BenchmarkFig11aTrainInfer"
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type summary struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Benchtime string        `json:"benchtime"`
+	Pattern   string        `json:"pattern"`
+	VetOK     bool          `json:"vet_ok"`
+	TestsOK   bool          `json:"tests_ok"`
+	Results   []benchResult `json:"results"`
+}
+
+func run(name string, args ...string) (string, error) {
+	cmd := exec.Command(name, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// benchLine matches go test benchmark output, e.g.
+// BenchmarkARIMATrain  	     186	  13733155 ns/op	  269404 B/op	     110 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseBench(out string) []benchResult {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := benchResult{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	bench := flag.String("bench", defaultBench, "benchmark pattern passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	skipChecks := flag.Bool("skip-checks", false, "skip go vet and go test, run benchmarks only")
+	flag.Parse()
+
+	s := summary{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: *benchtime,
+		Pattern:   *bench,
+	}
+
+	failed := false
+	if *skipChecks {
+		s.VetOK, s.TestsOK = true, true
+	} else {
+		fmt.Println("→ go vet ./...")
+		if o, err := run("go", "vet", "./..."); err != nil {
+			fmt.Fprint(os.Stderr, o)
+			fmt.Fprintln(os.Stderr, "go vet failed:", err)
+			failed = true
+		} else {
+			s.VetOK = true
+		}
+		fmt.Println("→ go test ./...")
+		if o, err := run("go", "test", "./..."); err != nil {
+			fmt.Fprint(os.Stderr, o)
+			fmt.Fprintln(os.Stderr, "go test failed:", err)
+			failed = true
+		} else {
+			s.TestsOK = true
+		}
+	}
+
+	fmt.Printf("→ go test -run ^$ -bench %q -benchmem -benchtime %s .\n", *bench, *benchtime)
+	benchOut, err := run("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, ".")
+	fmt.Print(benchOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmarks failed:", err)
+		failed = true
+	}
+	s.Results = parseBench(benchOut)
+
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(s.Results))
+	if failed {
+		os.Exit(1)
+	}
+}

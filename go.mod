@@ -1,0 +1,3 @@
+module seagull
+
+go 1.24

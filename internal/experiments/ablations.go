@@ -138,6 +138,7 @@ func runAblationThreshold(o Options) ([]Table, error) {
 		Region: "ab-thresh", Servers: n, Weeks: 4, Seed: o.Seed,
 	})
 	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false)
+	pool := parallel.NewPool(o.Workers)
 	t := Table{
 		Caption: "Ablation — bucket-ratio accuracy threshold (Definition 2)",
 		Header:  []string{"threshold", "LL windows accurate", "servers predictable"},
@@ -145,7 +146,7 @@ func runAblationThreshold(o Options) ([]Table, error) {
 	for _, thr := range []float64{0.70, 0.80, 0.90, 0.95} {
 		cfg := metrics.DefaultConfig()
 		cfg.AccuracyThreshold = thr
-		evals, err := evaluateFleet(fleet, factory, []int{1, 2, 3}, cfg, o.Workers)
+		evals, err := evaluateFleet(fleet, factory, []int{1, 2, 3}, cfg, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +174,7 @@ func runAblationHistory(o Options) ([]Table, error) {
 	mcfg := metrics.DefaultConfig()
 	// Evaluate weeks 1..5: five results per server, so even the 4-week gate
 	// has a full history window before the final (week 5) outcome.
-	evals, err := evaluateFleet(fleet, factory, []int{1, 2, 3, 4, 5}, mcfg, o.Workers)
+	evals, err := evaluateFleet(fleet, factory, []int{1, 2, 3, 4, 5}, mcfg, parallel.NewPool(o.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +237,7 @@ func runAblationPFVariants(o Options) ([]Table, error) {
 		forecast.NamePersistentPrevWeek,
 		forecast.NamePersistentWeekAvg,
 	}
+	pool := parallel.NewPool(o.Workers)
 
 	t := Table{
 		Caption: "Ablation — persistent forecast variants per server class (LL windows correct / window load accurate)",
@@ -250,7 +252,7 @@ func runAblationPFVariants(o Options) ([]Table, error) {
 		row := []any{cl.name}
 		for _, v := range variants {
 			factory := modelFactory(v, o.Seed, false)
-			evals, err := evaluateFleet(fleet, factory, []int{2, 3}, mcfg, o.Workers)
+			evals, err := evaluateFleet(fleet, factory, []int{2, 3}, mcfg, pool)
 			if err != nil {
 				return nil, err
 			}

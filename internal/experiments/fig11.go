@@ -40,7 +40,9 @@ func runFig11a(o Options) ([]Table, error) {
 	t := Table{
 		Caption: "Figure 11(a) — training + inference wall clock (unstable servers, 1 week training)",
 		Note: fmt.Sprintf("servers processed on %d parallel partitions; the paper's single-core "+
-			"Python numbers are larger in absolute terms but the ordering PF < SSA < FFNN < additive holds", o.Workers),
+			"Python numbers are larger in absolute terms, and since the additive trainer moved to "+
+			"Gram-form gradient descent the Prophet analog no longer dominates the zoo — PF stays "+
+			"cheapest and the ARIMA order search stays the reason it is excluded", o.Workers),
 		Header: append([]string{"model"}, func() []string {
 			h := make([]string, len(counts))
 			for i, n := range counts {
@@ -130,6 +132,7 @@ func runFig11bcd(o Options) ([]Table, error) {
 		names[i] = fmt.Sprintf("region-%c", 'a'+i)
 		regions[i] = unstableFleet(names[i], n, o.Seed+int64(i)*131)
 	}
+	pool := parallel.NewPool(o.Workers)
 
 	tb := Table{
 		Caption: "Figure 11(b) — correctly chosen LL windows (Definition 8), unstable servers",
@@ -149,7 +152,7 @@ func runFig11bcd(o Options) ([]Table, error) {
 		factory := modelFactory(name, o.Seed, fast)
 		rb, rc, rd := []any{name}, []any{name}, []any{name}
 		for _, fleet := range regions {
-			evals, err := evaluateFleet(fleet, factory, weeks, mcfg, o.Workers)
+			evals, err := evaluateFleet(fleet, factory, weeks, mcfg, pool)
 			if err != nil {
 				return nil, fmt.Errorf("fig11bcd %s %s: %w", name, fleet.Config.Region, err)
 			}

@@ -106,6 +106,10 @@ func runFig12b(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	sizes := regionSizes(o)
 	mcfg := metrics.DefaultConfig()
+	// The single-threaded and parallel pools are reused across every region
+	// size; only the timed work changes.
+	seqPool := parallel.NewPool(1)
+	parPool := parallel.NewPool(o.Workers)
 
 	t := Table{
 		Caption: "Figure 12(b) — accuracy evaluation: single-threaded vs parallel per server",
@@ -155,26 +159,25 @@ func runFig12b(o Options) ([]Table, error) {
 			return nil
 		}
 
-		timeRun := func(workers int, fn func(job) error) (time.Duration, error) {
-			pool := parallel.NewPool(workers)
+		timeRun := func(pool *parallel.Pool, fn func(job) error) (time.Duration, error) {
 			start := time.Now()
 			err := pool.ForEach(len(jobs), func(i int) error { return fn(jobs[i]) })
 			return time.Since(start), err
 		}
 
-		day1, err := timeRun(1, evalBackupDay)
+		day1, err := timeRun(seqPool, evalBackupDay)
 		if err != nil {
 			return nil, err
 		}
-		dayN, err := timeRun(o.Workers, evalBackupDay)
+		dayN, err := timeRun(parPool, evalBackupDay)
 		if err != nil {
 			return nil, err
 		}
-		week1, err := timeRun(1, evalWeek)
+		week1, err := timeRun(seqPool, evalWeek)
 		if err != nil {
 			return nil, err
 		}
-		weekN, err := timeRun(o.Workers, evalWeek)
+		weekN, err := timeRun(parPool, evalWeek)
 		if err != nil {
 			return nil, err
 		}

@@ -31,17 +31,19 @@ func runFig3(o Options) ([]Table, error) {
 
 	sum := classify.NewSummary()
 	pool := parallel.NewPool(o.Workers)
+	// One result buffer serves every region's classification sweep.
+	cats := make([]classify.Category, perRegion)
 	for ri, region := range regions {
 		fleet := simulate.GenerateFleet(simulate.Config{
 			Region: region, Servers: perRegion, Weeks: 4, Seed: o.Seed + int64(ri)*97,
 		})
-		cats, err := parallel.Map(pool, fleet.Servers, func(srv *simulate.Server) (classify.Category, error) {
+		err := parallel.MapInto(pool, fleet.Servers, cats, func(srv *simulate.Server) (classify.Category, error) {
 			return classify.Categorize(srv.Load, srv.LifespanDays(), mcfg)
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range cats {
+		for _, c := range cats[:len(fleet.Servers)] {
 			sum.Add(c)
 		}
 	}

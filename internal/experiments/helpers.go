@@ -51,8 +51,11 @@ func (se serverEval) predictable(cfg metrics.Config) bool {
 // (Section 5.3.1): each model is trained on up to one week of data
 // immediately preceding the server's backup day; servers need at least
 // three days of history. Short-lived servers are skipped.
+//
+// Callers pass the shared worker pool so one pool serves every model, region
+// and sweep point of an experiment run.
 func evaluateFleet(fleet *simulate.Fleet, newModel func() (forecast.Model, error),
-	weeks []int, mcfg metrics.Config, workers int) ([]serverEval, error) {
+	weeks []int, mcfg metrics.Config, pool *parallel.Pool) ([]serverEval, error) {
 
 	var longLived []*simulate.Server
 	for _, srv := range fleet.Servers {
@@ -60,8 +63,8 @@ func evaluateFleet(fleet *simulate.Fleet, newModel func() (forecast.Model, error
 			longLived = append(longLived, srv)
 		}
 	}
-	pool := parallel.NewPool(workers)
-	evals, err := parallel.Map(pool, longLived, func(srv *simulate.Server) (serverEval, error) {
+	evals := make([]serverEval, len(longLived))
+	err := parallel.MapInto(pool, longLived, evals, func(srv *simulate.Server) (serverEval, error) {
 		se := serverEval{srv: srv}
 		ppd := srv.Load.PointsPerDay()
 		for _, week := range weeks {

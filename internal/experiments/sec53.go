@@ -3,6 +3,7 @@ package experiments
 import (
 	"seagull/internal/forecast"
 	"seagull/internal/metrics"
+	"seagull/internal/parallel"
 	"seagull/internal/simulate"
 )
 
@@ -26,13 +27,14 @@ func runSec53(o Options) ([]Table, error) {
 	weeks := []int{1, 2, 3}
 	mcfg := metrics.DefaultConfig()
 	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false)
+	pool := parallel.NewPool(o.Workers)
 
 	// (1) Servers whose load is stable or follows a pattern (Section 5.3.2).
 	patternFleet := simulate.GenerateFleet(simulate.Config{
 		Region: "sec53-pattern", Servers: nPattern, Weeks: 4, Seed: o.Seed,
 		Mix: simulate.Mix{Stable: 0.93, Daily: 0.04, Weekly: 0.03},
 	})
-	evals, err := evaluateFleet(patternFleet, factory, weeks, mcfg, o.Workers)
+	evals, err := evaluateFleet(patternFleet, factory, weeks, mcfg, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +44,7 @@ func runSec53(o Options) ([]Table, error) {
 	fleet := simulate.GenerateFleet(simulate.Config{
 		Region: "sec53-fleet", Servers: nFleet, Weeks: 4, Seed: o.Seed + 3,
 	})
-	evals, err = evaluateFleet(fleet, factory, weeks, mcfg, o.Workers)
+	evals, err = evaluateFleet(fleet, factory, weeks, mcfg, pool)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"seagull/internal/linalg"
 	"seagull/internal/timeseries"
 )
 
@@ -16,8 +17,12 @@ import (
 //
 // Like Prophet, fitting is iterative (gradient descent on the penalized
 // least-squares objective) and inference draws Monte-Carlo trajectories for
-// uncertainty, which makes this deliberately the most expensive model of the
-// zoo — reproducing Prophet's scalability role in Figure 11(a).
+// uncertainty. Historically this reproduced Prophet's role as the most
+// expensive model in Figure 11(a); the trainer now iterates on the
+// precomputed Gram matrix (see Train), so the per-iteration cost no longer
+// scales with the history length and the model trains far faster than the
+// Python original — the paper's cost ordering is recorded in the fig11a
+// Paper field rather than reproduced.
 type AdditiveConfig struct {
 	// Changepoints is the number of potential trend changepoints, uniformly
 	// placed over the first 80% of the history. Default 20.
@@ -167,28 +172,36 @@ func (a *Additive) Train(history timeseries.Series) error {
 		y[i] = v / 100
 	}
 
+	// Gradient descent in Gram form: the least-squares gradient
+	// Σ_t (row_t·β − y_t)·row_t equals Gβ − c with G = AᵀA and c = Aᵀy, so
+	// each iteration costs p² instead of 2·n·p once G and c are accumulated —
+	// a ~40× flop reduction at the default shapes. G is built by the
+	// linalg fast path without materializing Aᵀ.
+	dm := &linalg.Matrix{Rows: n, Cols: p, Data: design}
+	gram := linalg.NewMatrix(p, p)
+	if err := linalg.MulTransposedInto(gram, dm); err != nil {
+		return err
+	}
+	c := make([]float64, p)
+	for t := 0; t < n; t++ {
+		row := design[t*p : (t+1)*p]
+		yt := y[t]
+		for j, v := range row {
+			c[j] += v * yt
+		}
+	}
+
 	beta := make([]float64, p)
 	grad := make([]float64, p)
-	pred := make([]float64, n)
 	lr := a.cfg.LearningRate
 	for it := 0; it < a.cfg.Iterations; it++ {
-		for t := 0; t < n; t++ {
-			row := design[t*p : (t+1)*p]
+		for j := 0; j < p; j++ {
+			row := gram.Data[j*p : (j+1)*p]
 			s := 0.0
-			for j, b := range beta {
-				s += b * row[j]
+			for k, b := range beta {
+				s += row[k] * b
 			}
-			pred[t] = s
-		}
-		for j := range grad {
-			grad[j] = 0
-		}
-		for t := 0; t < n; t++ {
-			e := pred[t] - y[t]
-			row := design[t*p : (t+1)*p]
-			for j := range grad {
-				grad[j] += e * row[j]
-			}
+			grad[j] = s - c[j]
 		}
 		inv := 1 / float64(n)
 		for j := range beta {

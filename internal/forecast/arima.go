@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"seagull/internal/linalg"
+	"seagull/internal/parallel"
 	"seagull/internal/timeseries"
 )
 
@@ -32,6 +33,12 @@ type ARIMAConfig struct {
 	// SearchBudget is the maximum number of CSS objective evaluations per
 	// candidate order during the pattern-search refinement. Default 400.
 	SearchBudget int
+	// GridWorkers parallelizes the candidate order grid across a worker pool
+	// with per-worker scratch buffers; the selected model is identical to the
+	// sequential search. Default 1 (sequential) — the experiments already
+	// parallelize across servers, so grid parallelism is opt-in for
+	// single-server and interactive use.
+	GridWorkers int
 }
 
 func (c ARIMAConfig) withDefaults() ARIMAConfig {
@@ -62,6 +69,9 @@ func (c ARIMAConfig) withDefaults() ARIMAConfig {
 	if c.SearchBudget == 0 {
 		c.SearchBudget = 400
 	}
+	if c.GridWorkers <= 0 {
+		c.GridWorkers = 1
+	}
 	return c
 }
 
@@ -76,6 +86,12 @@ func (o arimaOrder) String() string {
 
 // numCoeffs returns the coefficient count including the intercept.
 func (o arimaOrder) numCoeffs() int { return 1 + o.p + o.sp + o.q + o.sq }
+
+// burnIn returns the number of leading observations the ARMA recursion needs
+// before residuals are defined.
+func (o arimaOrder) burnIn(season int) int {
+	return maxInt(maxInt(o.p, o.q), maxInt(o.sp, o.sq)*season)
+}
 
 // ARIMA is the seasonal ARIMA(p,d,q)(P,D,Q)_s forecaster with grid-searched
 // orders. Seasonal terms enter additively (lags s·i), an established
@@ -110,9 +126,67 @@ func (a *ARIMA) Order() string { return a.order.String() }
 // AIC returns the selected model's Akaike information criterion.
 func (a *ARIMA) AIC() float64 { return a.aic }
 
+// fitScratch holds the per-worker buffers the candidate fits reuse, so the
+// grid search does no per-candidate design-matrix or residual allocations.
+// The zero value is ready to use; buffers grow on demand.
+type fitScratch struct {
+	design    linalg.Matrix
+	designBuf []float64
+	ys        []float64
+	ridge     linalg.RidgeScratch
+	resid     []float64 // ARMA-recursion residual buffer
+	best      []float64 // pattern-search incumbent
+	cand      []float64 // pattern-search probe
+}
+
+// designFor returns a rows×cols matrix backed by the scratch buffer. Every
+// element is overwritten by the caller, so no zeroing is needed.
+func (s *fitScratch) designFor(rows, cols int) *linalg.Matrix {
+	if cap(s.designBuf) < rows*cols {
+		s.designBuf = make([]float64, rows*cols)
+	}
+	s.design = linalg.Matrix{Rows: rows, Cols: cols, Data: s.designBuf[:rows*cols]}
+	return &s.design
+}
+
+// residFor returns the residual buffer sized for an n-point series.
+func (s *fitScratch) residFor(n int) []float64 {
+	if cap(s.resid) < n {
+		s.resid = make([]float64, n)
+	}
+	return s.resid[:n]
+}
+
+// ysFor returns the regression-target buffer for n rows.
+func (s *fitScratch) ysFor(n int) []float64 {
+	if cap(s.ys) < n {
+		s.ys = make([]float64, n)
+	}
+	return s.ys[:n]
+}
+
+// searchVecs returns the two k-coefficient pattern-search buffers.
+func (s *fitScratch) searchVecs(k int) (best, cand []float64) {
+	if cap(s.best) < k {
+		s.best = make([]float64, k)
+	}
+	if cap(s.cand) < k {
+		s.cand = make([]float64, k)
+	}
+	return s.best[:k], s.cand[:k]
+}
+
 // Train implements Model: grid search over the six order parameters, each
 // candidate estimated by Hannan–Rissanen regression and refined by pattern
 // search on the conditional sum of squares; the best AIC wins.
+//
+// The differenced series and the Hannan–Rissanen long-AR innovations depend
+// only on the differencing pair (d, sd), so they are computed once per pair
+// and shared by the full (p,q,P,Q) sub-grid instead of being recomputed for
+// every one of the up-to-512 candidates. Candidate fits reuse per-worker
+// scratch buffers and may run in parallel (GridWorkers); selection iterates
+// the canonical candidate order with strict AIC improvement, so the chosen
+// model is bit-identical to the sequential search.
 func (a *ARIMA) Train(history timeseries.Series) error {
 	h, err := prepare(history, 3)
 	if err != nil {
@@ -133,9 +207,29 @@ func (a *ARIMA) Train(history timeseries.Series) error {
 	x := coarse.Values
 	season := coarse.PointsPerDay()
 
-	bestAIC := math.Inf(1)
-	var best arimaOrder
-	var bestCoeffs, bestW, bestResid []float64
+	// Hoisted per-(d,sd) state.
+	nDS := (a.cfg.MaxD + 1) * (a.cfg.MaxSD + 1)
+	ws := make([][]float64, nDS)
+	initResids := make([][]float64, nDS)
+	var hoist fitScratch
+	for d := 0; d <= a.cfg.MaxD; d++ {
+		for sd := 0; sd <= a.cfg.MaxSD; sd++ {
+			idx := d*(a.cfg.MaxSD+1) + sd
+			w := differenceAll(x, d, sd, season)
+			ws[idx] = w
+			initResids[idx] = longARResiduals(w, minInt(24, len(w)/4), season, &hoist)
+		}
+	}
+
+	// Enumerate candidates in the canonical nested-loop order; tie-breaking by
+	// strict AIC improvement then matches the sequential search exactly.
+	type candidate struct {
+		o  arimaOrder
+		ds int
+	}
+	gridCap := (a.cfg.MaxP + 1) * (a.cfg.MaxD + 1) * (a.cfg.MaxQ + 1) *
+		(a.cfg.MaxSP + 1) * (a.cfg.MaxSD + 1) * (a.cfg.MaxSQ + 1)
+	cands := make([]candidate, 0, gridCap)
 	for p := 0; p <= a.cfg.MaxP; p++ {
 		for d := 0; d <= a.cfg.MaxD; d++ {
 			for q := 0; q <= a.cfg.MaxQ; q++ {
@@ -146,36 +240,61 @@ func (a *ARIMA) Train(history timeseries.Series) error {
 							if o.numCoeffs() == 1 && d == 0 && sd == 0 {
 								continue // pure-intercept model carries no signal
 							}
-							w := differenceAll(x, d, sd, season)
-							coeffs, resid, css, ok := a.fit(o, w, season)
-							if !ok {
-								continue
-							}
-							nEff := float64(len(resid))
-							if nEff < 8 {
-								continue
-							}
-							aic := nEff*math.Log(css/nEff+1e-12) + 2*float64(o.numCoeffs())
-							if aic < bestAIC {
-								bestAIC, best = aic, o
-								bestCoeffs = coeffs
-								bestW = w
-								bestResid = resid
-							}
+							cands = append(cands, candidate{o, d*(a.cfg.MaxSD+1) + sd})
 						}
 					}
 				}
 			}
 		}
 	}
-	if math.IsInf(bestAIC, 1) {
-		return fmt.Errorf("%w: no ARIMA candidate could be fitted", ErrNeedHistory)
+
+	type result struct {
+		ok     bool
+		aic    float64
+		coeffs []float64
+	}
+	results := make([]result, len(cands))
+	fitOne := func(i int, s *fitScratch) error {
+		c := cands[i]
+		coeffs, aic, ok := a.fit(c.o, ws[c.ds], initResids[c.ds], season, s)
+		if ok {
+			results[i] = result{ok: true, aic: aic, coeffs: coeffs}
+		}
+		return nil
+	}
+	if a.cfg.GridWorkers > 1 && len(cands) > 1 {
+		pool := parallel.NewPool(a.cfg.GridWorkers)
+		if err := parallel.ForEachScratch(pool, len(cands),
+			func() *fitScratch { return new(fitScratch) }, fitOne); err != nil {
+			return err
+		}
+	} else {
+		for i := range cands {
+			if err := fitOne(i, &hoist); err != nil {
+				return err
+			}
+		}
 	}
 
+	bestAIC := math.Inf(1)
+	bestIdx := -1
+	for i, r := range results {
+		if r.ok && r.aic < bestAIC {
+			bestAIC, bestIdx = r.aic, i
+		}
+	}
+	if bestIdx < 0 {
+		return fmt.Errorf("%w: no ARIMA candidate could be fitted", ErrNeedHistory)
+	}
+	best := cands[bestIdx].o
+	bestW := ws[cands[bestIdx].ds]
+	residFull := make([]float64, len(bestW))
+	cssInto(best, bestW, season, results[bestIdx].coeffs, residFull)
+
 	a.order = best
-	a.coeffs = bestCoeffs
+	a.coeffs = results[bestIdx].coeffs
 	a.w = bestW
-	a.resid = bestResid
+	a.resid = residFull[best.burnIn(season):]
 	a.season = season
 	a.aic = bestAIC
 	// Tails for undifferencing.
@@ -221,45 +340,45 @@ func difference(x []float64, lag int) []float64 {
 
 // fit estimates one candidate: Hannan–Rissanen initialization followed by a
 // Hooke–Jeeves pattern search minimizing the conditional sum of squares.
-func (a *ARIMA) fit(o arimaOrder, w []float64, season int) (coeffs, resid []float64, css float64, ok bool) {
-	t0 := maxInt(maxInt(o.p, o.q), maxInt(o.sp, o.sq)*season)
+// initResid is the hoisted long-AR innovation series for this candidate's
+// differencing pair. All intermediate state lives in s; the returned
+// coefficient slice is freshly allocated (it survives candidate selection).
+func (a *ARIMA) fit(o arimaOrder, w, initResid []float64, season int, s *fitScratch) (coeffs []float64, aic float64, ok bool) {
+	t0 := o.burnIn(season)
 	if len(w) < t0+16 {
-		return nil, nil, 0, false
+		return nil, 0, false
 	}
 
-	// Hannan–Rissanen step 1: long AR for preliminary innovations.
-	initResid := longARResiduals(w, minInt(24, len(w)/4), season)
-
-	// Step 2: regress w_t on its own lags and lagged innovations.
+	// Hannan–Rissanen step 2: regress w_t on its own lags and the hoisted
+	// lagged innovations, filling one flat design buffer row by row.
 	k := o.numCoeffs()
 	start := maxInt(t0, minInt(24, len(w)/4)+season)
 	if start >= len(w)-8 {
 		start = t0
 	}
-	rows := make([][]float64, 0, len(w)-start)
-	ys := make([]float64, 0, len(w)-start)
+	rows := len(w) - start
+	design := s.designFor(rows, k)
+	ys := s.ysFor(rows)
 	for t := start; t < len(w); t++ {
-		row := make([]float64, k)
-		fillLagRow(row, o, w, initResid, t, season)
-		rows = append(rows, row)
-		ys = append(ys, w[t])
+		r := t - start
+		fillLagRow(design.Data[r*k:(r+1)*k], o, w, initResid, t, season)
+		ys[r] = w[t]
 	}
-	design, err := linalg.FromRows(rows)
+	beta, err := linalg.SolveRidgeInto(design, ys, 1e-6, &s.ridge)
 	if err != nil {
-		return nil, nil, 0, false
-	}
-	beta, err := linalg.SolveRidge(design, ys, 1e-6)
-	if err != nil {
-		return nil, nil, 0, false
+		return nil, 0, false
 	}
 
 	// CSS refinement: pattern search around the HR estimate.
-	beta = a.patternSearch(o, w, season, beta)
-	resid, css = cssResiduals(o, w, season, beta)
+	beta = a.patternSearch(o, w, season, beta, s)
+	resid := s.residFor(len(w))
+	css := cssInto(o, w, season, beta, resid)
 	if math.IsNaN(css) || math.IsInf(css, 0) {
-		return nil, nil, 0, false
+		return nil, 0, false
 	}
-	return beta, resid, css, true
+	nEff := float64(len(w) - t0) // ≥ 16 by the entry check
+	aic = nEff*math.Log(css/nEff+1e-12) + 2*float64(k)
+	return append([]float64(nil), beta...), aic, true
 }
 
 func minInt(a, b int) int {
@@ -270,8 +389,10 @@ func minInt(a, b int) int {
 }
 
 // longARResiduals fits a high-order AR (plus the seasonal lag) by OLS and
-// returns its residuals aligned with w (zeros before the fit window).
-func longARResiduals(w []float64, m, season int) []float64 {
+// returns its residuals aligned with w (zeros before the fit window). The
+// result depends only on w and season, so Train computes it once per
+// differencing pair; s provides the design and solver buffers.
+func longARResiduals(w []float64, m, season int, s *fitScratch) []float64 {
 	resid := make([]float64, len(w))
 	lags := make([]int, 0, m+1)
 	for i := 1; i <= m; i++ {
@@ -284,22 +405,19 @@ func longARResiduals(w []float64, m, season int) []float64 {
 	if start >= len(w)-4 {
 		return resid
 	}
-	rows := make([][]float64, 0, len(w)-start)
-	ys := make([]float64, 0, len(w)-start)
+	rows := len(w) - start
+	cols := len(lags) + 1
+	design := s.designFor(rows, cols)
+	ys := s.ysFor(rows)
 	for t := start; t < len(w); t++ {
-		row := make([]float64, len(lags)+1)
+		row := design.Data[(t-start)*cols : (t-start+1)*cols]
 		row[0] = 1
 		for j, lag := range lags {
 			row[j+1] = w[t-lag]
 		}
-		rows = append(rows, row)
-		ys = append(ys, w[t])
+		ys[t-start] = w[t]
 	}
-	design, err := linalg.FromRows(rows)
-	if err != nil {
-		return resid
-	}
-	beta, err := linalg.SolveRidge(design, ys, 1e-6)
+	beta, err := linalg.SolveRidgeInto(design, ys, 1e-6, &s.ridge)
 	if err != nil {
 		return resid
 	}
@@ -336,12 +454,16 @@ func fillLagRow(row []float64, o arimaOrder, w, resid []float64, t, season int) 
 	}
 }
 
-// cssResiduals filters w through the ARMA recursion with the given
-// coefficients, returning residuals (zeros before the burn-in) and the
-// conditional sum of squares over the post-burn-in range.
-func cssResiduals(o arimaOrder, w []float64, season int, beta []float64) ([]float64, float64) {
-	t0 := maxInt(maxInt(o.p, o.q), maxInt(o.sp, o.sq)*season)
-	resid := make([]float64, len(w))
+// cssInto filters w through the ARMA recursion with the given coefficients,
+// writing residuals into resid (len(w); the burn-in prefix is zeroed — the
+// recursion reads it) and returning the conditional sum of squares over the
+// post-burn-in range. Entries at or past the burn-in are always written
+// before they are read, so resid may be reused across calls unzeroed.
+func cssInto(o arimaOrder, w []float64, season int, beta, resid []float64) float64 {
+	t0 := o.burnIn(season)
+	for i := 0; i < t0; i++ {
+		resid[i] = 0
+	}
 	css := 0.0
 	for t := t0; t < len(w); t++ {
 		pred := beta[0]
@@ -366,28 +488,33 @@ func cssResiduals(o arimaOrder, w []float64, season int, beta []float64) ([]floa
 		resid[t] = e
 		css += e * e
 	}
-	return resid[t0:], css
+	return css
 }
 
 // patternSearch refines beta by Hooke–Jeeves coordinate moves on the CSS
 // objective, bounded by the configured evaluation budget. This stands in for
 // the iterative maximum-likelihood optimization that dominates auto-ARIMA's
-// runtime.
-func (a *ARIMA) patternSearch(o arimaOrder, w []float64, season int, beta []float64) []float64 {
-	best := append([]float64(nil), beta...)
-	_, bestCSS := cssResiduals(o, w, season, best)
+// runtime. The incumbent and probe vectors are scratch-backed and swapped on
+// improvement instead of reallocated per evaluation; the returned slice
+// aliases s and is only valid until the scratch is reused.
+func (a *ARIMA) patternSearch(o arimaOrder, w []float64, season int, beta []float64, s *fitScratch) []float64 {
+	best, cand := s.searchVecs(len(beta))
+	copy(best, beta)
+	resid := s.residFor(len(w))
+	bestCSS := cssInto(o, w, season, best, resid)
 	evals := 1
 	step := 0.1
 	for step > 1e-4 && evals < a.cfg.SearchBudget {
 		improved := false
 		for j := 0; j < len(best) && evals < a.cfg.SearchBudget; j++ {
 			for _, dir := range [2]float64{1, -1} {
-				cand := append([]float64(nil), best...)
+				copy(cand, best)
 				cand[j] += dir * step
-				_, css := cssResiduals(o, w, season, cand)
+				css := cssInto(o, w, season, cand, resid)
 				evals++
 				if css < bestCSS {
-					best, bestCSS = cand, css
+					best, cand = cand, best
+					bestCSS = css
 					improved = true
 					break
 				}
@@ -414,8 +541,9 @@ func (a *ARIMA) Forecast(horizon int) (timeseries.Series, error) {
 	season := a.season
 
 	// Extended differenced series and residuals.
-	wExt := append([]float64(nil), a.w...)
-	eExt := make([]float64, len(a.w))
+	wExt := make([]float64, len(a.w), len(a.w)+coarseH)
+	copy(wExt, a.w)
+	eExt := make([]float64, len(a.w), len(a.w)+coarseH)
 	copy(eExt[len(a.w)-len(a.resid):], a.resid)
 	for h := 0; h < coarseH; h++ {
 		t := len(wExt)

@@ -120,15 +120,22 @@ func (f *FFNN) Train(history timeseries.Series) error {
 	f.w2 = initWeights(rng, f.cfg.Hidden*f.outDim, f.cfg.Hidden)
 	f.b2 = make([]float64, f.outDim)
 
-	vw1 := make([]float64, len(f.w1))
-	vb1 := make([]float64, len(f.b1))
-	vw2 := make([]float64, len(f.w2))
-	vb2 := make([]float64, len(f.b2))
-
-	hidden := make([]float64, f.cfg.Hidden)
-	out := make([]float64, f.outDim)
-	dOut := make([]float64, f.outDim)
-	dHidden := make([]float64, f.cfg.Hidden)
+	// All training scratch — momentum state plus forward/backward buffers —
+	// lives in one backing allocation reused across every epoch and sample.
+	scratch := make([]float64, len(f.w1)+len(f.b1)+len(f.w2)+len(f.b2)+2*f.cfg.Hidden+2*f.outDim)
+	cut := func(n int) []float64 {
+		s := scratch[:n:n]
+		scratch = scratch[n:]
+		return s
+	}
+	vw1, vb1, vw2, vb2 := cut(len(f.w1)), cut(len(f.b1)), cut(len(f.w2)), cut(len(f.b2))
+	hidden, dHidden := cut(f.cfg.Hidden), cut(f.cfg.Hidden)
+	out, dOut := cut(f.outDim), cut(f.outDim)
+	// Indices of hidden units with non-zero gradient this sample; the W1
+	// update touches only these. Per-unit updates are independent, so
+	// iterating the compacted set is numerically identical to scanning all
+	// units and skipping zeros.
+	active := make([]int32, 0, f.cfg.Hidden)
 
 	order := rng.Perm(nSamples)
 	lr := f.cfg.LearningRate
@@ -141,28 +148,31 @@ func (f *FFNN) Train(history timeseries.Series) error {
 			target := x[s+f.inDim : s+f.inDim+f.outDim]
 			f.forward(in, hidden, out)
 
-			// Backprop of 0.5·MSE.
+			// Backprop of 0.5·MSE. The hidden gradient and the W2 update share
+			// one pass over each W2 row: the row is read (pre-update weights)
+			// to accumulate dHidden[k], then updated in place.
 			for j := range out {
 				dOut[j] = (out[j] - target[j]) / float64(f.outDim)
 			}
+			active = active[:0]
 			for k := range hidden {
-				g := 0.0
-				if hidden[k] > 0 { // ReLU gate
-					for j := range dOut {
-						g += dOut[j] * f.w2[k*f.outDim+j]
-					}
-				}
-				dHidden[k] = g
-			}
-			for k := range hidden {
-				if hidden[k] <= 0 {
+				if hidden[k] <= 0 { // ReLU gate
+					dHidden[k] = 0
 					continue
 				}
 				hk := hidden[k]
-				for j := range dOut {
-					idx := k*f.outDim + j
-					vw2[idx] = mom*vw2[idx] - step*dOut[j]*hk
-					f.w2[idx] += vw2[idx]
+				w2row := f.w2[k*f.outDim : (k+1)*f.outDim]
+				v2row := vw2[k*f.outDim : (k+1)*f.outDim][:len(w2row)]
+				g := 0.0
+				for j, dj := range dOut {
+					g += dj * w2row[j]
+					v := mom*v2row[j] - step*dj*hk
+					v2row[j] = v
+					w2row[j] += v
+				}
+				dHidden[k] = g
+				if g != 0 {
+					active = append(active, int32(k))
 				}
 			}
 			for j := range dOut {
@@ -173,13 +183,13 @@ func (f *FFNN) Train(history timeseries.Series) error {
 				if xi == 0 {
 					continue
 				}
-				for k := range dHidden {
-					if dHidden[k] == 0 {
-						continue
-					}
-					idx := i*f.cfg.Hidden + k
-					vw1[idx] = mom*vw1[idx] - step*dHidden[k]*xi
-					f.w1[idx] += vw1[idx]
+				w1row := f.w1[i*f.cfg.Hidden : (i+1)*f.cfg.Hidden]
+				v1row := vw1[i*f.cfg.Hidden : (i+1)*f.cfg.Hidden][:len(w1row)]
+				for _, k := range active {
+					dh := dHidden[k]
+					v := mom*v1row[k] - step*dh*xi
+					v1row[k] = v
+					w1row[k] += v
 				}
 			}
 			for k := range dHidden {
@@ -216,8 +226,9 @@ func (f *FFNN) forward(in, hidden, out []float64) {
 			continue
 		}
 		row := f.w1[i*f.cfg.Hidden : (i+1)*f.cfg.Hidden]
+		hh := hidden[:len(row)] // bounds-check hint: len(hidden) == len(row)
 		for k, w := range row {
-			hidden[k] += xi * w
+			hh[k] += xi * w
 		}
 	}
 	for k := range hidden {
@@ -231,8 +242,9 @@ func (f *FFNN) forward(in, hidden, out []float64) {
 			continue
 		}
 		row := f.w2[k*f.outDim : (k+1)*f.outDim]
+		oo := out[:len(row)]
 		for j, w := range row {
-			out[j] += hk * w
+			oo[j] += hk * w
 		}
 	}
 }
@@ -250,7 +262,9 @@ func (f *FFNN) Forecast(horizon int) (timeseries.Series, error) {
 	ctx := append([]float64(nil), f.context...)
 	hidden := make([]float64, f.cfg.Hidden)
 	day := make([]float64, f.outDim)
-	var preds []float64
+	// Round the capacity up to whole predicted days so the append loop never
+	// reallocates.
+	preds := make([]float64, 0, ((coarseH+f.outDim-1)/f.outDim)*f.outDim)
 	for len(preds) < coarseH {
 		f.forward(ctx, hidden, day)
 		for _, v := range day {

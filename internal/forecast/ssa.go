@@ -109,13 +109,20 @@ func (s *SSA) Train(history timeseries.Series) error {
 		rank--
 	}
 
-	// Reconstruct the signal component for the forecast seed values.
+	// Reconstruct the signal component for the forecast seed values. The
+	// rank-r outer products accumulate into one reused matrix; V's column r is
+	// gathered once per triple instead of strided At calls in the inner loop.
 	recon := linalg.NewMatrix(hankel.Rows, hankel.Cols)
+	vcol := make([]float64, hankel.Cols)
 	for r := 0; r < rank; r++ {
+		for j := 0; j < hankel.Cols; j++ {
+			vcol[j] = svd.V.At(j, r)
+		}
 		for i := 0; i < hankel.Rows; i++ {
 			ui := svd.U.At(i, r) * svd.S[r]
-			for j := 0; j < hankel.Cols; j++ {
-				recon.Data[i*recon.Cols+j] += ui * svd.V.At(j, r)
+			row := recon.Data[i*recon.Cols : (i+1)*recon.Cols]
+			for j, v := range vcol {
+				row[j] += ui * v
 			}
 		}
 	}
@@ -166,7 +173,10 @@ func (s *SSA) Forecast(horizon int) (timeseries.Series, error) {
 		return timeseries.Series{}, fmt.Errorf("forecast: non-positive horizon %d", horizon)
 	}
 	coarseH := (horizon + s.factor - 1) / s.factor
-	buf := append([]float64(nil), s.tail...)
+	// Capacity covers every recurrence step: the window slides forward through
+	// the buffer (buf = append(buf[1:], v)) without ever reallocating.
+	buf := make([]float64, len(s.tail), len(s.tail)+coarseH)
+	copy(buf, s.tail)
 	out := make([]float64, 0, coarseH)
 	for t := 0; t < coarseH; t++ {
 		v := 0.0

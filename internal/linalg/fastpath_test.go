@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-style equivalence tests for the allocation-lean fast paths: each
+// optimized primitive is checked against the straightforward reference
+// composition on randomized fixed-seed inputs.
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	// Sprinkle exact zeros so the zero-skip branches are exercised.
+	for k := 0; k < rows*cols/10; k++ {
+		m.Data[rng.Intn(len(m.Data))] = 0
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestMulTransposedIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{1, 1}, {3, 2}, {5, 5}, {40, 7}, {200, 26}, {8, 30}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		want, err := a.T().Mul(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewMatrix(shape[1], shape[1])
+		// Pre-dirty dst: MulTransposedInto must fully overwrite it.
+		for i := range got.Data {
+			got.Data[i] = math.NaN()
+		}
+		if err := MulTransposedInto(got, a); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("shape %v: element %d: %v != %v", shape, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMulTransposedIntoShapeError(t *testing.T) {
+	a := NewMatrix(4, 3)
+	if err := MulTransposedInto(NewMatrix(2, 3), a); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+// spdSystem builds a well-conditioned SPD matrix G = AᵀA + I and rhs.
+func spdSystem(rng *rand.Rand, n int) (*Matrix, []float64) {
+	a := randomMatrix(rng, n+8, n)
+	g, err := a.T().Mul(a)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		g.Data[i*n+i]++
+	}
+	return g, randomVec(rng, n)
+}
+
+func TestCholeskySolveInPlaceMatchesCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 5, 9, 26} {
+		g, b := spdSystem(rng, n)
+		want, err := CholeskySolve(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := g.Clone()
+		x := append([]float64(nil), b...)
+		if err := CholeskySolveInPlace(work, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+		// The solution must actually solve Gx = b.
+		gx, err := g.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(gx[i]-b[i]) > 1e-6 {
+				t.Fatalf("n=%d: (Gx)[%d] = %v, want %v", n, i, gx[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCholeskySolveDoesNotModifyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, b := spdSystem(rng, 6)
+	gCopy := append([]float64(nil), g.Data...)
+	bCopy := append([]float64(nil), b...)
+	if _, err := CholeskySolve(g, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gCopy {
+		if g.Data[i] != gCopy[i] {
+			t.Fatalf("CholeskySolve modified g at %d", i)
+		}
+	}
+	for i := range bCopy {
+		if b[i] != bCopy[i] {
+			t.Fatalf("CholeskySolve modified b at %d", i)
+		}
+	}
+}
+
+func TestCholeskySolveInPlaceSingular(t *testing.T) {
+	g := NewMatrix(2, 2) // all zero: not positive definite
+	if err := CholeskySolveInPlace(g, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	if err := CholeskySolveInPlace(NewMatrix(2, 3), []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+// naiveRidge solves the ridge system by the explicit composition
+// (AᵀA + λI) x = Aᵀb with out-of-place primitives.
+func naiveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	at := a.T()
+	g, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < g.Rows; i++ {
+		g.Data[i*g.Cols+i] += lambda
+	}
+	rhs, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(g, rhs)
+}
+
+func TestSolveRidgeIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var scratch RidgeScratch
+	// Interleave sizes so the shared scratch is exercised growing and
+	// shrinking; results must be independent of prior calls.
+	for _, sz := range [][2]int{{30, 4}, {600, 26}, {12, 9}, {100, 17}, {20, 2}} {
+		a := randomMatrix(rng, sz[0], sz[1])
+		b := randomVec(rng, sz[0])
+		for _, lambda := range []float64{0, 1e-6, 0.5} {
+			want, err := naiveRidge(a, b, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SolveRidgeInto(a, b, lambda, &scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("size %v λ=%v: x[%d] = %v, want %v", sz, lambda, i, got[i], want[i])
+				}
+			}
+			// The convenience wrapper must agree too.
+			wrapped, err := SolveRidge(a, b, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if wrapped[i] != got[i] {
+					t.Fatalf("SolveRidge diverges from SolveRidgeInto at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRidgeIntoErrors(t *testing.T) {
+	var s RidgeScratch
+	a := NewMatrix(3, 2)
+	if _, err := SolveRidgeInto(a, []float64{1, 2}, 0, &s); !errors.Is(err, ErrShape) {
+		t.Errorf("row mismatch err = %v", err)
+	}
+	if _, err := SolveRidgeInto(a, []float64{1, 2, 3}, -1, &s); err == nil {
+		t.Error("negative lambda must fail")
+	}
+	// Zero matrix ⇒ singular normal equations.
+	if _, err := SolveRidgeInto(a, []float64{1, 2, 3}, 0, &s); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular err = %v", err)
+	}
+}
+
+func TestSolveRidgeIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 120, 12)
+	b := randomVec(rng, 120)
+	var s RidgeScratch
+	if _, err := SolveRidgeInto(a, b, 1e-6, &s); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := SolveRidgeInto(a, b, 1e-6, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SolveRidgeInto allocated %.1f times per solve with warm scratch", allocs)
+	}
+}

@@ -183,10 +183,11 @@ func ComputeSVD(a *Matrix) (*SVD, error) {
 		rotations := 0
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				cp, cq := cols[p], cols[q]
+				cp := cols[p]
+				cq := cols[q][:len(cp)] // bounds-check hint: both columns have m rows
 				alpha, beta, gamma := 0.0, 0.0, 0.0
-				for i := 0; i < m; i++ {
-					wp, wq := cp[i], cq[i]
+				for i, wp := range cp {
+					wq := cq[i]
 					alpha += wp * wp
 					beta += wq * wq
 					gamma += wp * wq
@@ -200,14 +201,15 @@ func ComputeSVD(a *Matrix) (*SVD, error) {
 				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
 				c := 1 / math.Sqrt(1+t*t)
 				s := c * t
-				for i := 0; i < m; i++ {
-					wp, wq := cp[i], cq[i]
+				for i, wp := range cp {
+					wq := cq[i]
 					cp[i] = c*wp - s*wq
 					cq[i] = s*wp + c*wq
 				}
-				vp, vq := vcols[p], vcols[q]
-				for i := 0; i < n; i++ {
-					wp, wq := vp[i], vq[i]
+				vp := vcols[p]
+				vq := vcols[q][:len(vp)]
+				for i, wp := range vp {
+					wq := vq[i]
 					vp[i] = c*wp - s*wq
 					vq[i] = s*wp + c*wq
 				}
@@ -274,8 +276,81 @@ func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	return SolveRidge(a, b, 0)
 }
 
+// MulTransposedInto computes dst = AᵀA without materializing Aᵀ. dst must be
+// Cols×Cols; its contents are overwritten. Only the upper triangle is
+// accumulated (G is symmetric) and mirrored afterwards.
+func MulTransposedInto(dst *Matrix, a *Matrix) error {
+	n := a.Cols
+	if dst.Rows != n || dst.Cols != n {
+		return fmt.Errorf("%w: dst is %dx%d, want %dx%d", ErrShape, dst.Rows, dst.Cols, n, n)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for p := 0; p < n; p++ {
+			rp := row[p]
+			if rp == 0 {
+				continue
+			}
+			drow := dst.Data[p*n+p : p*n+n]
+			rq := row[p:n]
+			for q, v := range rq {
+				drow[q] += rp * v
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < p; q++ {
+			dst.Data[p*n+q] = dst.Data[q*n+p]
+		}
+	}
+	return nil
+}
+
+// RidgeScratch holds the buffers SolveRidgeInto needs so repeated solves of
+// similarly-sized systems (the ARIMA candidate grid, the additive model) do
+// zero intermediate allocations. The zero value is ready to use; buffers grow
+// on demand and are retained across calls.
+type RidgeScratch struct {
+	g   Matrix
+	buf []float64 // backing storage for g
+	rhs []float64
+}
+
+// grab sizes the scratch for an n-coefficient system and returns the zeroed
+// Gram matrix and right-hand side.
+func (s *RidgeScratch) grab(n int) (*Matrix, []float64) {
+	if cap(s.buf) < n*n {
+		s.buf = make([]float64, n*n)
+	}
+	if cap(s.rhs) < n {
+		s.rhs = make([]float64, n)
+	}
+	s.g = Matrix{Rows: n, Cols: n, Data: s.buf[:n*n]}
+	rhs := s.rhs[:n]
+	for i := range s.g.Data {
+		s.g.Data[i] = 0
+	}
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	return &s.g, rhs
+}
+
 // SolveRidge returns x minimizing ‖Ax − b‖₂² + λ‖x‖₂² (λ ≥ 0).
 func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	var s RidgeScratch
+	return SolveRidgeInto(a, b, lambda, &s)
+}
+
+// SolveRidgeInto is SolveRidge with caller-provided scratch: the normal
+// equations G = AᵀA + λI, rhs = Aᵀb are accumulated into s and solved in
+// place, so the call does no intermediate matrix allocations. The returned
+// solution aliases s and is valid until the next call with the same scratch;
+// copy it if it must outlive that.
+func SolveRidgeInto(a *Matrix, b []float64, lambda float64, s *RidgeScratch) ([]float64, error) {
 	if a.Rows != len(b) {
 		return nil, fmt.Errorf("%w: A is %dx%d, b has %d", ErrShape, a.Rows, a.Cols, len(b))
 	}
@@ -283,18 +358,23 @@ func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: negative ridge penalty %v", lambda)
 	}
 	n := a.Cols
-	// G = AᵀA + λI, rhs = Aᵀb.
-	g := NewMatrix(n, n)
-	rhs := make([]float64, n)
+	g, rhs := s.grab(n)
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*n : (i+1)*n]
+		bi := b[i]
 		for p := 0; p < n; p++ {
-			if row[p] == 0 {
+			rp := row[p]
+			if rp == 0 {
 				continue
 			}
-			rhs[p] += row[p] * b[i]
-			for q := p; q < n; q++ {
-				g.Data[p*n+q] += row[p] * row[q]
+			rhs[p] += rp * bi
+			// Accumulate the upper-triangle run g[p][p..n) against row[p..n);
+			// subslicing here lets the compiler keep the bases in registers
+			// even though g is scratch-backed rather than freshly allocated.
+			grow := g.Data[p*n+p : p*n+n]
+			rq := row[p:n]
+			for q, v := range rq {
+				grow[q] += rp * v
 			}
 		}
 	}
@@ -304,52 +384,74 @@ func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
 			g.Data[p*n+q] = g.Data[q*n+p]
 		}
 	}
-	return CholeskySolve(g, rhs)
+	if err := CholeskySolveInPlace(g, rhs); err != nil {
+		return nil, err
+	}
+	return rhs, nil
 }
 
-// CholeskySolve solves the symmetric positive-definite system Gx = b.
+// CholeskySolve solves the symmetric positive-definite system Gx = b without
+// modifying its inputs.
 func CholeskySolve(g *Matrix, b []float64) ([]float64, error) {
 	n := g.Rows
 	if g.Cols != n || len(b) != n {
 		return nil, fmt.Errorf("%w: G is %dx%d, b has %d", ErrShape, g.Rows, g.Cols, len(b))
 	}
-	// Decompose G = LLᵀ.
-	l := NewMatrix(n, n)
+	work := g.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	if err := CholeskySolveInPlace(work, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// CholeskySolveInPlace solves the symmetric positive-definite system Gx = b,
+// overwriting g's lower triangle with its Cholesky factor L and b with the
+// solution x. It allocates nothing, which is what the small normal-equations
+// systems on the ARIMA/additive hot path need.
+func CholeskySolveInPlace(g *Matrix, b []float64) error {
+	n := g.Rows
+	if g.Cols != n || len(b) != n {
+		return fmt.Errorf("%w: G is %dx%d, b has %d", ErrShape, g.Rows, g.Cols, len(b))
+	}
+	// Decompose G = LLᵀ, writing L over g's lower triangle. Element (i,j) of
+	// the input is only read before iteration (i,j) completes, so the
+	// factorization can proceed in place.
+	d := g.Data
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
-			sum := g.At(i, j)
+			sum := d[i*n+j]
 			for k := 0; k < j; k++ {
-				sum -= l.At(i, k) * l.At(j, k)
+				sum -= d[i*n+k] * d[j*n+k]
 			}
 			if i == j {
 				if sum <= 1e-14 {
-					return nil, ErrSingular
+					return ErrSingular
 				}
-				l.Set(i, i, math.Sqrt(sum))
+				d[i*n+i] = math.Sqrt(sum)
 			} else {
-				l.Set(i, j, sum/l.At(j, j))
+				d[i*n+j] = sum / d[j*n+j]
 			}
 		}
 	}
-	// Forward solve Ly = b.
-	y := make([]float64, n)
+	// Forward solve Ly = b (y over b).
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * y[k]
+			sum -= d[i*n+k] * b[k]
 		}
-		y[i] = sum / l.At(i, i)
+		b[i] = sum / d[i*n+i]
 	}
-	// Back solve Lᵀx = y.
-	x := make([]float64, n)
+	// Back solve Lᵀx = y (x over b).
 	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
+		sum := b[i]
 		for k := i + 1; k < n; k++ {
-			sum -= l.At(k, i) * x[k]
+			sum -= d[k*n+i] * b[k]
 		}
-		x[i] = sum / l.At(i, i)
+		b[i] = sum / d[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Hankel builds the L×K trajectory (Hankel) matrix of series x with window

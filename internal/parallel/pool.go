@@ -10,13 +10,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBadWorkers is returned when a non-positive worker count is requested.
 var ErrBadWorkers = errors.New("parallel: worker count must be positive")
 
 // Pool is a fixed-size worker pool. The zero value is not usable; call
-// NewPool.
+// NewPool. A Pool carries no per-run state and may be reused and shared
+// freely across experiments and goroutines.
 type Pool struct {
 	workers int
 }
@@ -34,39 +36,80 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // ForEach runs fn(i) for every i in [0, n) across the pool's workers and
-// blocks until all complete. The first non-nil error is returned (remaining
+// blocks until all complete. The first error observed is returned (remaining
 // items still run; partitioned accuracy evaluation must visit every server
-// so we don't cancel).
+// so we don't cancel). Panics in fn are recovered and reported as errors.
+//
+// Work is handed out as chunked index ranges claimed off a single atomic
+// cursor — roughly four chunks per worker — rather than one channel send per
+// item, so distribution overhead stays negligible even for micro-tasks.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return p.forEachWorker(n, func(int) func(int) error { return fn })
+}
+
+// ForEachScratch is like Pool.ForEach but allocates one scratch value per
+// worker via newScratch and passes that worker's scratch to every fn call it
+// executes. This is the hook model-fitting loops use to reuse design-matrix
+// and residual buffers across items without any locking.
+func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, scratch S) error) error {
+	return p.forEachWorker(n, func(int) func(int) error {
+		scratch := newScratch()
+		return func(i int) error { return fn(i, scratch) }
+	})
+}
+
+// forEachWorker is the shared chunked dispatcher. makeFn runs once per worker
+// (on that worker's goroutine for workers > 1) to build the item function,
+// letting callers close over per-worker scratch state.
+func (p *Pool) forEachWorker(n int, makeFn func(worker int) func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers := min(p.workers, n)
+	if workers == 1 {
+		var firstErr error
+		fn := makeFn(0)
+		for i := 0; i < n; i++ {
+			if err := safeCall(fn, i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
 	var (
+		cursor   atomic.Int64
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				if err := safeCall(fn, i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+			fn := makeFn(w)
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := min(lo+chunk, n)
+				for i := lo; i < hi; i++ {
+					if err := safeCall(fn, i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
 					}
-					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return firstErr
 }
@@ -87,7 +130,21 @@ func safeCall(fn func(int) error, i int) (err error) {
 // nil slice.
 func Map[T, R any](p *Pool, in []T, fn func(T) (R, error)) ([]R, error) {
 	out := make([]R, len(in))
-	err := p.ForEach(len(in), func(i int) error {
+	if err := MapInto(p, in, out, fn); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapInto is Map with a caller-provided result slice: out[i] receives fn(in[i])
+// for every i, letting callers reuse one result buffer across repeated sweeps.
+// len(out) must be at least len(in). Unlike Map, out keeps the results written
+// before the first error.
+func MapInto[T, R any](p *Pool, in []T, out []R, fn func(T) (R, error)) error {
+	if len(out) < len(in) {
+		return fmt.Errorf("parallel: MapInto out has %d slots for %d inputs", len(out), len(in))
+	}
+	return p.ForEach(len(in), func(i int) error {
 		r, err := fn(in[i])
 		if err != nil {
 			return err
@@ -95,10 +152,6 @@ func Map[T, R any](p *Pool, in []T, fn func(T) (R, error)) ([]R, error) {
 		out[i] = r
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // MapSeq is the single-threaded reference implementation used as the
