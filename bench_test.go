@@ -21,8 +21,13 @@ import (
 	"seagull/internal/timeseries"
 )
 
+// benchOpts pins Workers to 1 so the figure benchmarks have a deterministic
+// allocation profile across machines: per-worker model arenas and grid-spill
+// scratch scale allocs/op with the worker count, and the seagull-bench
+// -compare gate diffs allocs across runs. Parallel behaviour is exercised by
+// the experiments CLI and the pool's own tests/benchmarks instead.
 func benchOpts() experiments.Options {
-	return experiments.Options{Scale: experiments.ScaleSmall, Seed: 1}
+	return experiments.Options{Scale: experiments.ScaleSmall, Seed: 1, Workers: 1}
 }
 
 // runExperiment executes one registered experiment b.N times.
@@ -161,11 +166,41 @@ func BenchmarkSSATrainInfer(b *testing.B) {
 	}
 }
 
+// BenchmarkSSATrainInferRandomized measures the seeded randomized
+// range-finder SVD variant (the fast experiment profile); forecasts match
+// the exact Jacobi path to ≤1e-6.
+func BenchmarkSSATrainInferRandomized(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewSSA(forecast.SSAConfig{RandomizedSVD: true})
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFFNNTrainInfer(b *testing.B) {
 	hist := benchHistory(7)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := forecast.NewFFNN(forecast.FFNNConfig{Seed: 1, Epochs: 5})
+		if _, err := forecast.PredictDay(m, hist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFNNTrainInferBatched measures the fused minibatched trainer at
+// the experiments' fast-profile configuration (accuracy equivalence recorded
+// in TestFFNNBatchedAccuracyEquivalent).
+func BenchmarkFFNNTrainInferBatched(b *testing.B) {
+	hist := benchHistory(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := forecast.NewFFNN(forecast.FFNNConfig{
+			Seed: 1, Epochs: 5, BatchSize: 8, LearningRate: 0.1,
+		})
 		if _, err := forecast.PredictDay(m, hist); err != nil {
 			b.Fatal(err)
 		}
@@ -209,9 +244,11 @@ func BenchmarkSolveRidge(b *testing.B) {
 }
 
 // BenchmarkPoolForEach measures pure work-distribution overhead: many tiny
-// tasks, so channel sends / chunk claiming dominate.
+// tasks, so channel sends / chunk claiming dominate. The worker count is
+// pinned (not NumCPU) so goroutine-spawn allocations — and therefore the
+// seagull-bench allocs/op gate — are machine-independent.
 func BenchmarkPoolForEach(b *testing.B) {
-	pool := parallel.NewPool(0)
+	pool := parallel.NewPool(4)
 	sink := make([]int64, 4096)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -226,6 +263,8 @@ func BenchmarkPoolForEach(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetGeneration measures the default (lazy) fleet build: server
+// metadata only, telemetry deferred to first Load access.
 func BenchmarkFleetGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -234,6 +273,36 @@ func BenchmarkFleetGeneration(b *testing.B) {
 		})
 		if len(fleet.Servers) != 50 {
 			b.Fatal("wrong fleet size")
+		}
+	}
+}
+
+// BenchmarkFleetGenerationEager forces every series at generation time —
+// the historical behaviour, for comparison with the lazy default.
+func BenchmarkFleetGenerationEager(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: "bench", Servers: 50, Weeks: 4, Seed: int64(i), Eager: true,
+		})
+		if len(fleet.Servers) != 50 {
+			b.Fatal("wrong fleet size")
+		}
+	}
+}
+
+// BenchmarkFleetMaterialize isolates the deferred telemetry synthesis: lazy
+// generation followed by materializing every server.
+func BenchmarkFleetMaterialize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region: "bench", Servers: 50, Weeks: 4, Seed: int64(i),
+		})
+		for _, srv := range fleet.Servers {
+			if srv.Load().Len() == 0 {
+				b.Fatal("empty series")
+			}
 		}
 	}
 }

@@ -9,6 +9,14 @@
 //	go run ./cmd/seagull-bench -out BENCH_2.json
 //	go run ./cmd/seagull-bench -bench 'BenchmarkARIMATrain' -benchtime 10x
 //	go run ./cmd/seagull-bench -skip-checks    # benchmarks only
+//	go run ./cmd/seagull-bench -compare BENCH_1.json
+//
+// -compare diffs the fresh run against a prior snapshot, printing ±% deltas
+// per benchmark, and exits non-zero when any shared benchmark regresses its
+// allocs/op by more than -max-alloc-regress percent (default 10) — the CI
+// gate for the perf trajectory. Time and bytes deltas are informational
+// (wall clock is too machine-dependent to gate on; allocation counts are
+// deterministic).
 package main
 
 import (
@@ -25,9 +33,14 @@ import (
 )
 
 // defaultBench covers the hot-path micro-benchmarks plus the headline figure
-// benchmark the acceptance numbers track.
+// benchmark the acceptance numbers track. SSA/FFNN appear in both their
+// default-config and fast-path variants; fleet generation in lazy, eager and
+// materialize-all forms.
 const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEach|" +
-	"BenchmarkSSATrainInfer|BenchmarkFFNNTrainInfer|BenchmarkPersistentForecastTrainInfer|" +
+	"BenchmarkSSATrainInfer|BenchmarkSSATrainInferRandomized|" +
+	"BenchmarkFFNNTrainInfer|BenchmarkFFNNTrainInferBatched|" +
+	"BenchmarkPersistentForecastTrainInfer|BenchmarkFleetGeneration|" +
+	"BenchmarkFleetGenerationEager|BenchmarkFleetMaterialize|" +
 	"BenchmarkFig11aTrainInfer"
 
 type benchResult struct {
@@ -81,11 +94,79 @@ func parseBench(out string) []benchResult {
 	return results
 }
 
+// loadSummary reads a prior snapshot for -compare.
+func loadSummary(path string) (*summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// pctDelta renders (new-old)/old as a signed percentage, guarding zero.
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0.0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// compare prints per-benchmark deltas against old and returns the names of
+// benchmarks that fail the gate: allocs/op regressed beyond
+// maxAllocRegressPct, or present in the baseline but absent from the fresh
+// run (a renamed/deleted/crashed benchmark must not silently lose its
+// regression protection — regenerate the baseline to retire one).
+func compare(old *summary, fresh []benchResult, maxAllocRegressPct float64) []string {
+	byName := make(map[string]benchResult, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("\ncomparison vs snapshot of %s:\n", old.Generated)
+	fmt.Printf("%-40s %12s %12s %12s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ")
+	var failures []string
+	for _, r := range fresh {
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-40s %12s %12s %12s\n", r.Name, "(new)", "(new)", "(new)")
+			continue
+		}
+		delete(byName, r.Name)
+		fmt.Printf("%-40s %12s %12s %12s\n", r.Name,
+			pctDelta(o.NsPerOp, r.NsPerOp),
+			pctDelta(float64(o.BytesPerOp), float64(r.BytesPerOp)),
+			pctDelta(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+		switch {
+		case o.AllocsPerOp == 0 && r.AllocsPerOp > 0:
+			// A zero-alloc guarantee broke; no percentage threshold applies.
+			failures = append(failures, r.Name+" (0 allocs/op baseline broken)")
+		case o.AllocsPerOp > 0 &&
+			float64(r.AllocsPerOp) > float64(o.AllocsPerOp)*(1+maxAllocRegressPct/100):
+			failures = append(failures, r.Name)
+		}
+	}
+	for name := range byName {
+		fmt.Printf("%-40s %12s %12s %12s\n", name, "(gone)", "(gone)", "(gone)")
+		failures = append(failures, name+" (missing from this run)")
+	}
+	return failures
+}
+
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	bench := flag.String("bench", defaultBench, "benchmark pattern passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
 	skipChecks := flag.Bool("skip-checks", false, "skip go vet and go test, run benchmarks only")
+	comparePath := flag.String("compare", "", "prior BENCH_<n>.json to diff against; "+
+		"exits non-zero on allocs/op regression beyond -max-alloc-regress")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 10,
+		"allowed allocs/op regression in percent before -compare fails the run")
 	flag.Parse()
 
 	s := summary{
@@ -139,6 +220,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(s.Results))
+
+	if *comparePath != "" {
+		old, err := loadSummary(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		// Every benchmark in the default pattern pins its worker count
+		// (benchOpts Workers=1, BenchmarkPoolForEach at 4), so allocs/op is
+		// machine-independent and the gate applies regardless of where the
+		// baseline was captured.
+		if bad := compare(old, s.Results, *maxAllocRegress); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "alloc gate failed (>%.0f%% allocs/op, broken zero-alloc, or missing) vs %s: %s\n",
+				*maxAllocRegress, *comparePath, strings.Join(bad, ", "))
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

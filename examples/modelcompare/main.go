@@ -33,19 +33,19 @@ func main() {
 		days, correct, accurate := 0, 0, 0
 		servers, predictable := 0, 0
 		for _, srv := range fleet.Servers {
-			ppd := srv.Load.PointsPerDay()
+			ppd := srv.Load().PointsPerDay()
 			var results []seagull.DayResult
 			// Three weekly backup-day evaluations per server (Definition 9).
 			for week := 1; week <= 3; week++ {
 				dayIdx := (week*7 + int(srv.BackupDay)) * ppd
-				if dayIdx+ppd > srv.Load.Len() || dayIdx < 3*ppd {
+				if dayIdx+ppd > srv.Load().Len() || dayIdx < 3*ppd {
 					continue
 				}
 				trainFrom := dayIdx - 7*ppd
 				if trainFrom < 0 {
 					trainFrom = 0
 				}
-				history, err := srv.Load.Slice(trainFrom, dayIdx)
+				history, err := srv.Load().Slice(trainFrom, dayIdx)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -57,7 +57,7 @@ func main() {
 				if err != nil {
 					continue
 				}
-				trueDay, err := srv.Load.Slice(dayIdx, dayIdx+ppd)
+				trueDay, err := srv.Load().Slice(dayIdx, dayIdx+ppd)
 				if err != nil {
 					log.Fatal(err)
 				}

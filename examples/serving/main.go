@@ -52,7 +52,7 @@ func main() {
 		Region: "westus", Servers: 1, Weeks: 1, Seed: 3,
 		Mix: seagull.Mix{Daily: 1},
 	})
-	history := fleet.Servers[0].Load
+	history := fleet.Servers[0].Load()
 	pred, resp, err := client.Predict("backup", "westus", history, history.PointsPerDay())
 	if err != nil {
 		log.Fatal(err)

@@ -251,7 +251,7 @@ func TestFigure3Calibration(t *testing.T) {
 	})
 	sum := NewSummary()
 	for _, srv := range fleet.Servers {
-		cat, err := Categorize(srv.Load, srv.LifespanDays(), cfg)
+		cat, err := Categorize(srv.Load(), srv.LifespanDays(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", srv.ID, err)
 		}
@@ -298,7 +298,7 @@ func TestClassRecovery(t *testing.T) {
 		})
 		hit := 0
 		for _, srv := range fleet.Servers {
-			cat, err := Categorize(srv.Load, srv.LifespanDays(), cfg)
+			cat, err := Categorize(srv.Load(), srv.LifespanDays(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -59,7 +59,7 @@ func init() {
 func runAblationBound(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	n := pick(o, 150, 900)
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "ab-bound", Servers: n, Weeks: 2, Seed: o.Seed,
 		Mix: simulate.Mix{Daily: 0.5, NoPattern: 0.5},
 	})
@@ -79,7 +79,7 @@ func runAblationBound(o Options) ([]Table, error) {
 	}
 	var pairs []pair
 	for _, srv := range fleet.Servers {
-		days := srv.Load.Days()
+		days := srv.Load().Days()
 		if len(days) < 9 {
 			continue
 		}
@@ -134,10 +134,10 @@ func runAblationBound(o Options) ([]Table, error) {
 func runAblationThreshold(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	n := pick(o, 200, 1200)
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "ab-thresh", Servers: n, Weeks: 4, Seed: o.Seed,
 	})
-	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false)
+	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false, 1)
 	pool := parallel.NewPool(o.Workers)
 	t := Table{
 		Caption: "Ablation — bucket-ratio accuracy threshold (Definition 2)",
@@ -166,11 +166,11 @@ func runAblationThreshold(o Options) ([]Table, error) {
 func runAblationHistory(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	n := pick(o, 200, 1200)
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "ab-hist", Servers: n, Weeks: 6, Seed: o.Seed,
 		Mix: simulate.Mix{Stable: 0.5, Daily: 0.1, NoPattern: 0.4},
 	})
-	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false)
+	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false, 1)
 	mcfg := metrics.DefaultConfig()
 	// Evaluate weeks 1..5: five results per server, so even the 4-week gate
 	// has a full history window before the final (week 5) outcome.
@@ -246,12 +246,12 @@ func runAblationPFVariants(o Options) ([]Table, error) {
 		Header: append([]string{"class"}, variants...),
 	}
 	for ci, cl := range classes {
-		fleet := simulate.GenerateFleet(simulate.Config{
+		fleet := cachedFleet(simulate.Config{
 			Region: "ab-pf", Servers: n, Weeks: 4, Seed: o.Seed + int64(ci)*11, Mix: cl.mix,
 		})
 		row := []any{cl.name}
 		for _, v := range variants {
-			factory := modelFactory(v, o.Seed, false)
+			factory := modelFactory(v, o.Seed, false, 1)
 			evals, err := evaluateFleet(fleet, factory, []int{2, 3}, mcfg, pool)
 			if err != nil {
 				return nil, err
@@ -269,7 +269,7 @@ func runAblationPFVariants(o Options) ([]Table, error) {
 func runAblationWorkers(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	n := pick(o, 400, 2000)
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "ab-workers", Servers: n, Weeks: 2, Seed: o.Seed,
 	})
 	mcfg := metrics.DefaultConfig()
@@ -280,7 +280,7 @@ func runAblationWorkers(o Options) ([]Table, error) {
 	}
 	var pairs []pair
 	for _, srv := range fleet.Servers {
-		days := srv.Load.Days()
+		days := srv.Load().Days()
 		if len(days) < 9 {
 			continue
 		}

@@ -62,7 +62,7 @@ func runFig12a(o Options) ([]Table, error) {
 			return nil, err
 		}
 		region := fmt.Sprintf("size-%d", n)
-		fleet := simulate.GenerateFleet(simulate.Config{
+		fleet := cachedFleet(simulate.Config{
 			Region: region, Servers: n, Weeks: 1, Seed: o.Seed + int64(i)*7,
 		})
 		if _, err := extract.ExtractAll(store, fleet); err != nil {
@@ -120,7 +120,7 @@ func runFig12b(o Options) ([]Table, error) {
 	}
 
 	for i, n := range sizes {
-		fleet := simulate.GenerateFleet(simulate.Config{
+		fleet := cachedFleet(simulate.Config{
 			Region: "fig12b", Servers: n, Weeks: 2, Seed: o.Seed + int64(i)*13,
 		})
 		// Precompute persistent-forecast predictions for the final week so
@@ -132,8 +132,8 @@ func runFig12b(o Options) ([]Table, error) {
 		}
 		var jobs []job
 		for _, srv := range fleet.Servers {
-			ppd := srv.Load.PointsPerDay()
-			days := srv.Load.Days()
+			ppd := srv.Load().PointsPerDay()
+			days := srv.Load().Days()
 			if len(days) < 9 {
 				continue
 			}

@@ -76,15 +76,15 @@ func impactFleet(o Options, fleet *simulate.Fleet) (map[simulate.Class]scheduler
 		if srv == nil {
 			return timeseries.Series{}, false
 		}
-		idx, ok := srv.Load.IndexOf(day)
+		idx, ok := srv.Load().IndexOf(day)
 		if !ok {
 			return timeseries.Series{}, false
 		}
-		ppd := srv.Load.PointsPerDay()
-		if idx+ppd > srv.Load.Len() {
+		ppd := srv.Load().PointsPerDay()
+		if idx+ppd > srv.Load().Len() {
 			return timeseries.Series{}, false
 		}
-		sub, err := srv.Load.Slice(idx, idx+ppd)
+		sub, err := srv.Load().Slice(idx, idx+ppd)
 		if err != nil {
 			return timeseries.Series{}, false
 		}
@@ -124,7 +124,7 @@ func runFig13a(o Options) ([]Table, error) {
 	nMix := pick(o, 250, 2000)
 	nPattern := pick(o, 200, 1200)
 
-	mixFleet := simulate.GenerateFleet(simulate.Config{
+	mixFleet := cachedFleet(simulate.Config{
 		Region: "impact-mix", Servers: nMix, Weeks: 4, Seed: o.Seed,
 	})
 	mixImpacts, mixTotal, err := impactFleet(o, mixFleet)
@@ -132,7 +132,7 @@ func runFig13a(o Options) ([]Table, error) {
 		return nil, err
 	}
 
-	patternFleet := simulate.GenerateFleet(simulate.Config{
+	patternFleet := cachedFleet(simulate.Config{
 		Region: "impact-daily", Servers: nPattern, Weeks: 4, Seed: o.Seed + 5,
 		Mix:          simulate.Mix{Daily: 0.9, Stable: 0.1},
 		BusyFraction: 0.3,
@@ -167,18 +167,18 @@ func runFig13a(o Options) ([]Table, error) {
 func runFig13b(o Options) ([]Table, error) {
 	o = o.withDefaults()
 	n := pick(o, 600, 5000)
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "fig13b", Servers: n, Weeks: 4, Seed: o.Seed,
 	})
 
 	var buckets [10]int
 	atCapacity, total := 0, 0
 	for _, srv := range fleet.Servers {
-		days := srv.Load.Days()
+		days := srv.Load().Days()
 		if len(days) < 7 {
 			continue
 		}
-		week := timeseries.New(days[len(days)-7].Start, srv.Load.Interval, nil)
+		week := timeseries.New(days[len(days)-7].Start, srv.Load().Interval, nil)
 		for _, d := range days[len(days)-7:] {
 			week.Append(d.Values...)
 		}

@@ -34,11 +34,11 @@ func runFig3(o Options) ([]Table, error) {
 	// One result buffer serves every region's classification sweep.
 	cats := make([]classify.Category, perRegion)
 	for ri, region := range regions {
-		fleet := simulate.GenerateFleet(simulate.Config{
+		fleet := cachedFleet(simulate.Config{
 			Region: region, Servers: perRegion, Weeks: 4, Seed: o.Seed + int64(ri)*97,
 		})
 		err := parallel.MapInto(pool, fleet.Servers, cats, func(srv *simulate.Server) (classify.Category, error) {
-			return classify.Categorize(srv.Load, srv.LifespanDays(), mcfg)
+			return classify.Categorize(srv.Load(), srv.LifespanDays(), mcfg)
 		})
 		if err != nil {
 			return nil, err

@@ -26,11 +26,11 @@ func runSec53(o Options) ([]Table, error) {
 	nFleet := pick(o, 300, 2500)
 	weeks := []int{1, 2, 3}
 	mcfg := metrics.DefaultConfig()
-	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false)
+	factory := modelFactory(forecast.NamePersistentPrevDay, o.Seed, false, 1)
 	pool := parallel.NewPool(o.Workers)
 
 	// (1) Servers whose load is stable or follows a pattern (Section 5.3.2).
-	patternFleet := simulate.GenerateFleet(simulate.Config{
+	patternFleet := cachedFleet(simulate.Config{
 		Region: "sec53-pattern", Servers: nPattern, Weeks: 4, Seed: o.Seed,
 		Mix: simulate.Mix{Stable: 0.93, Daily: 0.04, Weekly: 0.03},
 	})
@@ -41,7 +41,7 @@ func runSec53(o Options) ([]Table, error) {
 	pat := aggregate(evals, mcfg)
 
 	// (2) The whole long-lived fleet (Section 5.4's deployment numbers).
-	fleet := simulate.GenerateFleet(simulate.Config{
+	fleet := cachedFleet(simulate.Config{
 		Region: "sec53-fleet", Servers: nFleet, Weeks: 4, Seed: o.Seed + 3,
 	})
 	evals, err = evaluateFleet(fleet, factory, weeks, mcfg, pool)

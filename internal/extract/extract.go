@@ -48,7 +48,7 @@ func ExtractWeek(store *lake.Store, fleet *simulate.Fleet, week int) (int, error
 	rows := 0
 	buf := make([]byte, 0, 96)
 	for _, srv := range fleet.Servers {
-		sub := srv.Load.Between(weekStart, weekEnd)
+		sub := srv.Load().Between(weekStart, weekEnd)
 		if sub.Len() == 0 {
 			continue
 		}

@@ -37,7 +37,7 @@ func TestExtractWeekRowCount(t *testing.T) {
 	start, _ := fleet.Span()
 	weekEnd := start.Add(7 * 24 * time.Hour)
 	for _, srv := range fleet.Servers {
-		want += srv.Load.Between(start, weekEnd).Len()
+		want += srv.Load().Between(start, weekEnd).Len()
 	}
 	if n != want {
 		t.Errorf("rows = %d, want %d", n, want)
@@ -66,7 +66,7 @@ func TestExtractIngestRoundTrip(t *testing.T) {
 		byID[sl.ServerID] = sl
 	}
 	for _, srv := range fleet.Servers {
-		sub := srv.Load.Between(weekStart, weekEnd)
+		sub := srv.Load().Between(weekStart, weekEnd)
 		sl, ok := byID[srv.ID]
 		if sub.Len() == 0 {
 			if ok {

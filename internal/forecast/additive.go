@@ -76,6 +76,12 @@ func (c AdditiveConfig) withDefaults() AdditiveConfig {
 }
 
 // Additive is the Prophet-analog forecaster.
+//
+// An Additive instance may be retrained on fresh histories: the design
+// matrix, Gram accumulator and coefficient buffers are retained between
+// Train calls (they dominated fig11a's allocation profile before reuse),
+// and the Monte-Carlo RNG is re-seeded at the top of Train so a reused
+// model forecasts exactly like a fresh one.
 type Additive struct {
 	cfg AdditiveConfig
 
@@ -89,6 +95,17 @@ type Additive struct {
 	cpGrowth []float64 // fitted slope deltas at changepoints (for sampling)
 	cpTimes  []float64 // changepoint positions in scaled time
 	rng      *rand.Rand
+
+	// Reused training/inference scratch.
+	designBuf []float64
+	yBuf      []float64
+	gramBuf   []float64
+	cBuf      []float64
+	gradBuf   []float64
+	dayTab    []float64 // daily Fourier block per slot-of-day, ppd×2·DailyOrder
+	rowBuf    []float64
+	pointBuf  []float64
+	accBuf    []float64
 }
 
 // NewAdditive returns an additive forecaster with cfg (zero fields take
@@ -108,7 +125,10 @@ func (a *Additive) featureDim() int {
 
 // features fills row with the design features for absolute observation index
 // t (0 = start of training): intercept, scaled time, changepoint hinges,
-// daily and weekly Fourier terms.
+// daily and weekly Fourier terms. The daily block is copied from the
+// slot-of-day table built in Train — only ppd distinct phases exist, so the
+// per-row sin/cos evaluations (which dominated the design build) collapse to
+// one table fill; the copied values are bit-identical to direct evaluation.
 func (a *Additive) features(row []float64, t int) {
 	ts := float64(t) / float64(max(a.nTrain-1, 1)) // scaled time
 	row[0] = 1
@@ -122,17 +142,34 @@ func (a *Additive) features(row []float64, t int) {
 		}
 		k++
 	}
-	day := 2 * math.Pi * float64(t%a.ppd) / float64(a.ppd)
-	for o := 1; o <= a.cfg.DailyOrder; o++ {
-		row[k] = math.Sin(float64(o) * day)
-		row[k+1] = math.Cos(float64(o) * day)
-		k += 2
-	}
+	nd := 2 * a.cfg.DailyOrder
+	copy(row[k:k+nd], a.dayTab[(t%a.ppd)*nd:(t%a.ppd+1)*nd])
+	k += nd
 	week := 2 * math.Pi * float64(t%(7*a.ppd)) / float64(7*a.ppd)
 	for o := 1; o <= a.cfg.WeeklyOrder; o++ {
 		row[k] = math.Sin(float64(o) * week)
 		row[k+1] = math.Cos(float64(o) * week)
 		k += 2
+	}
+}
+
+// buildDayTable fills the slot-of-day Fourier table with exactly the
+// expressions features historically evaluated per row.
+func (a *Additive) buildDayTable() {
+	nd := 2 * a.cfg.DailyOrder
+	if cap(a.dayTab) < a.ppd*nd {
+		a.dayTab = make([]float64, a.ppd*nd)
+	}
+	a.dayTab = a.dayTab[:a.ppd*nd]
+	for s := 0; s < a.ppd; s++ {
+		day := 2 * math.Pi * float64(s) / float64(a.ppd)
+		row := a.dayTab[s*nd : (s+1)*nd]
+		k := 0
+		for o := 1; o <= a.cfg.DailyOrder; o++ {
+			row[k] = math.Sin(float64(o) * day)
+			row[k+1] = math.Cos(float64(o) * day)
+			k += 2
+		}
 	}
 }
 
@@ -154,20 +191,36 @@ func (a *Additive) Train(history timeseries.Series) error {
 	a.nTrain = h.Len()
 	a.interval = h.Interval
 	a.end = h.End()
+	// Re-seed so a reused (worker-arena) model draws the same Monte-Carlo
+	// trajectories a fresh instance would; a single New→Train→Forecast pass
+	// is unaffected because Train never consumes the stream.
+	a.rng.Seed(a.cfg.Seed ^ 0x9a0ff37)
 
-	a.cpTimes = make([]float64, a.cfg.Changepoints)
+	if cap(a.cpTimes) < a.cfg.Changepoints {
+		a.cpTimes = make([]float64, a.cfg.Changepoints)
+	}
+	a.cpTimes = a.cpTimes[:a.cfg.Changepoints]
 	for i := range a.cpTimes {
 		a.cpTimes[i] = 0.8 * float64(i+1) / float64(a.cfg.Changepoints+1)
 	}
+	a.buildDayTable()
 
 	p := a.featureDim()
 	n := a.nTrain
-	// Materialize the design once; n×p is small enough (≤ ~4032×50).
-	design := make([]float64, n*p)
+	// Materialize the design once into the retained buffer; n×p is small
+	// enough (≤ ~4032×50) but dominated the allocation profile when it was
+	// rebuilt fresh for every server.
+	if cap(a.designBuf) < n*p {
+		a.designBuf = make([]float64, n*p)
+	}
+	design := a.designBuf[:n*p]
 	for t := 0; t < n; t++ {
 		a.features(design[t*p:(t+1)*p], t)
 	}
-	y := make([]float64, n)
+	if cap(a.yBuf) < n {
+		a.yBuf = make([]float64, n)
+	}
+	y := a.yBuf[:n]
 	for i, v := range h.Values {
 		y[i] = v / 100
 	}
@@ -178,11 +231,18 @@ func (a *Additive) Train(history timeseries.Series) error {
 	// a ~40× flop reduction at the default shapes. G is built by the
 	// linalg fast path without materializing Aᵀ.
 	dm := &linalg.Matrix{Rows: n, Cols: p, Data: design}
-	gram := linalg.NewMatrix(p, p)
+	if cap(a.gramBuf) < p*p {
+		a.gramBuf = make([]float64, p*p)
+	}
+	gram := &linalg.Matrix{Rows: p, Cols: p, Data: a.gramBuf[:p*p]}
 	if err := linalg.MulTransposedInto(gram, dm); err != nil {
 		return err
 	}
-	c := make([]float64, p)
+	if cap(a.cBuf) < p {
+		a.cBuf = make([]float64, p)
+	}
+	c := a.cBuf[:p]
+	clear(c)
 	for t := 0; t < n; t++ {
 		row := design[t*p : (t+1)*p]
 		yt := y[t]
@@ -191,8 +251,15 @@ func (a *Additive) Train(history timeseries.Series) error {
 		}
 	}
 
-	beta := make([]float64, p)
-	grad := make([]float64, p)
+	if cap(a.beta) < p {
+		a.beta = make([]float64, p)
+	}
+	beta := a.beta[:p]
+	clear(beta)
+	if cap(a.gradBuf) < p {
+		a.gradBuf = make([]float64, p)
+	}
+	grad := a.gradBuf[:p]
 	lr := a.cfg.LearningRate
 	for it := 0; it < a.cfg.Iterations; it++ {
 		for j := 0; j < p; j++ {
@@ -227,7 +294,7 @@ func (a *Additive) Train(history timeseries.Series) error {
 		sse += d * d
 	}
 	a.residual = math.Sqrt(sse / float64(n))
-	a.cpGrowth = append([]float64(nil), beta[2:2+a.cfg.Changepoints]...)
+	a.cpGrowth = append(a.cpGrowth[:0], beta[2:2+a.cfg.Changepoints]...)
 	a.trained = true
 	return nil
 }
@@ -245,8 +312,14 @@ func (a *Additive) Forecast(horizon int) (timeseries.Series, error) {
 	}
 	p := a.featureDim()
 	// Point component of each future observation is shared by all samples.
-	point := make([]float64, horizon)
-	row := make([]float64, p)
+	if cap(a.pointBuf) < horizon {
+		a.pointBuf = make([]float64, horizon)
+	}
+	point := a.pointBuf[:horizon]
+	if cap(a.rowBuf) < p {
+		a.rowBuf = make([]float64, p)
+	}
+	row := a.rowBuf[:p]
 	for i := 0; i < horizon; i++ {
 		a.features(row, a.nTrain+i)
 		s := 0.0
@@ -265,7 +338,11 @@ func (a *Additive) Forecast(horizon int) (timeseries.Series, error) {
 		scale /= float64(len(a.cpGrowth))
 	}
 
-	acc := make([]float64, horizon)
+	if cap(a.accBuf) < horizon {
+		a.accBuf = make([]float64, horizon)
+	}
+	acc := a.accBuf[:horizon]
+	clear(acc)
 	for s := 0; s < a.cfg.Samples; s++ {
 		// Sample one future changepoint location and slope delta.
 		cpAt := a.rng.Intn(horizon + 1)

@@ -1,0 +1,56 @@
+package forecast
+
+import "testing"
+
+// The worker-arena contract for the remaining models: retraining a used
+// instance must produce exactly the output of a fresh instance, so
+// evaluateFleet can carry one model per worker across servers.
+
+func TestAdditiveRetrainMatchesFresh(t *testing.T) {
+	cfg := AdditiveConfig{Seed: 9, Iterations: 150, Samples: 100}
+	reused := NewAdditive(cfg)
+	if _, err := PredictDay(reused, mkDays(10, dailyShape(51))); err != nil {
+		t.Fatal(err)
+	}
+	hist := mkDays(7, dailyShape(52))
+	predReused, err := PredictDay(reused, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predFresh, err := PredictDay(NewAdditive(cfg), hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range predFresh.Values {
+		if predReused.Values[i] != predFresh.Values[i] {
+			t.Fatalf("retrained additive diverges from fresh at %d: %v != %v",
+				i, predReused.Values[i], predFresh.Values[i])
+		}
+	}
+}
+
+func TestARIMARetrainMatchesFresh(t *testing.T) {
+	cfg := ARIMAConfig{MaxP: 1, MaxQ: 1, SearchBudget: 60}
+	reused := NewARIMA(cfg)
+	if _, err := PredictDay(reused, mkDays(7, dailyShape(53))); err != nil {
+		t.Fatal(err)
+	}
+	hist := mkDays(7, dailyShape(54))
+	predReused, err := PredictDay(reused, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewARIMA(cfg)
+	predFresh, err := PredictDay(fresh, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.Order() != fresh.Order() {
+		t.Fatalf("retrained ARIMA selected %s, fresh selected %s", reused.Order(), fresh.Order())
+	}
+	for i := range predFresh.Values {
+		if predReused.Values[i] != predFresh.Values[i] {
+			t.Fatalf("retrained ARIMA diverges from fresh at %d", i)
+		}
+	}
+}

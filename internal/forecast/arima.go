@@ -111,6 +111,13 @@ type ARIMA struct {
 	fineInterval time.Duration
 	end          time.Time
 	aic          float64
+
+	// scratch carries the design/residual/solver buffers across candidates
+	// within one Train and across Train calls, so a model reused as a
+	// per-worker arena fits its whole grid without per-candidate (or
+	// per-server) allocations. The parallel grid path still creates one
+	// scratch per grid worker.
+	scratch fitScratch
 }
 
 // NewARIMA returns a seasonal ARIMA forecaster with cfg (zero fields take
@@ -211,13 +218,13 @@ func (a *ARIMA) Train(history timeseries.Series) error {
 	nDS := (a.cfg.MaxD + 1) * (a.cfg.MaxSD + 1)
 	ws := make([][]float64, nDS)
 	initResids := make([][]float64, nDS)
-	var hoist fitScratch
+	hoist := &a.scratch
 	for d := 0; d <= a.cfg.MaxD; d++ {
 		for sd := 0; sd <= a.cfg.MaxSD; sd++ {
 			idx := d*(a.cfg.MaxSD+1) + sd
 			w := differenceAll(x, d, sd, season)
 			ws[idx] = w
-			initResids[idx] = longARResiduals(w, minInt(24, len(w)/4), season, &hoist)
+			initResids[idx] = longARResiduals(w, minInt(24, len(w)/4), season, hoist)
 		}
 	}
 
@@ -270,7 +277,7 @@ func (a *ARIMA) Train(history timeseries.Series) error {
 		}
 	} else {
 		for i := range cands {
-			if err := fitOne(i, &hoist); err != nil {
+			if err := fitOne(i, hoist); err != nil {
 				return err
 			}
 		}
@@ -460,12 +467,30 @@ func fillLagRow(row []float64, o arimaOrder, w, resid []float64, t, season int) 
 // post-burn-in range. Entries at or past the burn-in are always written
 // before they are read, so resid may be reused across calls unzeroed.
 func cssInto(o arimaOrder, w []float64, season int, beta, resid []float64) float64 {
+	return cssIntoBounded(o, w, season, beta, resid, math.Inf(1))
+}
+
+// cssIntoBounded is cssInto with an early exit: the running sum is monotone,
+// so once it exceeds limit the candidate cannot beat the incumbent and the
+// scan stops (the partial residual tail is stale, but every cssInto variant
+// writes resid[t] before reading it within a call, so reuse stays safe).
+// The returned value is ≥ limit exactly when the scan exited early, which is
+// all the pattern search's strict-improvement comparison needs — accepted
+// probes always ran to completion, keeping the search trajectory identical
+// to the unbounded scan.
+func cssIntoBounded(o arimaOrder, w []float64, season int, beta, resid []float64, limit float64) float64 {
+	if o.p <= 1 && o.q <= 1 && o.sp <= 1 && o.sq <= 1 {
+		return cssSmallOrder(o, w, season, beta, resid, limit)
+	}
 	t0 := o.burnIn(season)
 	for i := 0; i < t0; i++ {
 		resid[i] = 0
 	}
 	css := 0.0
 	for t := t0; t < len(w); t++ {
+		if css > limit {
+			return css
+		}
 		pred := beta[0]
 		k := 1
 		for i := 1; i <= o.p; i++ {
@@ -483,6 +508,62 @@ func cssInto(o arimaOrder, w []float64, season int, beta, resid []float64) float
 		for j := 1; j <= o.sq; j++ {
 			pred += beta[k] * resid[t-j*season]
 			k++
+		}
+		e := w[t] - pred
+		resid[t] = e
+		css += e * e
+	}
+	return css
+}
+
+// cssSmallOrder is cssIntoBounded specialized for orders with every
+// component ≤ 1 — the entire default grid (MaxP/MaxQ ≤ 3 only exceed this
+// for the non-seasonal terms of a minority of candidates, and the fast
+// experiment profile caps at 1 everywhere). Coefficients are hoisted into
+// registers and the per-lag loops disappear; the term order matches the
+// general recursion exactly, so the sums are bit-identical.
+func cssSmallOrder(o arimaOrder, w []float64, season int, beta, resid []float64, limit float64) float64 {
+	t0 := o.burnIn(season)
+	for i := 0; i < t0; i++ {
+		resid[i] = 0
+	}
+	b0 := beta[0]
+	var bAR, bSAR, bMA, bSMA float64
+	k := 1
+	if o.p == 1 {
+		bAR = beta[k]
+		k++
+	}
+	if o.sp == 1 {
+		bSAR = beta[k]
+		k++
+	}
+	if o.q == 1 {
+		bMA = beta[k]
+		k++
+	}
+	if o.sq == 1 {
+		bSMA = beta[k]
+	}
+	hasP, hasSP := o.p == 1, o.sp == 1
+	hasQ, hasSQ := o.q == 1, o.sq == 1
+	css := 0.0
+	for t := t0; t < len(w); t++ {
+		if css > limit {
+			return css
+		}
+		pred := b0
+		if hasP {
+			pred += bAR * w[t-1]
+		}
+		if hasSP {
+			pred += bSAR * w[t-season]
+		}
+		if hasQ {
+			pred += bMA * resid[t-1]
+		}
+		if hasSQ {
+			pred += bSMA * resid[t-season]
 		}
 		e := w[t] - pred
 		resid[t] = e
@@ -510,7 +591,7 @@ func (a *ARIMA) patternSearch(o arimaOrder, w []float64, season int, beta []floa
 			for _, dir := range [2]float64{1, -1} {
 				copy(cand, best)
 				cand[j] += dir * step
-				css := cssInto(o, w, season, cand, resid)
+				css := cssIntoBounded(o, w, season, cand, resid, bestCSS)
 				evals++
 				if css < bestCSS {
 					best, cand = cand, best

@@ -26,6 +26,26 @@ type SSAConfig struct {
 	Granularity time.Duration
 	// TrainDays limits how much trailing history is used. Default 7.
 	TrainDays int
+	// RandomizedSVD switches the trajectory-matrix decomposition to the
+	// seeded randomized range-finder SVD, which extracts only the Rank
+	// leading triples from a Rank+Oversample sketch of the window-side Gram
+	// matrix instead of running full Jacobi sweeps over every column pair.
+	// At the default sketch settings the resulting forecasts match the exact
+	// decomposition to ≤1e-6 (see TestSSARandomizedMatchesJacobi) at a
+	// fraction of the cost. Default false (exact Jacobi).
+	RandomizedSVD bool
+	// Oversample is the number of extra sketch columns beyond Rank when
+	// RandomizedSVD is set. The default is deliberately deep (24): it pushes
+	// the sketch boundary below the noise shelf of load spectra, which is
+	// what lets the subspace iteration resolve the trailing kept triples to
+	// forecasting tolerance. Default 24.
+	Oversample int
+	// PowerIters is the number of subspace-iteration rounds sharpening the
+	// randomized sketch. Default 6.
+	PowerIters int
+	// Seed drives the randomized range finder's Gaussian test matrix; the
+	// decomposition is deterministic for a fixed seed. Default 0.
+	Seed int64
 }
 
 func (c SSAConfig) withDefaults() SSAConfig {
@@ -41,6 +61,12 @@ func (c SSAConfig) withDefaults() SSAConfig {
 	if c.TrainDays == 0 {
 		c.TrainDays = 7
 	}
+	if c.Oversample == 0 {
+		c.Oversample = 24
+	}
+	if c.PowerIters == 0 {
+		c.PowerIters = 6
+	}
 	return c
 }
 
@@ -48,6 +74,11 @@ func (c SSAConfig) withDefaults() SSAConfig {
 // a Hankel trajectory matrix, keeps the leading singular triples, and
 // forecasts with the linear recurrence formula derived from the signal
 // subspace (recurrent SSA forecasting).
+//
+// An SSA instance may be retrained on fresh histories; the trajectory
+// matrix, SVD working set and coefficient buffers are retained between Train
+// calls, so a model reused as a per-worker arena across many servers
+// allocates almost nothing after the first fit.
 type SSA struct {
 	cfg SSAConfig
 
@@ -57,6 +88,11 @@ type SSA struct {
 	coeffs       []float64 // linear recurrence coefficients a_1..a_{L-1}
 	tail         []float64 // last L-1 reconstructed values, oldest first
 	end          time.Time // end of training history (fine granularity)
+
+	// Reused training scratch.
+	hankelBuf  []float64
+	ucol, vcol []float64
+	svdScratch linalg.SVDScratch
 }
 
 // NewSSA returns an SSA forecaster with cfg (zero fields take defaults).
@@ -95,11 +131,23 @@ func (s *SSA) Train(history timeseries.Series) error {
 		return fmt.Errorf("%w: series too short for SSA window", ErrNeedHistory)
 	}
 
-	hankel, err := linalg.Hankel(x, l)
-	if err != nil {
-		return err
+	// Embed into the L×K trajectory matrix, filled in scratch.
+	k := len(x) - l + 1
+	if cap(s.hankelBuf) < l*k {
+		s.hankelBuf = make([]float64, l*k)
 	}
-	svd, err := linalg.ComputeSVD(hankel)
+	hankel := linalg.Matrix{Rows: l, Cols: k, Data: s.hankelBuf[:l*k]}
+	for i := 0; i < l; i++ {
+		copy(hankel.Data[i*k:(i+1)*k], x[i:i+k])
+	}
+
+	var svd *linalg.SVD
+	if s.cfg.RandomizedSVD {
+		svd, err = linalg.RandomizedSVDScratch(&hankel, s.cfg.Rank,
+			s.cfg.Oversample, s.cfg.PowerIters, s.cfg.Seed, &s.svdScratch)
+	} else {
+		svd, err = linalg.ComputeSVDScratch(&hankel, &s.svdScratch)
+	}
 	if err != nil {
 		return err
 	}
@@ -108,25 +156,6 @@ func (s *SSA) Train(history timeseries.Series) error {
 	for rank > 1 && svd.S[rank-1] < 1e-10*svd.S[0] {
 		rank--
 	}
-
-	// Reconstruct the signal component for the forecast seed values. The
-	// rank-r outer products accumulate into one reused matrix; V's column r is
-	// gathered once per triple instead of strided At calls in the inner loop.
-	recon := linalg.NewMatrix(hankel.Rows, hankel.Cols)
-	vcol := make([]float64, hankel.Cols)
-	for r := 0; r < rank; r++ {
-		for j := 0; j < hankel.Cols; j++ {
-			vcol[j] = svd.V.At(j, r)
-		}
-		for i := 0; i < hankel.Rows; i++ {
-			ui := svd.U.At(i, r) * svd.S[r]
-			row := recon.Data[i*recon.Cols : (i+1)*recon.Cols]
-			for j, v := range vcol {
-				row[j] += ui * v
-			}
-		}
-	}
-	signal := linalg.DiagonalAverage(recon)
 
 	// Recurrent forecasting coefficients. With π_r the last coordinate of
 	// each left singular vector and ν² = Σπ_r², the recurrence is
@@ -139,7 +168,11 @@ func (s *SSA) Train(history timeseries.Series) error {
 	if nu2 >= 1-1e-9 {
 		return fmt.Errorf("forecast: SSA verticality coefficient ν²=%.6f too close to 1", nu2)
 	}
-	a := make([]float64, l-1) // a[0] multiplies x_{t-1}
+	if cap(s.coeffs) < l-1 {
+		s.coeffs = make([]float64, l-1)
+	}
+	a := s.coeffs[:l-1] // a[0] multiplies x_{t-1}
+	clear(a)
 	for r := 0; r < rank; r++ {
 		pi := svd.U.At(l-1, r)
 		if pi == 0 {
@@ -154,8 +187,50 @@ func (s *SSA) Train(history timeseries.Series) error {
 		a[i] /= 1 - nu2
 	}
 
+	// Forecast seed values: the rank-r signal reconstruction at the last L-1
+	// positions only. Position t of the diagonal-averaged signal is
+	// (1/cnt_t)·Σ_r σ_r Σ_{i+j=t} U_ir·V_jr with i∈[0,L), j∈[0,K), so the
+	// full L×K reconstruction matrix the textbook pipeline materializes is
+	// never needed — only the ≤L-term anti-diagonal sums of the final L-1
+	// positions.
+	if cap(s.tail) < l-1 {
+		s.tail = make([]float64, l-1)
+	}
+	tail := s.tail[:l-1]
+	clear(tail)
+	if cap(s.ucol) < l {
+		s.ucol = make([]float64, l)
+	}
+	if cap(s.vcol) < k {
+		s.vcol = make([]float64, k)
+	}
+	ucol, vcol := s.ucol[:l], s.vcol[:k]
+	for r := 0; r < rank; r++ {
+		sr := svd.S[r]
+		for i := 0; i < l; i++ {
+			ucol[i] = svd.U.At(i, r)
+		}
+		for j := 0; j < k; j++ {
+			vcol[j] = svd.V.At(j, r)
+		}
+		for idx := range tail {
+			t := k + idx
+			hi := min(l-1, t)
+			acc := 0.0
+			for i := t - k + 1; i <= hi; i++ {
+				acc += ucol[i] * vcol[t-i]
+			}
+			tail[idx] += sr * acc
+		}
+	}
+	for idx := range tail {
+		t := k + idx
+		cnt := min(l-1, t) - (t - k + 1) + 1
+		tail[idx] /= float64(cnt)
+	}
+
 	s.coeffs = a
-	s.tail = append([]float64(nil), signal[len(signal)-(l-1):]...)
+	s.tail = tail
 	s.factor = factor
 	s.fineInterval = h.Interval
 	s.end = h.End()

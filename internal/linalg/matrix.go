@@ -141,133 +141,12 @@ func Dot(a, b []float64) float64 {
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
-// SVD holds a thin singular value decomposition A = U diag(S) Vᵀ with
-// singular values in non-increasing order.
-type SVD struct {
-	U *Matrix   // Rows×k
-	S []float64 // k singular values, descending
-	V *Matrix   // Cols×k
-}
-
-// ComputeSVD computes the thin SVD of a via one-sided Jacobi rotations
-// applied to the columns of a working copy. It is O(iter·n²·m) which is fine
-// for the small Hankel matrices SSA builds.
-func ComputeSVD(a *Matrix) (*SVD, error) {
-	m, n := a.Rows, a.Cols
-	if m == 0 || n == 0 {
-		return nil, fmt.Errorf("%w: empty matrix", ErrShape)
-	}
-	// One-sided Jacobi works on columns; ensure rows >= cols by transposing.
-	if m < n {
-		sv, err := ComputeSVD(a.T())
-		if err != nil {
-			return nil, err
-		}
-		return &SVD{U: sv.V, S: sv.S, V: sv.U}, nil
-	}
-
-	// Work on contiguous column slices for cache efficiency.
-	cols := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		cols[j] = a.Col(j)
-	}
-	vcols := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		vcols[j] = make([]float64, n)
-		vcols[j][j] = 1
-	}
-	const maxSweeps = 30
-	const eps = 1e-10
-
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		rotations := 0
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				cp := cols[p]
-				cq := cols[q][:len(cp)] // bounds-check hint: both columns have m rows
-				alpha, beta, gamma := 0.0, 0.0, 0.0
-				for i, wp := range cp {
-					wq := cq[i]
-					alpha += wp * wp
-					beta += wq * wq
-					gamma += wp * wq
-				}
-				if gamma == 0 || math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
-					continue
-				}
-				rotations++
-				// Jacobi rotation that annihilates the (p,q) inner product.
-				zeta := (beta - alpha) / (2 * gamma)
-				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
-				c := 1 / math.Sqrt(1+t*t)
-				s := c * t
-				for i, wp := range cp {
-					wq := cq[i]
-					cp[i] = c*wp - s*wq
-					cq[i] = s*wp + c*wq
-				}
-				vp := vcols[p]
-				vq := vcols[q][:len(vp)]
-				for i, wp := range vp {
-					wq := vq[i]
-					vp[i] = c*wp - s*wq
-					vq[i] = s*wp + c*wq
-				}
-			}
-		}
-		if rotations == 0 {
-			break
-		}
-	}
-
-	// Column norms are the singular values.
-	type cs struct {
-		s   float64
-		idx int
-	}
-	order := make([]cs, n)
-	for j := 0; j < n; j++ {
-		order[j] = cs{Norm2(cols[j]), j}
-	}
-	// Sort descending by singular value (insertion sort; n is small).
-	for i := 1; i < n; i++ {
-		for k := i; k > 0 && order[k].s > order[k-1].s; k-- {
-			order[k], order[k-1] = order[k-1], order[k]
-		}
-	}
-
-	u := NewMatrix(m, n)
-	vOut := NewMatrix(n, n)
-	s := make([]float64, n)
-	for rank, o := range order {
-		s[rank] = o.s
-		src := cols[o.idx]
-		for i := 0; i < m; i++ {
-			if o.s > 0 {
-				u.Set(i, rank, src[i]/o.s)
-			}
-		}
-		vsrc := vcols[o.idx]
-		for i := 0; i < n; i++ {
-			vOut.Set(i, rank, vsrc[i])
-		}
-	}
-	return &SVD{U: u, S: s, V: vOut}, nil
-}
-
 func identity(n int) *Matrix {
 	m := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		m.Set(i, i, 1)
 	}
 	return m
-}
-
-func sign(x float64) float64 {
-	if x < 0 {
-		return -1
-	}
-	return 1
 }
 
 // SolveLeastSquares returns x minimizing ‖Ax − b‖₂ via the normal equations
@@ -456,7 +335,9 @@ func CholeskySolveInPlace(g *Matrix, b []float64) error {
 
 // Hankel builds the L×K trajectory (Hankel) matrix of series x with window
 // length L, where K = len(x) − L + 1 and H[i][j] = x[i+j]. This is the
-// embedding step of singular spectrum analysis.
+// embedding step of singular spectrum analysis. The SSA hot path fills its
+// scratch-backed trajectory matrix inline; this constructor remains as the
+// reference definition of the embedding (and for external consumers).
 func Hankel(x []float64, l int) (*Matrix, error) {
 	k := len(x) - l + 1
 	if l <= 0 || k <= 0 {
@@ -473,7 +354,10 @@ func Hankel(x []float64, l int) (*Matrix, error) {
 
 // DiagonalAverage reconstructs a series of length l+k−1 from an l×k matrix by
 // averaging its anti-diagonals — the inverse of the Hankel embedding used in
-// SSA reconstruction.
+// SSA reconstruction. The SSA hot path computes only the trailing
+// anti-diagonal sums it needs for the forecast seed; this full
+// reconstruction remains as the reference the tail-only math is checked
+// against.
 func DiagonalAverage(m *Matrix) []float64 {
 	l, k := m.Rows, m.Cols
 	n := l + k - 1

@@ -1,0 +1,507 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVD holds a thin singular value decomposition A = U diag(S) Vᵀ with
+// singular values in non-increasing order.
+type SVD struct {
+	U *Matrix   // Rows×k
+	S []float64 // k singular values, descending
+	V *Matrix   // Cols×k
+}
+
+// SVDScratch holds the working and result storage for ComputeSVDScratch and
+// RandomizedSVDScratch so repeated decompositions of similarly sized matrices
+// (the per-server trajectory matrices of SSA) allocate nothing after the
+// first call. The zero value is ready to use; buffers grow on demand and are
+// retained. A result returned from a scratch-backed call aliases the scratch
+// and is valid only until the scratch's next use.
+type SVDScratch struct {
+	cols  []float64 // working columns, flat (column j at [j*m, (j+1)*m))
+	v     []float64 // right-rotation accumulator, flat n×n
+	norms []float64 // tracked squared column norms
+	order []int     // permutation sorting singular values descending
+
+	// Randomized range-finder storage.
+	gram  []float64 // small-side Gram matrix, row-major s×s
+	omega []float64 // Gaussian test matrix, column-major s×r
+	y     []float64 // sketch basis Q, column-major s×r
+	z     []float64 // power-iteration / G·Q workspace, column-major s×r
+	tmp   []float64 // per-triple assembly vectors
+
+	uBuf, vBuf, sBuf, sOut []float64 // result backing
+	uM, vM                 Matrix
+	svd                    SVD
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// ComputeSVD computes the thin SVD of a via one-sided Jacobi rotations
+// applied to the columns of a working copy. It is O(iter·n²·m) which is fine
+// for the small Hankel matrices SSA builds. Allocation-sensitive callers
+// should hold an SVDScratch and use ComputeSVDScratch.
+func ComputeSVD(a *Matrix) (*SVD, error) {
+	return ComputeSVDScratch(a, &SVDScratch{})
+}
+
+// ComputeSVDScratch is ComputeSVD with caller-provided scratch: all working
+// and result storage comes from sc, so a warm scratch makes the
+// decomposition allocation-free. The returned SVD aliases sc and is valid
+// until sc's next use.
+func ComputeSVDScratch(a *Matrix, sc *SVDScratch) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	// One-sided Jacobi works on columns; ensure rows >= cols by operating on
+	// the transpose when the matrix is wide (and swapping U/V at the end).
+	transposed := m < n
+	if transposed {
+		m, n = n, m
+	}
+	sc.cols = growFloats(sc.cols, n*m)
+	if transposed {
+		// The columns of aᵀ are the rows of a, which are contiguous.
+		for j := 0; j < n; j++ {
+			copy(sc.cols[j*m:(j+1)*m], a.Data[j*a.Cols:(j+1)*a.Cols])
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			col := sc.cols[j*m : (j+1)*m]
+			for i := range col {
+				col[i] = a.Data[i*a.Cols+j]
+			}
+		}
+	}
+	sc.v = growFloats(sc.v, n*n)
+	for i := range sc.v {
+		sc.v[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		sc.v[j*n+j] = 1
+	}
+	sc.norms = growFloats(sc.norms, n)
+	for j := 0; j < n; j++ {
+		col := sc.cols[j*m : (j+1)*m]
+		sc.norms[j] = Dot(col, col)
+	}
+	jacobiSVD(sc.cols, sc.v, sc.norms, m, n)
+	sc.buildResult(m, n, transposed)
+	return &sc.svd, nil
+}
+
+// jacobiSVD runs one-sided Jacobi sweeps over the n working columns of
+// length m stored flat in cols, accumulating the right rotations into v
+// (n×n, same flat layout, identity on entry). norms2 must hold the squared
+// column norms on entry; they are maintained incrementally — the rotation of
+// a pair (p,q) that annihilates their inner product γ moves exactly t·γ of
+// squared mass between the two columns (α' = α − t·γ, β' = β + t·γ), so the
+// per-pair norm recomputation the textbook loop performs is unnecessary.
+// Only the inner product itself still costs a pass over the pair.
+func jacobiSVD(cols, v, norms2 []float64, m, n int) {
+	const maxSweeps = 30
+	const eps = 1e-10
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotations := 0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				cp := cols[p*m : (p+1)*m]
+				cq := cols[q*m : (q+1)*m][:m]
+				gamma := 0.0
+				for i, wp := range cp {
+					gamma += wp * cq[i]
+				}
+				alpha, beta := norms2[p], norms2[q]
+				// Incremental tracking can drift a hair below zero for
+				// numerically dead columns; clamp for the threshold test.
+				if alpha < 0 {
+					alpha = 0
+				}
+				if beta < 0 {
+					beta = 0
+				}
+				if gamma == 0 || math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotations++
+				// Jacobi rotation that annihilates the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i, wp := range cp {
+					wq := cq[i]
+					cp[i] = c*wp - s*wq
+					cq[i] = s*wp + c*wq
+				}
+				norms2[p] = alpha - t*gamma
+				norms2[q] = beta + t*gamma
+				vp := v[p*n : (p+1)*n]
+				vq := v[q*n : (q+1)*n][:n]
+				for i, wp := range vp {
+					wq := vq[i]
+					vp[i] = c*wp - s*wq
+					vq[i] = s*wp + c*wq
+				}
+			}
+		}
+		if rotations == 0 {
+			break
+		}
+	}
+}
+
+// buildResult turns the converged working columns into the sorted thin SVD.
+// Final singular values are recomputed exactly from the columns (one O(m·n)
+// pass) rather than read from the incrementally tracked norms, so tracking
+// drift never reaches the output.
+func (sc *SVDScratch) buildResult(m, n int, transposed bool) {
+	sc.sBuf = growFloats(sc.sBuf, n)
+	for j := 0; j < n; j++ {
+		sc.sBuf[j] = Norm2(sc.cols[j*m : (j+1)*m])
+	}
+	sc.order = growInts(sc.order, n)
+	for j := range sc.order {
+		sc.order[j] = j
+	}
+	// Sort descending by singular value (insertion sort; n is small). Strict
+	// comparison keeps equal values in original column order, matching the
+	// historical behaviour.
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && sc.sBuf[sc.order[k]] > sc.sBuf[sc.order[k-1]]; k-- {
+			sc.order[k], sc.order[k-1] = sc.order[k-1], sc.order[k]
+		}
+	}
+
+	sc.uBuf = growFloats(sc.uBuf, m*n)
+	sc.vBuf = growFloats(sc.vBuf, n*n)
+	sc.sOut = growFloats(sc.sOut, n)
+	u := Matrix{Rows: m, Cols: n, Data: sc.uBuf[:m*n]}
+	vOut := Matrix{Rows: n, Cols: n, Data: sc.vBuf[:n*n]}
+	sVals := sc.sOut[:n]
+	for rank, idx := range sc.order {
+		sv := sc.sBuf[idx]
+		sVals[rank] = sv
+		src := sc.cols[idx*m : (idx+1)*m]
+		if sv > 0 {
+			inv := 1 / sv
+			for i := 0; i < m; i++ {
+				u.Data[i*n+rank] = src[i] * inv
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				u.Data[i*n+rank] = 0
+			}
+		}
+		vsrc := sc.v[idx*n : (idx+1)*n]
+		for i := 0; i < n; i++ {
+			vOut.Data[i*n+rank] = vsrc[i]
+		}
+	}
+	sc.uM, sc.vM = u, vOut
+	if transposed {
+		sc.svd = SVD{U: &sc.vM, S: sVals, V: &sc.uM}
+	} else {
+		sc.svd = SVD{U: &sc.uM, S: sVals, V: &sc.vM}
+	}
+}
+
+// RandomizedSVD computes the leading rank singular triples of a with a
+// seeded randomized range finder. The m×n matrix is first collapsed onto its
+// small side's Gram matrix G (s×s with s = min(m,n)), which a Hankel-sized
+// input amortizes in one pass; a Gaussian sketch of rank+oversample columns
+// is then tightened by powerIters rounds of subspace iteration G·Y (each
+// round sharpens the sketch by the square of the spectral decay, and
+// re-orthonormalizes), and the triples are extracted by Rayleigh–Ritz: the
+// projected s×s problem T = QᵀGQ is diagonalized exactly by the one-sided
+// Jacobi core and the large-side singular vectors are recovered as A·v/σ
+// (resp. Aᵀu/σ). All iteration work is O(s²·r) per round — independent of
+// the large dimension — which is what makes the sketch cheaper than full
+// Jacobi even at ≤1e-6 equivalence budgets.
+//
+// The result is deterministic for a fixed seed. When the sketch would cover
+// the full small dimension the call falls back to the exact decomposition
+// (returning all min(m,n) triples rather than rank).
+func RandomizedSVD(a *Matrix, rank, oversample, powerIters int, seed int64) (*SVD, error) {
+	return RandomizedSVDScratch(a, rank, oversample, powerIters, seed, &SVDScratch{})
+}
+
+// RandomizedSVDScratch is RandomizedSVD with caller-provided scratch. The
+// returned SVD aliases sc and is valid until sc's next use.
+func RandomizedSVDScratch(a *Matrix, rank, oversample, powerIters int, seed int64, sc *SVDScratch) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	if rank <= 0 {
+		return nil, fmt.Errorf("linalg: randomized SVD rank %d must be positive", rank)
+	}
+	if oversample < 0 {
+		oversample = 0
+	}
+	// Operate on the smaller of the two Gram matrices: A·Aᵀ when the matrix
+	// is wide (small side = rows), AᵀA when it is tall.
+	wide := m <= n
+	s := m
+	if !wide {
+		s = n
+	}
+	r := rank + oversample
+	if r >= s {
+		// Sketch as wide as the matrix: nothing to save, use the exact path.
+		return ComputeSVDScratch(a, sc)
+	}
+
+	// G = A·Aᵀ (wide) or AᵀA (tall), symmetric s×s in row-major sc.gram.
+	sc.gram = growFloats(sc.gram, s*s)
+	gram := sc.gram[:s*s]
+	if wide {
+		for i := 0; i < m; i++ {
+			ri := a.Data[i*n : (i+1)*n]
+			for j := i; j < m; j++ {
+				d := Dot(ri, a.Data[j*n:(j+1)*n])
+				gram[i*s+j] = d
+				gram[j*s+i] = d
+			}
+		}
+	} else {
+		for i := range gram {
+			gram[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			for p := 0; p < n; p++ {
+				rp := row[p]
+				if rp == 0 {
+					continue
+				}
+				grow := gram[p*s+p : p*s+n]
+				rq := row[p:n]
+				for q, v := range rq {
+					grow[q] += rp * v
+				}
+			}
+		}
+		for p := 0; p < n; p++ {
+			for q := 0; q < p; q++ {
+				gram[p*s+q] = gram[q*s+p]
+			}
+		}
+	}
+
+	// Seeded Gaussian sketch, then subspace iteration entirely in dimension s.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eaf00d))
+	sc.omega = growFloats(sc.omega, s*r)
+	for i := range sc.omega {
+		sc.omega[i] = rng.NormFloat64()
+	}
+	sc.y = growFloats(sc.y, s*r)
+	sc.z = growFloats(sc.z, s*r)
+	symMulCols(sc.y, gram, sc.omega, s, r)
+	orthonormalize(sc.y, s, r)
+	for it := 0; it < powerIters; it++ {
+		copy(sc.z[:s*r], sc.y[:s*r])
+		symMulCols(sc.y, gram, sc.z, s, r)
+		orthonormalize(sc.y, s, r)
+	}
+
+	// Rayleigh–Ritz: T = QᵀGQ (r×r), diagonalized exactly. T is symmetric
+	// positive semi-definite, so its SVD is its eigendecomposition; the
+	// Jacobi rotation accumulator is the (exactly orthonormal) eigenbasis W
+	// and the converged column norms are the eigenvalues λ = σ².
+	symMulCols(sc.z, gram, sc.y, s, r) // Z = G·Q
+	sc.cols = growFloats(sc.cols, r*r)
+	for j := 0; j < r; j++ {
+		zj := sc.z[j*s : (j+1)*s]
+		tj := sc.cols[j*r : (j+1)*r]
+		for i := 0; i < r; i++ {
+			tj[i] = Dot(sc.y[i*s:(i+1)*s], zj)
+		}
+	}
+	sc.v = growFloats(sc.v, r*r)
+	for i := range sc.v {
+		sc.v[i] = 0
+	}
+	for j := 0; j < r; j++ {
+		sc.v[j*r+j] = 1
+	}
+	sc.norms = growFloats(sc.norms, r)
+	for j := 0; j < r; j++ {
+		col := sc.cols[j*r : (j+1)*r]
+		sc.norms[j] = Dot(col, col)
+	}
+	jacobiSVD(sc.cols, sc.v, sc.norms, r, r)
+
+	sc.sBuf = growFloats(sc.sBuf, r)
+	sc.order = growInts(sc.order, r)
+	for j := 0; j < r; j++ {
+		sc.sBuf[j] = Norm2(sc.cols[j*r : (j+1)*r])
+		sc.order[j] = j
+	}
+	for i := 1; i < r; i++ {
+		for k := i; k > 0 && sc.sBuf[sc.order[k]] > sc.sBuf[sc.order[k-1]]; k-- {
+			sc.order[k], sc.order[k-1] = sc.order[k-1], sc.order[k]
+		}
+	}
+
+	// Assemble the leading rank triples. The small-side singular vector is
+	// b = Q·w; the large-side one is recovered through A (Aᵀb/σ when wide,
+	// A·b/σ when tall), which is exactly the relation the converged Jacobi
+	// columns satisfy.
+	sc.uBuf = growFloats(sc.uBuf, m*rank)
+	sc.vBuf = growFloats(sc.vBuf, n*rank)
+	sc.sOut = growFloats(sc.sOut, rank)
+	sc.tmp = growFloats(sc.tmp, s+m+n)
+	u := Matrix{Rows: m, Cols: rank, Data: sc.uBuf[:m*rank]}
+	vOut := Matrix{Rows: n, Cols: rank, Data: sc.vBuf[:n*rank]}
+	sVals := sc.sOut[:rank]
+	small := sc.tmp[:s]
+	large := sc.tmp[s : s+m+n]
+	for t := 0; t < rank; t++ {
+		idx := sc.order[t]
+		lambda := sc.sBuf[idx]
+		if lambda < 0 {
+			lambda = 0
+		}
+		sv := math.Sqrt(lambda)
+		sVals[t] = sv
+		// b = Q·w (length s).
+		for i := range small {
+			small[i] = 0
+		}
+		w := sc.v[idx*r : (idx+1)*r]
+		for e, we := range w {
+			if we == 0 {
+				continue
+			}
+			qcol := sc.y[e*s : (e+1)*s]
+			for i, qv := range qcol {
+				small[i] += we * qv
+			}
+		}
+		if wide {
+			// u = b; v = Aᵀu/σ.
+			for i := 0; i < m; i++ {
+				u.Data[i*rank+t] = small[i]
+			}
+			vt := large[:n]
+			for i := range vt {
+				vt[i] = 0
+			}
+			if sv > 0 {
+				inv := 1 / sv
+				for i := 0; i < m; i++ {
+					wi := small[i] * inv
+					if wi == 0 {
+						continue
+					}
+					row := a.Data[i*n : (i+1)*n]
+					for k, v := range row {
+						vt[k] += wi * v
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				vOut.Data[i*rank+t] = vt[i]
+			}
+		} else {
+			// v = b; u = A·v/σ.
+			for i := 0; i < n; i++ {
+				vOut.Data[i*rank+t] = small[i]
+			}
+			ut := large[:m]
+			if sv > 0 {
+				inv := 1 / sv
+				for i := 0; i < m; i++ {
+					ut[i] = Dot(a.Data[i*n:(i+1)*n], small) * inv
+				}
+			} else {
+				for i := range ut {
+					ut[i] = 0
+				}
+			}
+			for i := 0; i < m; i++ {
+				u.Data[i*rank+t] = ut[i]
+			}
+		}
+	}
+	sc.uM, sc.vM = u, vOut
+	sc.svd = SVD{U: &sc.uM, S: sVals, V: &sc.vM}
+	return &sc.svd, nil
+}
+
+// symMulCols computes dst = G·X for r column-major columns of X (length s),
+// with G a row-major symmetric s×s matrix. dst and x must not alias.
+func symMulCols(dst, g, x []float64, s, r int) {
+	for j := 0; j < r; j++ {
+		xj := x[j*s : (j+1)*s]
+		dj := dst[j*s : (j+1)*s]
+		for i := 0; i < s; i++ {
+			dj[i] = Dot(g[i*s:(i+1)*s], xj)
+		}
+	}
+}
+
+// orthonormalize runs modified Gram–Schmidt over r column-major columns of
+// length m in place, with a second re-orthogonalization pass ("twice is
+// enough"): a single pass can hand back a cancellation residue parallel to
+// an earlier basis vector when a column is numerically dependent on the ones
+// before it. Columns whose norm collapses relative to their original length
+// are numerically dead — they are zeroed (deflated) rather than normalized
+// into junk directions, so a rank-deficient sketch stays a valid partial
+// orthonormal basis.
+func orthonormalize(cols []float64, m, r int) {
+	for j := 0; j < r; j++ {
+		col := cols[j*m : (j+1)*m]
+		orig := Norm2(col)
+		if orig == 0 {
+			continue
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				prev := cols[i*m : (i+1)*m]
+				d := Dot(col, prev)
+				if d == 0 {
+					continue
+				}
+				for k, pv := range prev {
+					col[k] -= d * pv
+				}
+			}
+		}
+		nrm := Norm2(col)
+		if nrm <= 1e-12*orig || nrm < 1e-300 {
+			for k := range col {
+				col[k] = 0
+			}
+			continue
+		}
+		inv := 1 / nrm
+		for k := range col {
+			col[k] *= inv
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRankMatrix builds an m×n matrix with a rapidly decaying spectrum plus a
+// small noise floor — the shape of SSA trajectory matrices.
+func lowRankMatrix(rng *rand.Rand, m, n, rank int) *Matrix {
+	a := NewMatrix(m, n)
+	for r := 0; r < rank; r++ {
+		scale := math.Pow(0.5, float64(r)) * 10
+		u := randomVec(rng, m)
+		v := randomVec(rng, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Data[i*n+j] += scale * u[i] * v[j]
+			}
+		}
+	}
+	for i := range a.Data {
+		a.Data[i] += rng.NormFloat64() * 1e-6
+	}
+	return a
+}
+
+func TestComputeSVDScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var sc SVDScratch
+	for _, shape := range [][2]int{{12, 7}, {7, 12}, {20, 20}, {12, 7}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		want, err := ComputeSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeSVDScratch(a, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.S) != len(want.S) {
+			t.Fatalf("shape %v: %d singular values, want %d", shape, len(got.S), len(want.S))
+		}
+		for i := range want.S {
+			if math.Abs(got.S[i]-want.S[i]) > 1e-9 {
+				t.Fatalf("shape %v: S[%d] = %v, want %v", shape, i, got.S[i], want.S[i])
+			}
+		}
+		// Reconstruction through the scratch-backed result must match A.
+		recon := reconstruct(got)
+		for i := range a.Data {
+			if math.Abs(recon.Data[i]-a.Data[i]) > 1e-8 {
+				t.Fatalf("shape %v: reconstruction off at %d", shape, i)
+			}
+		}
+	}
+}
+
+func TestRandomizedSVDMatchesJacobiLeadingTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	// Signal rank safely above the compared triple count, so every compared
+	// singular vector is well separated from the noise floor.
+	for _, shape := range [][2]int{{48, 289}, {289, 48}, {30, 60}} {
+		a := lowRankMatrix(rng, shape[0], shape[1], 12)
+		exact, err := ComputeSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rank = 8
+		approx, err := RandomizedSVD(a, rank, 8, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx.S) < rank {
+			t.Fatalf("shape %v: only %d triples", shape, len(approx.S))
+		}
+		for r := 0; r < rank; r++ {
+			rel := math.Abs(approx.S[r]-exact.S[r]) / (exact.S[0] + 1e-300)
+			if rel > 1e-8 {
+				t.Errorf("shape %v: σ[%d] rel error %.2e", shape, r, rel)
+			}
+			// Compare singular vectors up to sign via |cos| of the angle.
+			du, dv := 0.0, 0.0
+			for i := 0; i < approx.U.Rows; i++ {
+				du += approx.U.At(i, r) * exact.U.At(i, r)
+			}
+			for i := 0; i < approx.V.Rows; i++ {
+				dv += approx.V.At(i, r) * exact.V.At(i, r)
+			}
+			if math.Abs(math.Abs(du)-1) > 1e-6 || math.Abs(math.Abs(dv)-1) > 1e-6 {
+				t.Errorf("shape %v: triple %d subspace off (|u·u'|=%.8f |v·v'|=%.8f)",
+					shape, r, math.Abs(du), math.Abs(dv))
+			}
+		}
+	}
+}
+
+func TestRandomizedSVDDeterministicAndSeedSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := lowRankMatrix(rng, 40, 120, 5)
+	s1, err := RandomizedSVD(a, 6, 6, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RandomizedSVD(a, 6, 6, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.S {
+		if s1.S[i] != s2.S[i] {
+			t.Fatalf("same seed diverges at σ[%d]", i)
+		}
+	}
+	for i := 0; i < s1.U.Rows; i++ {
+		for j := 0; j < s1.U.Cols; j++ {
+			if s1.U.At(i, j) != s2.U.At(i, j) {
+				t.Fatalf("same seed diverges at U(%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomizedSVDFallsBackForSmallMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := randomMatrix(rng, 6, 5)
+	exact, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank+oversample covers min(m,n): must be the exact decomposition.
+	got, err := RandomizedSVD(a, 4, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.S) != len(exact.S) {
+		t.Fatalf("fallback returned %d triples, want %d", len(got.S), len(exact.S))
+	}
+	for i := range exact.S {
+		if math.Abs(got.S[i]-exact.S[i]) > 1e-12 {
+			t.Fatalf("fallback σ[%d] = %v, want %v", i, got.S[i], exact.S[i])
+		}
+	}
+}
+
+func TestRandomizedSVDScratchReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	var sc SVDScratch
+	for _, shape := range [][2]int{{48, 289}, {24, 100}, {48, 289}} {
+		a := lowRankMatrix(rng, shape[0], shape[1], 4)
+		want, err := RandomizedSVD(a, 5, 6, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RandomizedSVDScratch(a, 5, 6, 3, 3, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.S {
+			if got.S[i] != want.S[i] {
+				t.Fatalf("shape %v: scratch result differs at σ[%d]", shape, i)
+			}
+		}
+	}
+}
+
+func TestRandomizedSVDRejectsBadRank(t *testing.T) {
+	a := NewMatrix(4, 4)
+	if _, err := RandomizedSVD(a, 0, 2, 1, 1); err == nil {
+		t.Error("rank 0 must error")
+	}
+}

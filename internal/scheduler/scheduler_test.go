@@ -50,15 +50,15 @@ func trueDayFunc(fleet *simulate.Fleet) TrueDayFunc {
 		if srv == nil {
 			return timeseries.Series{}, false
 		}
-		idx, ok := srv.Load.IndexOf(day)
+		idx, ok := srv.Load().IndexOf(day)
 		if !ok {
 			return timeseries.Series{}, false
 		}
-		ppd := srv.Load.PointsPerDay()
-		if idx+ppd > srv.Load.Len() {
+		ppd := srv.Load().PointsPerDay()
+		if idx+ppd > srv.Load().Len() {
 			return timeseries.Series{}, false
 		}
-		sub, err := srv.Load.Slice(idx, idx+ppd)
+		sub, err := srv.Load().Slice(idx, idx+ppd)
 		if err != nil {
 			return timeseries.Series{}, false
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"seagull/internal/timeseries"
@@ -92,7 +93,15 @@ type Config struct {
 	// MissingRate is the per-point probability that telemetry is absent,
 	// exercising validation and gap repair. Default 0 (no gaps).
 	MissingRate float64
-	Seed        int64
+	// Eager materializes every server's load series at generation time. The
+	// default (false) defers each series to the first Server.Load call: the
+	// per-server RNG is parked right after the metadata draws, so the lazy
+	// series is identical to the eager one (see TestFleetLazyMatchesEager)
+	// while consumers that never read a server's telemetry — figure
+	// benchmarks slicing a fleet prefix, classification of subsets — skip
+	// the dominant generation cost entirely.
+	Eager bool
+	Seed  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -135,9 +144,36 @@ type Server struct {
 	// DefaultBackupStart is the offset from midnight of the current
 	// (activity-agnostic) backup window the automated workflow uses.
 	DefaultBackupStart time.Duration
-	// Load is the telemetry covering the server's lifetime within the span.
-	Load timeseries.Series
+
+	// Load materialization state: the series either exists (load) or is
+	// derivable on demand from the parked per-server generator (gen).
+	interval time.Duration
+	points   int
+	once     sync.Once
+	load     timeseries.Series
+	gen      func() timeseries.Series
 }
+
+// Load returns the telemetry covering the server's lifetime within the
+// span, materializing it from the parked per-server RNG on first access.
+// Materialization is synchronized, so concurrent partitions may touch the
+// same server; the returned series must be treated as read-only (Slice,
+// View, FillGaps and friends all copy before mutating).
+func (s *Server) Load() timeseries.Series {
+	s.once.Do(s.materialize)
+	return s.load
+}
+
+func (s *Server) materialize() {
+	if s.gen != nil {
+		s.load = s.gen()
+		s.gen = nil
+	}
+}
+
+// Interval returns the telemetry sampling interval without materializing
+// the series.
+func (s *Server) Interval() time.Duration { return s.interval }
 
 // Alive reports whether the server existed during the whole of day d
 // (0-based from the fleet start).
@@ -151,14 +187,20 @@ func (s *Server) Alive(fleetStart time.Time, day int) bool {
 }
 
 // LifespanDays returns the number of whole days the server existed within
-// the generated span.
+// the generated span. It is answerable from metadata alone — no
+// materialization.
 func (s *Server) LifespanDays() int {
-	return s.Load.NumDays()
+	ppd := int(24 * time.Hour / s.interval)
+	if ppd == 0 {
+		return 0
+	}
+	return s.points / ppd
 }
 
-// WindowPoints returns the LL window length in observations for this server.
+// WindowPoints returns the LL window length in observations for this
+// server, from metadata alone.
 func (s *Server) WindowPoints() int {
-	return int(s.BackupDuration / s.Load.Interval)
+	return int(s.BackupDuration / s.interval)
 }
 
 // Fleet is a generated regional server population.
@@ -264,21 +306,36 @@ func generateServer(cfg Config, idx int, rng *rand.Rand) *Server {
 		to = s.DeletedAt
 	}
 	n := int(to.Sub(from) / cfg.Interval)
+	s.interval = cfg.Interval
+	s.points = n
+	// Park the generator: rng sits exactly after the metadata draws, so
+	// materializing now or later consumes the identical stream.
+	startDay := int(from.Sub(cfg.Start) / (24 * time.Hour))
+	s.gen = func() timeseries.Series {
+		return materializeLoad(cfg, shape, rng, from, n, startDay)
+	}
+	if cfg.Eager {
+		s.once.Do(s.materialize)
+	}
+	return s
+}
+
+// materializeLoad draws the n-point series for a server whose metadata has
+// already consumed its prefix of rng's stream.
+func materializeLoad(cfg Config, sh *shape, rng *rand.Rand, from time.Time, n, startDay int) timeseries.Series {
 	vals := make([]float64, n)
 	ppd := int(24 * time.Hour / cfg.Interval)
-	startDay := int(from.Sub(cfg.Start) / (24 * time.Hour))
 	for i := range vals {
 		day := startDay + i/ppd
 		slot := i % ppd
-		v := shape.at(day, slot, ppd, rng)
+		v := sh.at(day, slot, ppd, rng)
 		if cfg.MissingRate > 0 && rng.Float64() < cfg.MissingRate {
 			vals[i] = timeseries.Missing
 			continue
 		}
 		vals[i] = clamp(v, 0, 100)
 	}
-	s.Load = timeseries.New(from, cfg.Interval, vals)
-	return s
+	return timeseries.New(from, cfg.Interval, vals)
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -305,9 +362,12 @@ type shape struct {
 	// seed so the same (day, slot) always yields the same value.
 	burstSeed int64
 	maxPeak   float64
-	// Cached burst layout for the most recently computed day.
+	// Cached burst layout for the most recently computed day, plus the
+	// re-seeded per-day PRNG (one retained source instead of a fresh
+	// ~5KB rngSource allocation per server-day).
 	burstDay    int
 	burstLevels []float64 // per-slot structural load for burstDay
+	dayRNG      *rand.Rand
 }
 
 func newShape(class Class, cfg Config, rng *rand.Rand) *shape {
@@ -421,8 +481,17 @@ func (sh *shape) bump(slot, ppd int) float64 {
 // cached because callers scan slots sequentially.
 func (sh *shape) burstValue(day, slot, ppd int) float64 {
 	if sh.burstLevels == nil || sh.burstDay != day || len(sh.burstLevels) != ppd {
-		drng := rand.New(rand.NewSource(sh.burstSeed + int64(day)*31337))
-		levels := make([]float64, ppd)
+		if sh.dayRNG == nil {
+			sh.dayRNG = rand.New(rand.NewSource(0))
+		}
+		drng := sh.dayRNG
+		// Seed resets the retained source to exactly the state a fresh
+		// NewSource(seed) would have, so the per-day stream is unchanged.
+		drng.Seed(sh.burstSeed + int64(day)*31337)
+		levels := sh.burstLevels
+		if len(levels) != ppd {
+			levels = make([]float64, ppd)
+		}
 		level := sh.base * (0.88 + drng.Float64()*0.24)
 		for i := range levels {
 			levels[i] = level

@@ -2,6 +2,7 @@ package simulate
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,11 +24,11 @@ func TestGenerateFleetDeterministic(t *testing.T) {
 		if sa.ID != sb.ID || sa.Class != sb.Class || sa.ShortLived != sb.ShortLived {
 			t.Fatalf("server %d metadata differs", i)
 		}
-		if sa.Load.Len() != sb.Load.Len() {
+		if sa.Load().Len() != sb.Load().Len() {
 			t.Fatalf("server %d load length differs", i)
 		}
-		for j := range sa.Load.Values {
-			va, vb := sa.Load.Values[j], sb.Load.Values[j]
+		for j := range sa.Load().Values {
+			va, vb := sa.Load().Values[j], sb.Load().Values[j]
 			if va != vb && !(timeseries.IsMissing(va) && timeseries.IsMissing(vb)) {
 				t.Fatalf("server %d point %d differs: %v vs %v", i, j, va, vb)
 			}
@@ -49,8 +50,8 @@ func TestFleetSeedsDiffer(t *testing.T) {
 	}
 	if same {
 		// Classes could coincide; check load values too.
-		for j, v := range a.Servers[0].Load.Values {
-			if v != b.Servers[0].Load.Values[j] {
+		for j, v := range a.Servers[0].Load().Values {
+			if v != b.Servers[0].Load().Values[j] {
 				same = false
 				break
 			}
@@ -65,10 +66,10 @@ func TestLoadBoundsAndLength(t *testing.T) {
 	f := GenerateFleet(smallConfig())
 	ppd := 288
 	for _, s := range f.Servers {
-		if s.Load.Interval != 5*time.Minute {
-			t.Fatalf("%s interval = %v", s.ID, s.Load.Interval)
+		if s.Load().Interval != 5*time.Minute {
+			t.Fatalf("%s interval = %v", s.ID, s.Load().Interval)
 		}
-		for j, v := range s.Load.Values {
+		for j, v := range s.Load().Values {
 			if timeseries.IsMissing(v) {
 				continue
 			}
@@ -77,14 +78,14 @@ func TestLoadBoundsAndLength(t *testing.T) {
 			}
 		}
 		if !s.ShortLived {
-			if s.Load.Len() != 4*7*ppd {
-				t.Fatalf("%s long-lived load len = %d", s.ID, s.Load.Len())
+			if s.Load().Len() != 4*7*ppd {
+				t.Fatalf("%s long-lived load len = %d", s.ID, s.Load().Len())
 			}
 			if !s.CreatedAt.Equal(f.Config.Start.UTC()) && !s.CreatedAt.Equal(f.Config.Start) {
 				t.Fatalf("%s long-lived created at %v", s.ID, s.CreatedAt)
 			}
 		} else {
-			days := s.Load.NumDays()
+			days := s.Load().NumDays()
 			if days > 20 {
 				t.Fatalf("%s short-lived but has %d days", s.ID, days)
 			}
@@ -163,8 +164,8 @@ func TestMissingRate(t *testing.T) {
 	f := GenerateFleet(cfg)
 	total, missing := 0, 0
 	for _, s := range f.Servers {
-		total += s.Load.Len()
-		missing += s.Load.MissingCount()
+		total += s.Load().Len()
+		missing += s.Load().MissingCount()
 	}
 	got := float64(missing) / float64(total)
 	if got < 0.005 || got > 0.02 {
@@ -178,7 +179,7 @@ func TestStableServersAreFlat(t *testing.T) {
 		if s.Class != ClassStable || s.ShortLived {
 			continue
 		}
-		if std := s.Load.Std(); std > 5 {
+		if std := s.Load().Std(); std > 5 {
 			t.Errorf("%s stable but std = %.2f", s.ID, std)
 		}
 	}
@@ -189,7 +190,7 @@ func TestDailyServersRepeat(t *testing.T) {
 		Mix: Mix{Daily: 1}}
 	f := GenerateFleet(cfg)
 	for _, s := range f.Servers[:20] {
-		days := s.Load.Days()
+		days := s.Load().Days()
 		// Same slot on consecutive days differs only by noise.
 		d0, d1 := days[1], days[2]
 		maxDiff := 0.0
@@ -209,7 +210,7 @@ func TestWeeklyServersDifferAcrossWeek(t *testing.T) {
 	// somewhere (weekday factors differ) while matching week-over-week.
 	diverging := 0
 	for _, s := range f.Servers {
-		days := s.Load.Days()
+		days := s.Load().Days()
 		var worstDaily float64
 		for d := 1; d < 7; d++ {
 			for j := range days[d].Values {
@@ -237,8 +238,8 @@ func TestNoPatternServersVary(t *testing.T) {
 	cfg := Config{Region: "t", Servers: 100, Weeks: 4, Seed: 9, Mix: Mix{NoPattern: 1}}
 	f := GenerateFleet(cfg)
 	for _, s := range f.Servers {
-		if s.Load.Std() < 1 {
-			t.Errorf("%s no-pattern but nearly constant (std %.2f)", s.ID, s.Load.Std())
+		if s.Load().Std() < 1 {
+			t.Errorf("%s no-pattern but nearly constant (std %.2f)", s.ID, s.Load().Std())
 		}
 	}
 }
@@ -248,8 +249,8 @@ func TestBurstValueDeterministic(t *testing.T) {
 	a := GenerateFleet(cfg)
 	b := GenerateFleet(cfg)
 	for i := range a.Servers {
-		for j := range a.Servers[i].Load.Values {
-			if a.Servers[i].Load.Values[j] != b.Servers[i].Load.Values[j] {
+		for j := range a.Servers[i].Load().Values {
+			if a.Servers[i].Load().Values[j] != b.Servers[i].Load().Values[j] {
 				t.Fatalf("no-pattern generation not deterministic at server %d point %d", i, j)
 			}
 		}
@@ -304,5 +305,95 @@ func TestWithDefaults(t *testing.T) {
 	sq := SQLConfig{Databases: 1}.withDefaults()
 	if sq.Days != 28 || sq.StableFraction != 0.1936 {
 		t.Errorf("sql defaults = %+v", sq)
+	}
+}
+
+// TestFleetLazyMatchesEager is the lazy-materialization equivalence gate:
+// the deferred per-server series must be identical — point for point,
+// including missing-value positions and timestamps — to the eagerly
+// generated one, because the parked RNG sits exactly where the eager path
+// starts drawing observation noise.
+func TestFleetLazyMatchesEager(t *testing.T) {
+	cfg := Config{Region: "lazy", Servers: 40, Weeks: 3, Seed: 99, MissingRate: 0.01}
+	eagerCfg := cfg
+	eagerCfg.Eager = true
+	lazy := GenerateFleet(cfg)
+	eager := GenerateFleet(eagerCfg)
+	for i := range eager.Servers {
+		le, ll := eager.Servers[i].Load(), lazy.Servers[i].Load()
+		if !le.Start.Equal(ll.Start) || le.Interval != ll.Interval || le.Len() != ll.Len() {
+			t.Fatalf("server %d: shape mismatch eager=%v lazy=%v", i, le, ll)
+		}
+		for j := range le.Values {
+			ve, vl := le.Values[j], ll.Values[j]
+			if timeseries.IsMissing(ve) != timeseries.IsMissing(vl) {
+				t.Fatalf("server %d point %d: missingness differs", i, j)
+			}
+			if !timeseries.IsMissing(ve) && ve != vl {
+				t.Fatalf("server %d point %d: %v != %v", i, j, ve, vl)
+			}
+		}
+	}
+}
+
+// TestFleetMetadataWithoutMaterialization: the per-server metadata the
+// experiments consult before deciding to read telemetry must not force the
+// series into existence.
+func TestFleetMetadataWithoutMaterialization(t *testing.T) {
+	fleet := GenerateFleet(Config{Region: "meta", Servers: 20, Weeks: 4, Seed: 3})
+	for _, s := range fleet.Servers {
+		if s.LifespanDays() <= 0 {
+			t.Errorf("%s lifespan %d", s.ID, s.LifespanDays())
+		}
+		if s.WindowPoints() <= 0 {
+			t.Errorf("%s window points %d", s.ID, s.WindowPoints())
+		}
+		if s.Interval() != 5*time.Minute {
+			t.Errorf("%s interval %v", s.ID, s.Interval())
+		}
+		if s.gen == nil {
+			t.Errorf("%s was materialized by metadata access", s.ID)
+		}
+	}
+	// Cross-check the metadata answers against the materialized series.
+	for _, s := range fleet.Servers[:5] {
+		if got := s.Load().NumDays(); got != s.LifespanDays() {
+			t.Errorf("%s lifespan %d != materialized %d", s.ID, s.LifespanDays(), got)
+		}
+	}
+}
+
+// TestFleetConcurrentMaterialization hammers Load from many goroutines; the
+// sync.Once guard must hand every caller the same series (run with -race in
+// CI's figure-smoke job).
+func TestFleetConcurrentMaterialization(t *testing.T) {
+	fleet := GenerateFleet(Config{Region: "conc", Servers: 8, Weeks: 2, Seed: 17})
+	var wg sync.WaitGroup
+	sums := make([][]float64, len(fleet.Servers))
+	const readers = 4
+	for i := range sums {
+		sums[i] = make([]float64, readers)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i, s := range fleet.Servers {
+				load := s.Load()
+				total := 0.0
+				for _, v := range load.Values {
+					total += v
+				}
+				sums[i][r] = total
+			}
+		}(r)
+	}
+	wg.Wait()
+	for i := range sums {
+		for r := 1; r < readers; r++ {
+			if sums[i][r] != sums[i][0] {
+				t.Fatalf("server %d: readers observed different series", i)
+			}
+		}
 	}
 }

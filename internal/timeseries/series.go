@@ -103,6 +103,18 @@ func (s Series) Slice(from, to int) (Series, error) {
 	return Series{Start: s.TimeAt(from), Interval: s.Interval, Values: v}, nil
 }
 
+// View returns the sub-series covering observation indexes [from, to)
+// sharing the receiver's backing array — the zero-copy counterpart of Slice
+// for read-only consumers. The result must not be mutated (FillGaps, Clone,
+// Slice and Resample all copy before writing, so feeding a view into a
+// model's Train is safe); use Slice when ownership is needed.
+func (s Series) View(from, to int) (Series, error) {
+	if from < 0 || to > s.Len() || from > to {
+		return Series{}, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, from, to, s.Len())
+	}
+	return Series{Start: s.TimeAt(from), Interval: s.Interval, Values: s.Values[from:to:to]}, nil
+}
+
 // Between returns the sub-series covering [from, to) in time. Both bounds are
 // clamped to the series' span.
 func (s Series) Between(from, to time.Time) Series {

@@ -460,3 +460,40 @@ func TestPropertyResamplePreservesMean(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestViewSharesBackingAndMatchesSlice(t *testing.T) {
+	s := New(time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC), 5*time.Minute, []float64{1, 2, 3, 4, 5, 6})
+	v, err := s.View(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := s.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Start.Equal(sl.Start) || v.Len() != sl.Len() {
+		t.Fatalf("view %v != slice %v", v, sl)
+	}
+	for i := range sl.Values {
+		if v.Values[i] != sl.Values[i] {
+			t.Fatalf("view[%d] = %v, want %v", i, v.Values[i], sl.Values[i])
+		}
+	}
+	// The view shares backing storage with the receiver…
+	s.Values[2] = 42
+	if v.Values[0] != 42 {
+		t.Error("view does not share the receiver's backing array")
+	}
+	// …while a full-capacity slice expression keeps appends from clobbering
+	// the parent.
+	v.Append(99)
+	if s.Values[5] != 6 {
+		t.Errorf("append through view clobbered parent: %v", s.Values)
+	}
+	if _, err := s.View(4, 2); err == nil {
+		t.Error("inverted bounds must error")
+	}
+	if _, err := s.View(0, 7); err == nil {
+		t.Error("out-of-range view must error")
+	}
+}

@@ -349,15 +349,15 @@ func FleetTrueDay(fleet *Fleet) TrueDayFunc {
 		if srv == nil {
 			return Series{}, false
 		}
-		idx, ok := srv.Load.IndexOf(day)
+		idx, ok := srv.Load().IndexOf(day)
 		if !ok {
 			return Series{}, false
 		}
-		ppd := srv.Load.PointsPerDay()
-		if idx+ppd > srv.Load.Len() {
+		ppd := srv.Load().PointsPerDay()
+		if idx+ppd > srv.Load().Len() {
 			return Series{}, false
 		}
-		sub, err := srv.Load.Slice(idx, idx+ppd)
+		sub, err := srv.Load().Slice(idx, idx+ppd)
 		if err != nil {
 			return Series{}, false
 		}

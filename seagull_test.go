@@ -91,7 +91,7 @@ func TestSystemServingHandler(t *testing.T) {
 	}
 	fleet := GenerateFleet(FleetConfig{Region: "api", Servers: 1, Weeks: 1, Seed: 2,
 		Mix: Mix{Stable: 1}})
-	hist := fleet.Servers[0].Load
+	hist := fleet.Servers[0].Load()
 	pred, resp, err := client.Predict("backup", "api", hist, 288)
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestPublicClassify(t *testing.T) {
 	fleet := GenerateFleet(FleetConfig{Region: "c", Servers: 20, Weeks: 4, Seed: 7, Mix: Mix{Stable: 1}})
 	sum := NewClassSummary()
 	for _, srv := range fleet.Servers {
-		cat, err := Classify(srv.Load, srv.LifespanDays(), DefaultMetrics())
+		cat, err := Classify(srv.Load(), srv.LifespanDays(), DefaultMetrics())
 		if err != nil {
 			t.Fatal(err)
 		}
