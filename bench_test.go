@@ -6,6 +6,7 @@ package seagull_test
 // cmd/seagull-experiments -scale full for paper-sized runs.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,6 +18,8 @@ import (
 	"seagull/internal/linalg"
 	"seagull/internal/metrics"
 	"seagull/internal/parallel"
+	"seagull/internal/registry"
+	"seagull/internal/serving"
 	"seagull/internal/simulate"
 	"seagull/internal/timeseries"
 )
@@ -303,6 +306,95 @@ func BenchmarkFleetMaterialize(b *testing.B) {
 			if srv.Load().Len() == 0 {
 				b.Fatal("empty series")
 			}
+		}
+	}
+}
+
+// --- Serving-layer benchmarks: warm pool vs model-per-request ---
+
+// benchServePredict measures the core serving path (no HTTP: the network
+// stack would drown the allocation signal) for one deployed model.
+// maxIdle 0 selects the default warm pool; -1 disables pooling, reproducing
+// the v1 model-per-request behaviour as the baseline. newModel may override
+// model construction (nil = production defaults).
+func benchServePredict(b *testing.B, model string, maxIdle int, newModel func(name string, seed int64) (forecast.Model, error)) {
+	b.Helper()
+	reg := registry.New(nil)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, model, "bench")
+	svc := serving.NewService(reg, nil, serving.ServiceConfig{
+		Workers: 1, Pool: serving.PoolConfig{MaxIdle: maxIdle, NewModel: newModel},
+	})
+	req := serving.PredictRequestV2{
+		Scenario: "backup", Region: "bench",
+		History: serving.FromSeries(benchHistory(7)), Horizon: 288, WindowPoints: 12,
+	}
+	ctx := context.Background()
+	// Prime the pool so the timed loop measures the steady state.
+	if _, serr := svc.Predict(ctx, req); serr != nil {
+		b.Fatal(serr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, serr := svc.Predict(ctx, req); serr != nil {
+			b.Fatal(serr)
+		}
+	}
+}
+
+// fastFFNN is the experiments' fast trainer profile (equivalence recorded in
+// TestFFNNBatchedAccuracyEquivalent); the serve benchmarks use it so the
+// measured quantity is serving overhead, not 25 epochs of SGD.
+func fastFFNN(_ string, seed int64) (forecast.Model, error) {
+	return forecast.NewFFNN(forecast.FFNNConfig{
+		Seed: seed, Epochs: 5, BatchSize: 8, LearningRate: 0.1,
+	}), nil
+}
+
+func BenchmarkServePredictSSA(b *testing.B)     { benchServePredict(b, forecast.NameSSA, 0, nil) }
+func BenchmarkServePredictSSACold(b *testing.B) { benchServePredict(b, forecast.NameSSA, -1, nil) }
+func BenchmarkServePredictFFNN(b *testing.B) {
+	benchServePredict(b, forecast.NameFFNN, 0, fastFFNN)
+}
+func BenchmarkServePredictFFNNCold(b *testing.B) {
+	benchServePredict(b, forecast.NameFFNN, -1, fastFFNN)
+}
+
+// BenchmarkServeBatch measures a whole batch predict through the fan-out
+// path: 8 servers with distinct histories (so every item genuinely
+// retrains — the train memo cannot kick in), one worker (deterministic
+// allocs), SSA. Per-worker warm checkout means the 8 servers share one
+// model instance per op, reusing its retained buffers.
+func BenchmarkServeBatch(b *testing.B) {
+	reg := registry.New(nil)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, forecast.NameSSA, "bench")
+	svc := serving.NewService(reg, nil, serving.ServiceConfig{Workers: 1})
+	items := make([]serving.BatchItem, 8)
+	for i := range items {
+		hist := benchHistory(7)
+		for k := range hist.Values {
+			hist.Values[k] += float64(i) // per-server offset defeats the memo
+		}
+		items[i] = serving.BatchItem{
+			ServerID: fmt.Sprintf("srv-%d", i),
+			History:  serving.FromSeries(hist),
+			Horizon:  288, WindowPoints: 12,
+		}
+	}
+	req := serving.BatchRequest{Scenario: "backup", Region: "bench", Servers: items}
+	ctx := context.Background()
+	if _, serr := svc.PredictBatch(ctx, req); serr != nil {
+		b.Fatal(serr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, serr := svc.PredictBatch(ctx, req)
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		if resp.Failed != 0 {
+			b.Fatalf("%d batch items failed", resp.Failed)
 		}
 	}
 }

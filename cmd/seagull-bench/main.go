@@ -41,7 +41,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkFFNNTrainInfer|BenchmarkFFNNTrainInferBatched|" +
 	"BenchmarkPersistentForecastTrainInfer|BenchmarkFleetGeneration|" +
 	"BenchmarkFleetGenerationEager|BenchmarkFleetMaterialize|" +
-	"BenchmarkFig11aTrainInfer"
+	"BenchmarkFig11aTrainInfer|" +
+	"BenchmarkServePredict|BenchmarkServeBatch"
 
 type benchResult struct {
 	Name        string  `json:"name"`

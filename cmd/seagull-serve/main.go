@@ -1,22 +1,38 @@
-// Command seagull-serve deploys forecast models into the model registry and
-// exposes them over the REST endpoint of Section 2.2. Clients POST a
-// server's load history to /v1/predict and receive the predicted series;
-// GET /v1/models lists deployments and /healthz reports liveness.
+// Command seagull-serve runs Seagull as an actual server: it wires a System
+// (lake, document store, model registry, pipeline, scheduler) behind the
+// serving layer's v1+v2 REST protocol, with a warm model pool, readiness
+// reporting and graceful shutdown on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	seagull-serve -addr :8080 -deploy backup/westus=pf-prev-day,backup/eastus=nimbus-ssa
+//	seagull-serve -addr :8080 -demo          # seed a demo fleet + pipeline run
+//	seagull-serve -data ./seagull-data -persist
+//
+// Endpoints: GET /healthz, GET /readyz, POST /v1/predict, GET /v1/models,
+// POST /v2/predict, POST /v2/predict/batch, POST /v2/advise, GET /v2/models,
+// GET /v2/predictions/{region}/{week}.
+//
+// On SIGTERM the server flips /readyz to draining, stops accepting new
+// connections, waits up to -drain for in-flight requests and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"seagull"
 	"seagull/internal/registry"
-	"seagull/internal/serving"
 )
 
 func main() {
@@ -27,30 +43,151 @@ func main() {
 		addr   = flag.String("addr", ":8080", "listen address")
 		deploy = flag.String("deploy", "backup/westus=pf-prev-day",
 			"comma-separated scenario/region=model deployments")
+		dataDir = flag.String("data", "", "data directory (empty = temporary)")
+		persist = flag.Bool("persist", false, "keep the document store durable on disk")
+		demo    = flag.Bool("demo", false,
+			"seed a demo fleet for the first deployment's region and run one pipeline week "+
+				"so /v2/predictions has content")
+		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		grace = flag.Duration("grace", 0,
+			"delay between flipping /readyz to draining and closing the listener, so load "+
+				"balancers observe the drain before connections are refused (set to your probe interval)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
 	)
 	flag.Parse()
 
-	reg := registry.New(nil)
-	for _, spec := range strings.Split(*deploy, ",") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
+	cfg := serveConfig{
+		Deploy:  *deploy,
+		DataDir: *dataDir,
+		Persist: *persist,
+		Demo:    *demo,
+		Drain:   *drain,
+		Grace:   *grace,
+		Timeout: *timeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := serve(ctx, cfg, ln, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serveConfig carries everything serve needs; main fills it from flags and
+// the smoke test builds it directly.
+type serveConfig struct {
+	Deploy  string
+	DataDir string
+	Persist bool
+	Demo    bool
+	Drain   time.Duration
+	Grace   time.Duration
+	Timeout time.Duration
+}
+
+// serve builds the system, wires the service over ln and blocks until ctx is
+// cancelled (SIGINT/SIGTERM in production), then drains gracefully. It owns
+// the listener.
+func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer) error {
+	if cfg.Persist && cfg.DataDir == "" {
+		// Without -data the system owns a temp dir and removes it on Close,
+		// which would silently delete the "durable" store on shutdown.
+		return fmt.Errorf("-persist requires -data: a temporary data directory is removed on shutdown")
+	}
+	sys, err := seagull.NewSystem(seagull.SystemConfig{DataDir: cfg.DataDir, Persist: cfg.Persist})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	slots, err := parseDeployments(cfg.Deploy)
+	if err != nil {
+		return err
+	}
+	for _, d := range slots {
+		v := sys.Registry.Deploy(registry.Target{Scenario: d.scenario, Region: d.region}, d.model, "seagull-serve")
+		fmt.Fprintf(out, "deployed %s v%d at %s/%s\n", d.model, v, d.scenario, d.region)
+	}
+
+	if cfg.Demo && len(slots) > 0 {
+		region := slots[0].region
+		fleet := seagull.GenerateFleet(seagull.FleetConfig{Region: region, Servers: 30, Weeks: 2, Seed: 1})
+		if _, err := sys.LoadFleet(fleet); err != nil {
+			return err
+		}
+		res, err := sys.RunWeekCtx(ctx, seagull.PipelineConfig{Region: region, Week: 1, ModelName: slots[0].model})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "demo pipeline: region=%s week=1 predicted=%d\n", region, res.Predicted)
+	}
+
+	svc := sys.Service(seagull.ServiceConfig{Timeout: cfg.Timeout})
+	server := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Fprintf(out, "serving on %s (v1+v2; GET /healthz, GET /readyz)\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, hold the listener open
+	// for the grace period so readiness probes can observe the draining
+	// state, then let in-flight requests finish under the drain budget.
+	fmt.Fprintf(out, "shutdown: draining for up to %s (grace %s)\n", cfg.Drain, cfg.Grace)
+	svc.SetReady(false)
+	if cfg.Grace > 0 {
+		time.Sleep(cfg.Grace)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "shutdown: clean")
+	return nil
+}
+
+type deployment struct {
+	scenario, region, model string
+}
+
+// parseDeployments parses "scenario/region=model,..." specs.
+func parseDeployments(spec string) ([]deployment, error) {
+	var out []deployment
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
 			continue
 		}
-		slot, model, ok := strings.Cut(spec, "=")
+		slot, model, ok := strings.Cut(item, "=")
 		if !ok {
-			log.Fatalf("bad deployment %q (want scenario/region=model)", spec)
+			return nil, fmt.Errorf("bad deployment %q (want scenario/region=model)", item)
 		}
 		scenario, region, ok := strings.Cut(slot, "/")
 		if !ok {
-			log.Fatalf("bad deployment slot %q (want scenario/region)", slot)
+			return nil, fmt.Errorf("bad deployment slot %q (want scenario/region)", slot)
 		}
-		v := reg.Deploy(registry.Target{Scenario: scenario, Region: region}, model, "seagull-serve")
-		fmt.Printf("deployed %s v%d at %s/%s\n", model, v, scenario, region)
+		out = append(out, deployment{scenario: scenario, region: region, model: model})
 	}
-
-	handler := serving.NewHandler(reg)
-	fmt.Printf("serving on %s (POST /v1/predict, GET /v1/models, GET /healthz)\n", *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		log.Fatal(err)
-	}
+	return out, nil
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"seagull"
+	"seagull/internal/serving"
+)
+
+// TestServeSmoke boots the real server wiring on an ephemeral port, checks
+// liveness and readiness, runs a batch predict against the demo pipeline's
+// deployment, fetches the stored demo predictions, then delivers a real
+// SIGTERM and expects a clean drain.
+func TestServeSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	cfg := serveConfig{
+		Deploy:  "backup/smoke=pf-prev-day",
+		Demo:    true,
+		Drain:   5 * time.Second,
+		Grace:   500 * time.Millisecond,
+		Timeout: 30 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ln, testWriter{t}) }()
+
+	c := seagull.NewClient("http://" + ln.Addr().String())
+	waitFor(t, func() bool { return c.Healthy() }, "healthz")
+	if !c.Ready(context.Background()) {
+		t.Error("server should be ready")
+	}
+
+	// Batch predict two servers against the deployed model.
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{Region: "smoke", Servers: 2, Weeks: 1, Seed: 7})
+	var items []serving.BatchItem
+	for _, srv := range fleet.Servers {
+		items = append(items, serving.BatchItem{
+			ServerID: srv.ID,
+			History:  serving.FromSeries(srv.Load()),
+			Horizon:  srv.Load().PointsPerDay(),
+		})
+	}
+	batch, err := c.PredictBatch(context.Background(), serving.BatchRequest{
+		Scenario: "backup", Region: "smoke", Servers: items,
+	})
+	if err != nil {
+		t.Fatalf("batch predict: %v", err)
+	}
+	if batch.Succeeded != len(items) || batch.Failed != 0 {
+		t.Fatalf("batch = %d ok / %d failed, want %d / 0", batch.Succeeded, batch.Failed, len(items))
+	}
+
+	// The -demo pipeline stored week-1 predictions for the region.
+	preds, err := c.Predictions(context.Background(), "smoke", 1)
+	if err != nil {
+		t.Fatalf("predictions: %v", err)
+	}
+	if len(preds.Predictions) == 0 {
+		t.Error("demo run should have stored predictions")
+	}
+
+	// Deliver a real SIGTERM to this process; the notify context catches it
+	// and serve must drain cleanly. During the grace window the listener
+	// stays open with /readyz reporting draining, so load balancers can
+	// observe the drain before connections are refused.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	sawDraining := false
+	for deadline := time.Now().Add(cfg.Grace); time.Now().Before(deadline); {
+		if c.Healthy() && !c.Ready(context.Background()) {
+			sawDraining = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Error("never observed the draining state while the listener was open")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	if c.Healthy() {
+		t.Error("endpoint still serving after shutdown")
+	}
+}
+
+func waitFor(t *testing.T, ok func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// testWriter routes server output through the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,14 +1,13 @@
-// Serving: deploy a model behind the REST endpoint and query it — the
-// "deploys this model to a REST endpoint" flow of Section 2.2.
-//
-// The program starts an in-process HTTP server, deploys persistent forecast
-// for one region, posts a week of server history to /v1/predict and prints
-// the forecast's lowest-load window.
+// Serving: deploy a model behind the REST service and query it — the
+// "deploys this model to a REST endpoint" flow of Section 2.2, at the v2
+// protocol: a batch predict fanned across the warm model pool, a
+// lowest-load window computed server-side, and a window advice call.
 //
 //	go run ./examples/serving
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -27,45 +26,84 @@ func main() {
 	}
 	defer sys.Close()
 
-	// Deploy the production model for one region and expose the endpoint.
+	// Deploy the production model for one region and expose the service.
 	sys.Registry.Deploy(registry.Target{Scenario: "backup", Region: "westus"},
 		seagull.ModelPersistentPrevDay, "serving example")
 	srv := httptest.NewServer(sys.Handler())
 	defer srv.Close()
 	fmt.Printf("endpoint: %s\n", srv.URL)
 
-	client := serving.NewClient(srv.URL)
-	if !client.Healthy() {
+	ctx := context.Background()
+	client := seagull.NewClient(srv.URL)
+	if !client.Healthy() || !client.Ready(ctx) {
 		log.Fatal("endpoint unhealthy")
 	}
-	models, err := client.Models()
+	models, err := client.ModelsV2(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, m := range models {
+	for _, m := range models.Models {
 		fmt.Printf("deployed: %s/%s → %s v%d\n", m.Scenario, m.Region, m.Model, m.Version)
 	}
 
-	// A client (the backup scheduler, in production) posts one server's
-	// history and receives tomorrow's predicted load.
+	// A client (the backup scheduler, in production) posts a whole fleet
+	// partition in one batch call; each item gets its forecast and its
+	// predicted lowest-load window back.
 	fleet := seagull.GenerateFleet(seagull.FleetConfig{
-		Region: "westus", Servers: 1, Weeks: 1, Seed: 3,
+		Region: "westus", Servers: 3, Weeks: 1, Seed: 3,
 		Mix: seagull.Mix{Daily: 1},
 	})
-	history := fleet.Servers[0].Load()
-	pred, resp, err := client.Predict("backup", "westus", history, history.PointsPerDay())
+	var items []serving.BatchItem
+	for _, s := range fleet.Servers {
+		items = append(items, serving.BatchItem{
+			ServerID:     s.ID,
+			History:      serving.FromSeries(s.Load()),
+			Horizon:      s.Load().PointsPerDay(),
+			WindowPoints: s.WindowPoints(),
+		})
+	}
+	batch, err := client.PredictBatch(ctx, serving.BatchRequest{
+		Scenario: "backup", Region: "westus", Servers: items,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\npredicted %d observations with %s v%d\n", pred.Len(), resp.Model, resp.Version)
+	fmt.Printf("\nbatch: %d forecasts from %s v%d (%d failed)\n",
+		batch.Succeeded, batch.Model, batch.Version, batch.Failed)
+	for _, r := range batch.Results {
+		if r.Error != nil {
+			fmt.Printf("  %s: %s (%s)\n", r.ServerID, r.Error.Message, r.Error.Code)
+			continue
+		}
+		day := r.Forecast.ToSeries()
+		fmt.Printf("  %s: LL window starts %s, predicted avg %.1f%% CPU\n",
+			r.ServerID, day.TimeAt(r.LLStart).Format("15:04"), r.LLAvg)
+	}
 
-	window := fleet.Servers[0].WindowPoints()
-	adv, err := seagull.AdviseWindow(pred, 150, window, seagull.DefaultMetrics())
+	// Section 6.2: would a customer-selected 12:30 window be a good choice?
+	first := batch.Results[0]
+	if first.Error != nil {
+		log.Fatalf("first server failed: %s (%s)", first.Error.Message, first.Error.Code)
+	}
+	adv, err := client.Advise(ctx, serving.AdviseRequest{
+		PredictedDay:  *first.Forecast,
+		CustomerStart: 150,
+		WindowPoints:  fleet.Servers[0].WindowPoints(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("lowest-load window: starts %s, predicted avg %.1f%% CPU\n",
-		pred.TimeAt(adv.SuggestedStart).Format("15:04"), adv.SuggestedAvg)
-	fmt.Printf("a 12:30 window would see %.1f%% CPU — keep it? %v\n",
-		adv.CurrentAvg, adv.KeepCurrent)
+	fmt.Printf("\na 12:30 window would see %.1f%% CPU — keep it? %v (suggested: %.1f%%)\n",
+		adv.CurrentAvg, adv.KeepCurrent, adv.SuggestedAvg)
+
+	// The second call hits the warm pool.
+	one, err := client.PredictV2(ctx, serving.PredictRequestV2{
+		Scenario: "backup", Region: "westus",
+		History: items[0].History, Horizon: items[0].Horizon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single predict: %d observations, served from warm pool: %v\n",
+		one.Forecast.ToSeries().Len(), one.Pooled)
 }

@@ -9,6 +9,7 @@
 package classify
 
 import (
+	"errors"
 	"fmt"
 
 	"seagull/internal/metrics"
@@ -72,14 +73,40 @@ type Features struct {
 	Category    Category
 }
 
+// Scratch carries the reusable buffer of one classification worker: the
+// constant prediction series the Definition 4 stability test compares
+// against. Classification sweeps (fig3 runs four regions of servers) thread
+// one Scratch per pool worker via parallel.ForEachScratch so the buffer is
+// allocated once per worker instead of once per server. The zero value is
+// ready to use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	pred []float64
+}
+
+// buf returns the scratch buffer resized to n observations.
+func (sc *Scratch) buf(n int) []float64 {
+	if cap(sc.pred) < n {
+		sc.pred = make([]float64, n)
+	}
+	return sc.pred[:n]
+}
+
 // IsStable (Definition 4) reports whether load is accurately predicted by a
 // constant series at its own average, together with the bucket ratio.
 func IsStable(load timeseries.Series, cfg metrics.Config) (bool, float64, error) {
+	return IsStableScratch(load, cfg, &Scratch{})
+}
+
+// IsStableScratch is IsStable over a worker's scratch buffer: the constant
+// prediction reuses sc's storage instead of cloning the load series. The
+// verdict is bit-identical to IsStable — the comparison only reads values.
+func IsStableScratch(load timeseries.Series, cfg metrics.Config, sc *Scratch) (bool, float64, error) {
 	avg := load.Mean()
-	pred := load.Clone()
-	for i := range pred.Values {
-		pred.Values[i] = avg
+	vals := sc.buf(load.Len())
+	for i := range vals {
+		vals[i] = avg
 	}
+	pred := timeseries.New(load.Start, load.Interval, vals)
 	ok, ratio, err := metrics.Accurate(load, pred, cfg)
 	if err != nil {
 		return false, 0, err
@@ -88,14 +115,21 @@ func IsStable(load timeseries.Series, cfg metrics.Config) (bool, float64, error)
 }
 
 // HasDailyPattern (Definition 5) reports whether every day of load is
-// accurately predicted by the previous day. Requires at least two whole days.
+// accurately predicted by the previous day. Requires at least two whole
+// days. Days are compared through zero-copy views of the load series.
 func HasDailyPattern(load timeseries.Series, cfg metrics.Config) (bool, error) {
-	days := load.Days()
-	if len(days) < 2 {
+	ppd := load.PointsPerDay()
+	n := load.NumDays()
+	if n < 2 {
 		return false, nil
 	}
-	for d := 1; d < len(days); d++ {
-		ok, _, err := metrics.Accurate(days[d], days[d-1], cfg)
+	for d := 1; d < n; d++ {
+		cur, err1 := load.View(d*ppd, (d+1)*ppd)
+		prev, err2 := load.View((d-1)*ppd, d*ppd)
+		if err1 != nil || err2 != nil {
+			return false, errors.Join(err1, err2)
+		}
+		ok, _, err := metrics.Accurate(cur, prev, cfg)
 		if err != nil {
 			return false, err
 		}
@@ -111,12 +145,18 @@ func HasDailyPattern(load timeseries.Series, cfg metrics.Config) (bool, error) {
 // at least eight whole days. Note that Definition 6 additionally demands the
 // absence of a daily pattern; Categorize enforces that ordering.
 func HasWeeklyPattern(load timeseries.Series, cfg metrics.Config) (bool, error) {
-	days := load.Days()
-	if len(days) < 8 {
+	ppd := load.PointsPerDay()
+	n := load.NumDays()
+	if n < 8 {
 		return false, nil
 	}
-	for d := 7; d < len(days); d++ {
-		ok, _, err := metrics.Accurate(days[d], days[d-7], cfg)
+	for d := 7; d < n; d++ {
+		cur, err1 := load.View(d*ppd, (d+1)*ppd)
+		prev, err2 := load.View((d-7)*ppd, (d-6)*ppd)
+		if err1 != nil || err2 != nil {
+			return false, errors.Join(err1, err2)
+		}
+		ok, _, err := metrics.Accurate(cur, prev, cfg)
 		if err != nil {
 			return false, err
 		}
@@ -131,10 +171,16 @@ func HasWeeklyPattern(load timeseries.Series, cfg metrics.Config) (bool, error) 
 // applying Definitions 3–6 in the paper's order: lifespan gate first, then
 // stability, then daily before weekly.
 func Categorize(load timeseries.Series, lifespanDays int, cfg metrics.Config) (Category, error) {
+	return CategorizeScratch(load, lifespanDays, cfg, &Scratch{})
+}
+
+// CategorizeScratch is Categorize over a worker's scratch buffer; results
+// are bit-identical to Categorize.
+func CategorizeScratch(load timeseries.Series, lifespanDays int, cfg metrics.Config, sc *Scratch) (Category, error) {
 	if lifespanDays <= LongLivedDays {
 		return ShortLived, nil
 	}
-	stable, _, err := IsStable(load, cfg)
+	stable, _, err := IsStableScratch(load, cfg, sc)
 	if err != nil {
 		return NoPattern, err
 	}

@@ -1,0 +1,60 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"seagull/internal/metrics"
+	"seagull/internal/simulate"
+	"seagull/internal/timeseries"
+)
+
+// TestCategorizeScratchEquivalent pins the arena path: classifying a mixed
+// fleet through one reused Scratch must agree with the scratch-free path on
+// every server, including the stability ratio.
+func TestCategorizeScratchEquivalent(t *testing.T) {
+	fleet := simulate.GenerateFleet(simulate.Config{
+		Region: "scratch-eq", Servers: 40, Weeks: 4, Seed: 11,
+	})
+	cfg := metrics.DefaultConfig()
+	sc := &Scratch{}
+	for _, srv := range fleet.Servers {
+		want, err1 := Categorize(srv.Load(), srv.LifespanDays(), cfg)
+		got, err2 := CategorizeScratch(srv.Load(), srv.LifespanDays(), cfg, sc)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: err mismatch %v vs %v", srv.ID, err1, err2)
+		}
+		if want != got {
+			t.Errorf("%s: Categorize=%v CategorizeScratch=%v", srv.ID, want, got)
+		}
+
+		_, wantRatio, err1 := IsStable(srv.Load(), cfg)
+		_, gotRatio, err2 := IsStableScratch(srv.Load(), cfg, sc)
+		if (err1 == nil) != (err2 == nil) || wantRatio != gotRatio {
+			t.Errorf("%s: stability ratio %v (%v) vs %v (%v)", srv.ID, wantRatio, err1, gotRatio, err2)
+		}
+	}
+}
+
+// TestScratchBufferShrinksAndGrows exercises reuse across series of varying
+// length: a longer series after a shorter one must regrow the buffer, and a
+// shorter one must not read stale suffix values.
+func TestScratchBufferShrinksAndGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := metrics.DefaultConfig()
+	sc := &Scratch{}
+	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	for _, days := range []int{2, 7, 3, 14, 1} {
+		vals := make([]float64, days*288)
+		for i := range vals {
+			vals[i] = 30 + 5*rng.Float64()
+		}
+		s := timeseries.New(start, 5*time.Minute, vals)
+		want, wantRatio, _ := IsStable(s, cfg)
+		got, gotRatio, _ := IsStableScratch(s, cfg, sc)
+		if want != got || wantRatio != gotRatio {
+			t.Errorf("days=%d: %v/%v vs %v/%v", days, want, wantRatio, got, gotRatio)
+		}
+	}
+}

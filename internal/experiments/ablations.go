@@ -79,14 +79,20 @@ func runAblationBound(o Options) ([]Table, error) {
 	}
 	var pairs []pair
 	for _, srv := range fleet.Servers {
-		days := srv.Load().Days()
-		if len(days) < 9 {
+		load := srv.Load()
+		ppd := load.PointsPerDay()
+		nd := load.NumDays()
+		if nd < 9 {
 			continue
 		}
-		last := len(days) - 1
+		trueV, err1 := load.View((nd-1)*ppd, nd*ppd)
+		predV, err2 := load.View((nd-2)*ppd, (nd-1)*ppd) // persistent forecast
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("ablation-bound day views: %v, %v", err1, err2)
+		}
 		pairs = append(pairs, pair{
-			trueDay: days[last].FillGaps(),
-			predDay: days[last-1].FillGaps(), // persistent forecast
+			trueDay: trueV.FillGaps(),
+			predDay: predV.FillGaps(),
 			window:  srv.WindowPoints(),
 		})
 	}
@@ -97,29 +103,46 @@ func runAblationBound(o Options) ([]Table, error) {
 			"under-predicted by >5 points on >10%% of observations", len(pairs)),
 		Header: []string{"bound", "windows accepted accurate", "risky acceptances"},
 	}
+	// Per-pair verdicts fan out over the shared pool (EvaluateDay itself is
+	// allocation-free, so the sweep needs no per-worker arena beyond the
+	// outcome buffer reused across bounds).
+	pool := parallel.NewPool(o.Workers)
+	type verdict struct{ accepted, risky bool }
+	verdicts := make([]verdict, len(pairs))
 	for _, bb := range bounds {
 		cfg := metrics.DefaultConfig()
 		cfg.Bound = bb.b
 		cfg.WindowBound = bb.b
-		accepted, risky := 0, 0
-		for _, p := range pairs {
+		err := pool.ForEach(len(pairs), func(i int) error {
+			p := pairs[i]
+			verdicts[i] = verdict{}
 			dr, err := metrics.EvaluateDay(p.trueDay, p.predDay, p.window, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !dr.WindowAccurate {
-				continue
+				return nil
 			}
-			accepted++
 			// Re-examine the accepted window for dangerous under-prediction.
 			start, w := dr.Window.Predicted.Start, dr.Window.Predicted.Length
 			under := 0
-			for i := start; i < start+w; i++ {
-				if p.predDay.Values[i] < p.trueDay.Values[i]-5 {
+			for k := start; k < start+w; k++ {
+				if p.predDay.Values[k] < p.trueDay.Values[k]-5 {
 					under++
 				}
 			}
-			if float64(under) > 0.1*float64(w) {
+			verdicts[i] = verdict{accepted: true, risky: float64(under) > 0.1*float64(w)}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		accepted, risky := 0, 0
+		for _, v := range verdicts {
+			if v.accepted {
+				accepted++
+			}
+			if v.risky {
 				risky++
 			}
 		}
@@ -280,14 +303,21 @@ func runAblationWorkers(o Options) ([]Table, error) {
 	}
 	var pairs []pair
 	for _, srv := range fleet.Servers {
-		days := srv.Load().Days()
-		if len(days) < 9 {
+		load := srv.Load()
+		ppd := load.PointsPerDay()
+		nd := load.NumDays()
+		if nd < 9 {
 			continue
 		}
 		p := pair{window: srv.WindowPoints()}
-		for d := len(days) - 7; d < len(days); d++ {
-			p.trueDays = append(p.trueDays, days[d].FillGaps())
-			p.predDays = append(p.predDays, days[d-1].FillGaps())
+		for d := nd - 7; d < nd; d++ {
+			cur, err1 := load.View(d*ppd, (d+1)*ppd)
+			prev, err2 := load.View((d-1)*ppd, d*ppd)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ablation-workers day views: %v, %v", err1, err2)
+			}
+			p.trueDays = append(p.trueDays, cur.FillGaps())
+			p.predDays = append(p.predDays, prev.FillGaps())
 		}
 		pairs = append(pairs, p)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,7 +78,7 @@ func runFig12a(o Options) ([]Table, error) {
 			return nil, err
 		}
 		p := pipeline.New(store, db, registry.New(nil), insights.New(nil))
-		res, err := p.RunWeek(pipeline.Config{Region: region, Week: 0, Workers: o.Workers})
+		res, err := p.RunWeek(context.Background(), pipeline.Config{Region: region, Week: 0, Workers: o.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("fig12a n=%d: %w", n, err)
 		}
@@ -132,17 +133,24 @@ func runFig12b(o Options) ([]Table, error) {
 		}
 		var jobs []job
 		for _, srv := range fleet.Servers {
-			ppd := srv.Load().PointsPerDay()
-			days := srv.Load().Days()
-			if len(days) < 9 {
+			load := srv.Load()
+			ppd := load.PointsPerDay()
+			nd := load.NumDays()
+			if nd < 9 {
 				continue
 			}
 			j := job{window: srv.WindowPoints()}
-			for d := len(days) - 7; d < len(days); d++ {
-				j.trueDays = append(j.trueDays, days[d].FillGaps())
-				j.predDays = append(j.predDays, days[d-1].FillGaps())
+			// Day views share the load's backing array; FillGaps makes the
+			// one copy each day actually needs.
+			for d := nd - 7; d < nd; d++ {
+				cur, err1 := load.View(d*ppd, (d+1)*ppd)
+				prev, err2 := load.View((d-1)*ppd, d*ppd)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("fig12b day views: %v, %v", err1, err2)
+				}
+				j.trueDays = append(j.trueDays, cur.FillGaps())
+				j.predDays = append(j.predDays, prev.FillGaps())
 			}
-			_ = ppd
 			jobs = append(jobs, j)
 		}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -57,12 +58,12 @@ func impactFleet(o Options, fleet *simulate.Fleet) (map[simulate.Class]scheduler
 	p := pipeline.New(store, db, registry.New(nil), insights.New(nil))
 	region := fleet.Config.Region
 	for w := 0; w < fleet.Config.Weeks; w++ {
-		if _, err := p.RunWeek(pipeline.Config{Region: region, Week: w, Workers: o.Workers}); err != nil {
+		if _, err := p.RunWeek(context.Background(), pipeline.Config{Region: region, Week: w, Workers: o.Workers}); err != nil {
 			return nil, scheduler.Impact{}, err
 		}
 	}
 	sched := scheduler.New(db, scheduler.NewFabricStore(), metrics.DefaultConfig())
-	decisions, err := sched.ScheduleWeek(region, fleet.Config.Weeks-1)
+	decisions, err := sched.ScheduleWeek(context.Background(), region, fleet.Config.Weeks-1)
 	if err != nil {
 		return nil, scheduler.Impact{}, err
 	}

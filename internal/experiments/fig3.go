@@ -31,15 +31,25 @@ func runFig3(o Options) ([]Table, error) {
 
 	sum := classify.NewSummary()
 	pool := parallel.NewPool(o.Workers)
-	// One result buffer serves every region's classification sweep.
+	// One result buffer serves every region's classification sweep; each
+	// worker carries a classify.Scratch so the Definition 4 stability test
+	// reuses one prediction buffer across all servers the worker claims.
 	cats := make([]classify.Category, perRegion)
 	for ri, region := range regions {
 		fleet := cachedFleet(simulate.Config{
 			Region: region, Servers: perRegion, Weeks: 4, Seed: o.Seed + int64(ri)*97,
 		})
-		err := parallel.MapInto(pool, fleet.Servers, cats, func(srv *simulate.Server) (classify.Category, error) {
-			return classify.Categorize(srv.Load(), srv.LifespanDays(), mcfg)
-		})
+		err := parallel.ForEachScratch(pool, len(fleet.Servers),
+			func() *classify.Scratch { return &classify.Scratch{} },
+			func(i int, sc *classify.Scratch) error {
+				srv := fleet.Servers[i]
+				cat, err := classify.CategorizeScratch(srv.Load(), srv.LifespanDays(), mcfg, sc)
+				if err != nil {
+					return err
+				}
+				cats[i] = cat
+				return nil
+			})
 		if err != nil {
 			return nil, err
 		}

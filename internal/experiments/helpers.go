@@ -72,14 +72,71 @@ func gridSpill(poolWorkers, servers int) int {
 // cached fleet (lazily materialized, read-only by convention) makes repeat
 // runs skip both the metadata generation and — thanks to per-server
 // sync.Once materialization — the telemetry synthesis they already paid for.
-var fleetCache sync.Map // simulate.Config → *simulate.Fleet
+//
+// The cache is a bounded LRU: a long-lived process sweeping many regions
+// (seagull-serve sharing a binary with the experiments, or a full-scale
+// multi-region run) must not pin every fleet it ever generated. Materialized
+// telemetry dominates a fleet's footprint, so the bound is on fleet count.
+const fleetCacheCap = 32
+
+var fleetCache = struct {
+	sync.Mutex
+	fleets map[simulate.Config]*fleetCacheEntry
+	tick   uint64 // monotonic use counter; larger = more recent
+}{fleets: map[simulate.Config]*fleetCacheEntry{}}
+
+type fleetCacheEntry struct {
+	fleet    *simulate.Fleet
+	lastUsed uint64
+}
 
 func cachedFleet(cfg simulate.Config) *simulate.Fleet {
-	if f, ok := fleetCache.Load(cfg); ok {
-		return f.(*simulate.Fleet)
+	fleetCache.Lock()
+	fleetCache.tick++
+	if e, ok := fleetCache.fleets[cfg]; ok {
+		e.lastUsed = fleetCache.tick
+		fleetCache.Unlock()
+		return e.fleet
 	}
-	f, _ := fleetCache.LoadOrStore(cfg, simulate.GenerateFleet(cfg))
-	return f.(*simulate.Fleet)
+	// Generate outside the lock: lazy generation is cheap (metadata only)
+	// but there is no reason to serialize independent configs. A racing
+	// generator for the same config loses and its fleet is dropped —
+	// generation is deterministic, so both fleets are identical.
+	fleetCache.Unlock()
+	f := simulate.GenerateFleet(cfg)
+	fleetCache.Lock()
+	defer fleetCache.Unlock()
+	if e, ok := fleetCache.fleets[cfg]; ok {
+		return e.fleet
+	}
+	for len(fleetCache.fleets) >= fleetCacheCap {
+		var oldest simulate.Config
+		var oldestUse uint64
+		first := true
+		for k, e := range fleetCache.fleets {
+			if first || e.lastUsed < oldestUse {
+				oldest, oldestUse, first = k, e.lastUsed, false
+			}
+		}
+		delete(fleetCache.fleets, oldest)
+	}
+	fleetCache.fleets[cfg] = &fleetCacheEntry{fleet: f, lastUsed: fleetCache.tick}
+	return f
+}
+
+// ResetFleetCache drops every memoized fleet, releasing their materialized
+// telemetry. Long-lived hosts call it between unrelated workloads.
+func ResetFleetCache() {
+	fleetCache.Lock()
+	defer fleetCache.Unlock()
+	fleetCache.fleets = map[simulate.Config]*fleetCacheEntry{}
+}
+
+// fleetCacheLen reports the number of cached fleets (tests).
+func fleetCacheLen() int {
+	fleetCache.Lock()
+	defer fleetCache.Unlock()
+	return len(fleetCache.fleets)
 }
 
 // serverEval is one server's chronological backup-day evaluations.

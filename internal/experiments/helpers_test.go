@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"seagull/internal/simulate"
+)
+
+func cacheCfg(seed int64) simulate.Config {
+	return simulate.Config{Region: "cache-test", Servers: 2, Weeks: 1, Seed: seed}
+}
+
+func TestFleetCacheMemoizesByConfig(t *testing.T) {
+	ResetFleetCache()
+	defer ResetFleetCache()
+	f1 := cachedFleet(cacheCfg(1))
+	if cachedFleet(cacheCfg(1)) != f1 {
+		t.Error("identical config must return the memoized fleet")
+	}
+	if cachedFleet(cacheCfg(2)) == f1 {
+		t.Error("different config must not share a fleet")
+	}
+}
+
+func TestFleetCacheLRUEviction(t *testing.T) {
+	ResetFleetCache()
+	defer ResetFleetCache()
+	victim := cachedFleet(cacheCfg(1))
+	keeper := cachedFleet(cacheCfg(2))
+	// Touch the keeper, then flood the cache past its capacity; the victim
+	// (least recently used) must be evicted while the bound holds.
+	cachedFleet(cacheCfg(2))
+	for i := 0; i < fleetCacheCap+4; i++ {
+		cachedFleet(cacheCfg(int64(100 + i)))
+	}
+	if n := fleetCacheLen(); n > fleetCacheCap {
+		t.Errorf("cache holds %d fleets, cap is %d", n, fleetCacheCap)
+	}
+	if cachedFleet(cacheCfg(1)) == victim {
+		t.Error("least recently used fleet should have been evicted")
+	}
+	_ = keeper // the keeper's fate depends on the flood order; only the bound and LRU victim are pinned
+}
+
+func TestFleetCacheReset(t *testing.T) {
+	ResetFleetCache()
+	f1 := cachedFleet(cacheCfg(1))
+	if fleetCacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", fleetCacheLen())
+	}
+	ResetFleetCache()
+	if fleetCacheLen() != 0 {
+		t.Fatalf("cache len after reset = %d, want 0", fleetCacheLen())
+	}
+	if cachedFleet(cacheCfg(1)) == f1 {
+		t.Error("reset must drop the memoized fleet")
+	}
+}

@@ -127,6 +127,10 @@ func NewARIMA(cfg ARIMAConfig) *ARIMA { return &ARIMA{cfg: cfg.withDefaults()} }
 // Name implements Model.
 func (a *ARIMA) Name() string { return NameARIMA }
 
+// DeterministicInference implements InferenceDeterministic: forecasting
+// iterates the fitted recursion with zero future shocks.
+func (a *ARIMA) DeterministicInference() bool { return true }
+
 // Order returns the selected specification after training.
 func (a *ARIMA) Order() string { return a.order.String() }
 

@@ -1,0 +1,72 @@
+package forecast
+
+import (
+	"testing"
+	"time"
+
+	"seagull/internal/timeseries"
+)
+
+func detHistory(days int) timeseries.Series {
+	vals := make([]float64, days*288)
+	for i := range vals {
+		base := 12.0
+		if i%288 >= 96 && i%288 < 192 {
+			base = 58
+		}
+		vals[i] = base + float64((i*37)%11)
+	}
+	return timeseries.New(time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC), 5*time.Minute, vals)
+}
+
+// TestDeterministicInferenceContract pins the InferenceDeterministic
+// claims: every model advertising deterministic inference must return
+// bit-identical series from repeated Forecast calls after one Train, and
+// the additive model — whose inference consumes the model RNG — must not
+// advertise it.
+func TestDeterministicInferenceContract(t *testing.T) {
+	hist := detHistory(7)
+	names := []string{
+		NamePersistentPrevDay, NamePersistentPrevWeek, NamePersistentWeekAvg,
+		NameSSA, NameFFNN, NameAdditive, NameARIMA,
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			m, err := New(name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			di, claims := m.(InferenceDeterministic)
+			deterministic := claims && di.DeterministicInference()
+			if name == NameAdditive {
+				if deterministic {
+					t.Fatal("the additive model draws inference samples from its RNG and must not claim deterministic inference")
+				}
+				return
+			}
+			if !deterministic {
+				t.Fatalf("%s should claim deterministic inference", name)
+			}
+			if err := m.Train(hist); err != nil {
+				t.Fatal(err)
+			}
+			first, err := m.Forecast(288)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := m.Forecast(288)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Len() != second.Len() {
+				t.Fatalf("len %d vs %d", first.Len(), second.Len())
+			}
+			for i := range first.Values {
+				if first.Values[i] != second.Values[i] {
+					t.Fatalf("repeated Forecast diverges at %d: %v vs %v",
+						i, first.Values[i], second.Values[i])
+				}
+			}
+		})
+	}
+}

@@ -117,6 +117,10 @@ type FFNN struct {
 // defaults).
 func NewFFNN(cfg FFNNConfig) *FFNN { return &FFNN{cfg: cfg.withDefaults()} }
 
+// DeterministicInference implements InferenceDeterministic: inference is a
+// forward pass over the trained weights; the RNG is consumed by Train only.
+func (f *FFNN) DeterministicInference() bool { return true }
+
 // Name implements Model.
 func (f *FFNN) Name() string { return NameFFNN }
 

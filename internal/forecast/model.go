@@ -40,6 +40,19 @@ type Model interface {
 	Forecast(horizon int) (timeseries.Series, error)
 }
 
+// InferenceDeterministic is an optional Model extension. Implementations
+// whose DeterministicInference returns true guarantee that Forecast is a
+// pure function of the state established by the last successful Train:
+// repeated Forecast calls return identical series and consume no internal
+// randomness. The serving layer's warm model pool relies on this to skip
+// retraining an instance whose last trained history is bit-identical to the
+// incoming one. The additive model does NOT implement it: its inference
+// draws Monte-Carlo trajectories from the model RNG, which only Train
+// re-seeds.
+type InferenceDeterministic interface {
+	DeterministicInference() bool
+}
+
 // PredictDay trains m on history and forecasts the full day immediately
 // following it — the "predict customer load per server 24h into the future"
 // operation the paper's pipeline performs.

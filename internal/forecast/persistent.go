@@ -49,6 +49,10 @@ type Persistent struct {
 // NewPersistent returns a persistent forecaster of the given variant.
 func NewPersistent(v Variant) *Persistent { return &Persistent{variant: v} }
 
+// DeterministicInference implements InferenceDeterministic: the persistent
+// forecast replays history slices with no randomness.
+func (p *Persistent) DeterministicInference() bool { return true }
+
 // Name implements Model.
 func (p *Persistent) Name() string { return p.variant.String() }
 

@@ -98,6 +98,10 @@ type SSA struct {
 // NewSSA returns an SSA forecaster with cfg (zero fields take defaults).
 func NewSSA(cfg SSAConfig) *SSA { return &SSA{cfg: cfg.withDefaults()} }
 
+// DeterministicInference implements InferenceDeterministic: the linear
+// recurrence consumes only the coefficients and tail Train established.
+func (s *SSA) DeterministicInference() bool { return true }
+
 // Name implements Model.
 func (s *SSA) Name() string { return NameSSA }
 

@@ -172,17 +172,20 @@ type DayResult struct {
 }
 
 // EvaluateDay runs the full backup-day evaluation: LL window choice and load
-// accuracy during the predicted window.
+// accuracy during the predicted window. It allocates nothing: the window
+// comparison reads zero-copy views of both days, which lets the parallel
+// accuracy-evaluation loops (fig12b and the worker ablation sweep millions
+// of server-days) run without per-day garbage.
 func EvaluateDay(trueDay, predDay timeseries.Series, w int, cfg Config) (DayResult, error) {
 	wr, err := EvaluateWindow(trueDay, predDay, w, cfg)
 	if err != nil {
 		return DayResult{}, err
 	}
-	ts, err := trueDay.Slice(wr.Predicted.Start, wr.Predicted.Start+wr.Predicted.Length)
+	ts, err := trueDay.View(wr.Predicted.Start, wr.Predicted.Start+wr.Predicted.Length)
 	if err != nil {
 		return DayResult{}, err
 	}
-	ps, err := predDay.Slice(wr.Predicted.Start, wr.Predicted.Start+wr.Predicted.Length)
+	ps, err := predDay.View(wr.Predicted.Start, wr.Predicted.Start+wr.Predicted.Length)
 	if err != nil {
 		return DayResult{}, err
 	}

@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxCompletesWithLiveContext(t *testing.T) {
+	pool := NewPool(4)
+	var visited atomic.Int64
+	err := pool.ForEachCtx(context.Background(), 100, func(i int) error {
+		visited.Add(1)
+		return nil
+	})
+	if err != nil || visited.Load() != 100 {
+		t.Fatalf("err=%v visited=%d", err, visited.Load())
+	}
+}
+
+func TestForEachCtxStopsClaimingAfterCancel(t *testing.T) {
+	pool := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int64
+	started := make(chan struct{}, 1)
+	err := pool.ForEachCtx(ctx, 10_000, func(i int) error {
+		select {
+		case started <- struct{}{}:
+			cancel() // cancel from inside the first item observed
+		default:
+		}
+		visited.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers abandon unclaimed ranges; with chunked claims each worker can
+	// finish at most its in-flight chunk.
+	if n := visited.Load(); n == 0 || n >= 10_000 {
+		t.Fatalf("visited = %d, want partial progress", n)
+	}
+}
+
+func TestForEachCtxAlreadyCancelled(t *testing.T) {
+	pool := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visited atomic.Int64
+	err := pool.ForEachCtx(ctx, 100, func(i int) error {
+		visited.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited.Load() != 0 {
+		t.Fatalf("visited = %d, want 0", visited.Load())
+	}
+}
+
+func TestForEachCtxSingleWorkerObservesCancelBetweenItems(t *testing.T) {
+	pool := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited int
+	err := pool.ForEachCtx(ctx, 100, func(i int) error {
+		visited++
+		if i == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited != 5 {
+		t.Fatalf("visited = %d, want 5 (cancel after item 4)", visited)
+	}
+}
+
+func TestForEachCtxItemErrorWinsOverLateCancel(t *testing.T) {
+	pool := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := pool.ForEachCtx(ctx, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+}
+
+func TestForEachScratchCtxCancel(t *testing.T) {
+	pool := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var made atomic.Int64
+	err := ForEachScratchCtx(ctx, pool, 100,
+		func() *int { made.Add(1); v := 0; return &v },
+		func(i int, s *int) error { *s++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

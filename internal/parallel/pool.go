@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -76,7 +77,17 @@ var claimObserver func(lo, hi int)
 // cursor — roughly four chunks per worker — rather than one channel send per
 // item, so distribution overhead stays negligible even for micro-tasks.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
-	return p.forEachWorker(n, func(int) func(int) error { return fn })
+	return p.forEachWorker(context.Background(), n, func(int) func(int) error { return fn })
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// workers stop claiming new index ranges (in-flight items finish — fn is
+// never interrupted mid-item) and the context's error is returned. Unlike
+// plain errors from fn, which do not stop the sweep, cancellation abandons
+// the remaining items: a serving request whose client went away must not keep
+// training models for servers nobody will read.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return p.forEachWorker(ctx, n, func(int) func(int) error { return fn })
 }
 
 // ForEachScratch is like Pool.ForEach but allocates one scratch value per
@@ -84,7 +95,13 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 // executes. This is the hook model-fitting loops use to reuse design-matrix
 // and residual buffers across items without any locking.
 func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, scratch S) error) error {
-	return p.forEachWorker(n, func(int) func(int) error {
+	return ForEachScratchCtx(context.Background(), p, n, newScratch, fn)
+}
+
+// ForEachScratchCtx is ForEachScratch with the cancellation semantics of
+// ForEachCtx: per-worker scratch, and no new claims once ctx is done.
+func ForEachScratchCtx[S any](ctx context.Context, p *Pool, n int, newScratch func() S, fn func(i int, scratch S) error) error {
+	return p.forEachWorker(ctx, n, func(int) func(int) error {
 		scratch := newScratch()
 		return func(i int) error { return fn(i, scratch) }
 	})
@@ -92,16 +109,30 @@ func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s
 
 // forEachWorker is the shared chunked dispatcher. makeFn runs once per worker
 // (on that worker's goroutine for workers > 1) to build the item function,
-// letting callers close over per-worker scratch state.
-func (p *Pool) forEachWorker(n int, makeFn func(worker int) func(i int) error) error {
+// letting callers close over per-worker scratch state. Cancellation is
+// observed between items on the single-worker path and between claims on the
+// parallel path.
+func (p *Pool) forEachWorker(ctx context.Context, n int, makeFn func(worker int) func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
+	}
+	// An already-dead context does no setup at all: makeFn can be expensive
+	// (scratch allocation, warm-pool checkouts) and must not run for a
+	// request that will process zero items.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers := min(p.workers, n)
 	if workers == 1 {
 		var firstErr error
 		fn := makeFn(0)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if firstErr != nil {
+					return firstErr
+				}
+				return err
+			}
 			if err := safeCall(fn, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -150,8 +181,14 @@ func (p *Pool) forEachWorker(n int, makeFn func(worker int) func(i int) error) e
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return // cancelled before this worker's setup ran
+			}
 			fn := makeFn(w)
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				lo, hi, ok := claim()
 				if !ok {
 					return
@@ -172,7 +209,10 @@ func (p *Pool) forEachWorker(n int, makeFn func(worker int) func(i int) error) e
 		}(w)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // safeCall shields the pool from panics in user functions, converting them

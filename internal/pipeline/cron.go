@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -88,7 +89,7 @@ func (c *Cron) loop() {
 			cfg := c.cfg.Base
 			cfg.Region = region
 			cfg.Week = w
-			res, err := c.p.RunWeek(cfg)
+			res, err := c.p.RunWeek(context.Background(), cfg)
 			c.mu.Lock()
 			c.results = append(c.results, res)
 			if err != nil {

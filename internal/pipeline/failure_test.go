@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -44,7 +45,7 @@ func TestCorruptExtractRaisesIncident(t *testing.T) {
 
 	db, _ := cosmos.Open("")
 	p := New(store, db, registry.New(nil), insights.New(nil))
-	_, err = p.RunWeek(Config{Region: "corrupt", Week: 0})
+	_, err = p.RunWeek(context.Background(), Config{Region: "corrupt", Week: 0})
 	if err == nil {
 		t.Fatal("corrupt extract should fail the run")
 	}
@@ -100,7 +101,7 @@ func TestOutOfBoundTelemetryFlagsAnomalies(t *testing.T) {
 
 	db, _ := cosmos.Open("")
 	p := New(store, db, registry.New(nil), insights.New(nil))
-	res, err := p.RunWeek(Config{Region: "bounds", Week: 0})
+	res, err := p.RunWeek(context.Background(), Config{Region: "bounds", Week: 0})
 	if err != nil {
 		t.Fatalf("bound anomaly must not kill the run: %v", err)
 	}
@@ -135,11 +136,11 @@ func TestMultiRegionIsolation(t *testing.T) {
 	}
 	db, _ := cosmos.Open("")
 	p := New(store, db, registry.New(nil), insights.New(nil))
-	ra, err := p.RunWeek(Config{Region: "iso-a", Week: 1})
+	ra, err := p.RunWeek(context.Background(), Config{Region: "iso-a", Week: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := p.RunWeek(Config{Region: "iso-b", Week: 1})
+	rb, err := p.RunWeek(context.Background(), Config{Region: "iso-b", Week: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

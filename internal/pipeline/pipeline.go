@@ -8,6 +8,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -177,8 +178,11 @@ func New(store *lake.Store, db *cosmos.DB, reg *registry.Registry, dash *insight
 	return &Pipeline{Store: store, DB: db, Registry: reg, Dash: dash, Clock: time.Now}
 }
 
-// RunWeek executes the full weekly pipeline for one region.
-func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
+// RunWeek executes the full weekly pipeline for one region. Cancelling ctx
+// abandons the run at the next stage boundary (and, inside training and
+// inference, at the next server partition); the dashboard records the run as
+// failed with the context's error.
+func (p *Pipeline) RunWeek(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Region: cfg.Region, Week: cfg.Week}
 	runStart := time.Now()
@@ -196,6 +200,10 @@ func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
 		return res, fmt.Errorf("pipeline %s week %d: %s: %w", cfg.Region, cfg.Week, stage, err)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return fail(StageIngestion, err)
+	}
+
 	// --- Ingestion: current week plus trailing history weeks. ---
 	t := time.Now()
 	histories, weekLoads, err := p.ingest(cfg)
@@ -209,6 +217,9 @@ func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
 	}
 
 	// --- Validation: raw extract re-scan plus ingested-series checks. ---
+	if err := ctx.Err(); err != nil {
+		return fail(StageValidation, err)
+	}
 	t = time.Now()
 	rep, err := p.validateWeek(cfg, weekLoads)
 	record(StageValidation, time.Since(t))
@@ -234,8 +245,11 @@ func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
 	record(StageDeployment, time.Since(t))
 
 	// --- Training & inference: predict each server's backup day. ---
+	if err := ctx.Err(); err != nil {
+		return fail(StageTrainInfer, err)
+	}
 	t = time.Now()
-	preds, evals, err := p.trainInferEvaluate(cfg, histories)
+	preds, evals, err := p.trainInferEvaluate(ctx, cfg, histories)
 	record(StageTrainInfer, time.Since(t))
 	if err != nil {
 		return fail(StageTrainInfer, err)
@@ -243,6 +257,9 @@ func (p *Pipeline) RunWeek(cfg Config) (*Result, error) {
 	res.Predicted = len(preds)
 
 	// --- Accuracy evaluation & persistence. ---
+	if err := ctx.Err(); err != nil {
+		return fail(StageAccuracy, err)
+	}
 	t = time.Now()
 	summary, err := p.persistResults(cfg, version, preds, evals)
 	record(StageAccuracy, time.Since(t))
@@ -367,7 +384,7 @@ func (p *Pipeline) extractFeatures(cfg Config, histories map[string]*serverHisto
 // prediction against the actuals (which are available because the run
 // happens at the end of the week). Servers are processed in parallel
 // partitions, Dask-style.
-func (p *Pipeline) trainInferEvaluate(cfg Config, histories map[string]*serverHistory) ([]*PredictionDoc, []*EvalDoc, error) {
+func (p *Pipeline) trainInferEvaluate(ctx context.Context, cfg Config, histories map[string]*serverHistory) ([]*PredictionDoc, []*EvalDoc, error) {
 	ids := make([]string, 0, len(histories))
 	for id := range histories {
 		ids = append(ids, id)
@@ -377,10 +394,12 @@ func (p *Pipeline) trainInferEvaluate(cfg Config, histories map[string]*serverHi
 		pred *PredictionDoc
 		eval *EvalDoc
 	}
-	outs, err := parallel.Map(pool, ids, func(id string) (outcome, error) {
-		h := histories[id]
+	outs := make([]outcome, len(ids))
+	err := pool.ForEachCtx(ctx, len(ids), func(i int) error {
+		h := histories[ids[i]]
 		pd, ed := p.predictServer(cfg, h)
-		return outcome{pred: pd, eval: ed}, nil
+		outs[i] = outcome{pred: pd, eval: ed}
+		return nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -560,15 +579,18 @@ func docID(serverID string, week int) string {
 
 // RunSchedule executes weekly runs for several regions and weeks in
 // sequence, as the recurring Pipeline Scheduler does in production. Failed
-// runs raise incidents but do not stop the schedule.
-func (p *Pipeline) RunSchedule(base Config, regions []string, weeks []int) []*Result {
+// runs raise incidents but do not stop the schedule; cancelling ctx does.
+func (p *Pipeline) RunSchedule(ctx context.Context, base Config, regions []string, weeks []int) []*Result {
 	var out []*Result
 	for _, region := range regions {
 		for _, week := range weeks {
+			if ctx.Err() != nil {
+				return out
+			}
 			cfg := base
 			cfg.Region = region
 			cfg.Week = week
-			res, err := p.RunWeek(cfg)
+			res, err := p.RunWeek(ctx, cfg)
 			if err != nil {
 				// RunWeek already raised the incident; keep the partial result.
 				out = append(out, res)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func fixture(t *testing.T, servers int) (*Pipeline, *simulate.Fleet) {
 
 func TestRunWeekEndToEnd(t *testing.T) {
 	p, _ := fixture(t, 60)
-	res, err := p.RunWeek(Config{Region: "testreg", Week: 1})
+	res, err := p.RunWeek(context.Background(), Config{Region: "testreg", Week: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunWeekEndToEnd(t *testing.T) {
 
 func TestRunScheduleBuildsPredictability(t *testing.T) {
 	p, _ := fixture(t, 80)
-	results := p.RunSchedule(Config{}, []string{"testreg"}, []int{0, 1, 2, 3})
+	results := p.RunSchedule(context.Background(), Config{}, []string{"testreg"}, []int{0, 1, 2, 3})
 	if len(results) != 4 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -123,7 +124,7 @@ func TestRunScheduleBuildsPredictability(t *testing.T) {
 
 func TestRunWeekMissingExtract(t *testing.T) {
 	p, _ := fixture(t, 10)
-	_, err := p.RunWeek(Config{Region: "ghost", Week: 0})
+	_, err := p.RunWeek(context.Background(), Config{Region: "ghost", Week: 0})
 	if err == nil {
 		t.Fatal("missing region should fail")
 	}
@@ -139,7 +140,7 @@ func TestRunWeekMissingExtract(t *testing.T) {
 
 func TestRunWeekUnknownModel(t *testing.T) {
 	p, _ := fixture(t, 15)
-	res, err := p.RunWeek(Config{Region: "testreg", Week: 1, ModelName: "bogus"})
+	res, err := p.RunWeek(context.Background(), Config{Region: "testreg", Week: 1, ModelName: "bogus"})
 	// The run completes (each server is skipped) but predicts nothing and
 	// raises incidents.
 	if err != nil {
@@ -178,7 +179,7 @@ func TestFallbackOnRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := p.RunWeek(Config{
+	res, err := p.RunWeek(context.Background(), Config{
 		Region: "testreg", Week: 2,
 		MinFleetAccuracy: 0.9,
 	})
@@ -207,11 +208,11 @@ func TestFallbackOnRegression(t *testing.T) {
 func TestWorkersProduceSameResults(t *testing.T) {
 	p1, _ := fixture(t, 40)
 	p2, _ := fixture(t, 40)
-	r1, err := p1.RunWeek(Config{Region: "testreg", Week: 1, Workers: 1})
+	r1, err := p1.RunWeek(context.Background(), Config{Region: "testreg", Week: 1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := p2.RunWeek(Config{Region: "testreg", Week: 1, Workers: 8})
+	r8, err := p2.RunWeek(context.Background(), Config{Region: "testreg", Week: 1, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestErrNoData(t *testing.T) {
 	}
 	db, _ := cosmos.Open("")
 	p := New(store, db, registry.New(nil), nil)
-	_, err = p.RunWeek(Config{Region: "empty", Week: 0})
+	_, err = p.RunWeek(context.Background(), Config{Region: "empty", Week: 0})
 	if !errors.Is(err, ErrNoData) {
 		t.Errorf("err = %v, want ErrNoData", err)
 	}

@@ -53,9 +53,11 @@ func (t Target) String() string { return t.Scenario + "/" + t.Region }
 
 // Registry tracks deployments per target. It is safe for concurrent use.
 type Registry struct {
-	mu      sync.RWMutex
-	targets map[Target][]*Version // version history, oldest first
-	clock   func() time.Time
+	mu        sync.RWMutex
+	targets   map[Target][]*Version // version history, oldest first
+	clock     func() time.Time
+	watchers  map[int]func(Target)
+	nextWatch int
 }
 
 // New returns an empty registry. clock may be nil for wall time; tests and
@@ -67,11 +69,46 @@ func New(clock func() time.Time) *Registry {
 	return &Registry{targets: map[Target][]*Version{}, clock: clock}
 }
 
+// Watch registers fn to be called whenever a target's active version changes
+// (Deploy promotions and Fallback rollbacks). fn runs synchronously on the
+// mutating goroutine, after the registry lock is released, so it may call
+// back into the registry; it must not block for long. The returned unwatch
+// removes the registration (idempotent) — a component that does not outlive
+// the registry must call it, or its watcher (and everything the closure
+// pins) stays reachable for the registry's lifetime.
+func (r *Registry) Watch(fn func(Target)) (unwatch func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.watchers == nil {
+		r.watchers = map[int]func(Target){}
+	}
+	id := r.nextWatch
+	r.nextWatch++
+	r.watchers[id] = fn
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		delete(r.watchers, id)
+	}
+}
+
+// notify invokes every watcher for target. Callers must NOT hold r.mu.
+func (r *Registry) notify(target Target) {
+	r.mu.RLock()
+	watchers := make([]func(Target), 0, len(r.watchers))
+	for _, fn := range r.watchers {
+		watchers = append(watchers, fn)
+	}
+	r.mu.RUnlock()
+	for _, fn := range watchers {
+		fn(target)
+	}
+}
+
 // Deploy records a new active version of modelName at target, retiring the
 // previous active version. It returns the new version number (1-based).
 func (r *Registry) Deploy(target Target, modelName, notes string) int {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	hist := r.targets[target]
 	for _, v := range hist {
 		if v.Status == StatusActive {
@@ -87,7 +124,10 @@ func (r *Registry) Deploy(target Target, modelName, notes string) int {
 		Notes:     notes,
 	}
 	r.targets[target] = append(hist, v)
-	return v.Number
+	number := v.Number
+	r.mu.Unlock()
+	r.notify(target)
+	return number
 }
 
 // Active returns the currently serving version for target.
@@ -121,7 +161,6 @@ func (r *Registry) RecordAccuracy(target Target, version int, accuracy float64) 
 // (the active version stays demoted either way; callers should alert).
 func (r *Registry) Fallback(target Target, minAccuracy float64) (Version, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	hist := r.targets[target]
 	var active *Version
 	for i := len(hist) - 1; i >= 0; i-- {
@@ -131,6 +170,7 @@ func (r *Registry) Fallback(target Target, minAccuracy float64) (Version, error)
 		}
 	}
 	if active == nil {
+		r.mu.Unlock()
 		return Version{}, fmt.Errorf("%w: %s", ErrNoDeployment, target)
 	}
 	active.Status = StatusRolledBack
@@ -141,9 +181,14 @@ func (r *Registry) Fallback(target Target, minAccuracy float64) (Version, error)
 		}
 		if v.Accuracy >= minAccuracy {
 			v.Status = StatusActive
-			return *v, nil
+			out := *v
+			r.mu.Unlock()
+			r.notify(target)
+			return out, nil
 		}
 	}
+	r.mu.Unlock()
+	r.notify(target) // the active version was demoted even without a fallback
 	return Version{}, fmt.Errorf("%w: no known-good version for %s", ErrNoDeployment, target)
 }
 

@@ -148,3 +148,62 @@ func TestDeployTimestampsAdvance(t *testing.T) {
 		t.Error("deployment times should advance")
 	}
 }
+
+func TestWatchNotifiesOnDeploy(t *testing.T) {
+	r := New(nil)
+	var events []Target
+	r.Watch(func(tg Target) { events = append(events, tg) })
+	tg := Target{Scenario: "backup", Region: "w"}
+	r.Deploy(tg, "m1", "")
+	r.Deploy(tg, "m2", "")
+	if len(events) != 2 || events[0] != tg || events[1] != tg {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestWatchNotifiesOnFallback(t *testing.T) {
+	r := New(nil)
+	tg := Target{Scenario: "backup", Region: "w"}
+	v1 := r.Deploy(tg, "m1", "")
+	if err := r.RecordAccuracy(tg, v1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	r.Deploy(tg, "m2", "")
+	var events int
+	r.Watch(func(Target) { events++ })
+	if _, err := r.Fallback(tg, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Fatalf("events = %d, want 1", events)
+	}
+	// A fallback without a known-good version still demotes the active
+	// version, so watchers must still fire.
+	events = 0
+	tg2 := Target{Scenario: "backup", Region: "x"}
+	r.Deploy(tg2, "m1", "")
+	events = 0
+	if _, err := r.Fallback(tg2, 0.99); err == nil {
+		t.Fatal("expected no known-good fallback")
+	}
+	if events != 1 {
+		t.Fatalf("events = %d, want 1 (demotion without fallback)", events)
+	}
+}
+
+func TestWatchMayReenterRegistry(t *testing.T) {
+	r := New(nil)
+	tg := Target{Scenario: "backup", Region: "w"}
+	var seen []int
+	r.Watch(func(tg Target) {
+		// Watchers run outside the lock, so reading back is legal.
+		if v, err := r.Active(tg); err == nil {
+			seen = append(seen, v.Number)
+		}
+	})
+	r.Deploy(tg, "m1", "")
+	r.Deploy(tg, "m2", "")
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+}

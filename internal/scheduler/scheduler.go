@@ -13,6 +13,7 @@
 package scheduler
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -112,12 +113,17 @@ func New(db *cosmos.DB, fabric *FabricStore, cfg metrics.Config) *Scheduler {
 // is positive — "we verify that the servers were predictable for several
 // weeks and we do not reschedule a backup at a worse time based on
 // predictions we are not confident in" (Section 2.3). All other servers
-// keep their default window.
-func (s *Scheduler) ScheduleWeek(region string, week int) ([]Decision, error) {
+// keep their default window. Cancelling ctx stops the sweep at the next
+// server; decisions already written to the fabric store stay in place (each
+// is individually complete).
+func (s *Scheduler) ScheduleWeek(ctx context.Context, region string, week int) ([]Decision, error) {
 	predCol := s.DB.Collection("predictions")
 	evalCol := s.DB.Collection("evaluations")
 	var decisions []Decision
 	err := predCol.Query(region, func(id string, body json.RawMessage) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var pd pipeline.PredictionDoc
 		if err := json.Unmarshal(body, &pd); err != nil {
 			return fmt.Errorf("scheduler: decode prediction %s: %w", id, err)

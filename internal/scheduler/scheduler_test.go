@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -32,7 +33,7 @@ func fixture(t *testing.T, servers int) (*Scheduler, *simulate.Fleet, *pipeline.
 	db, _ := cosmos.Open("")
 	p := pipeline.New(store, db, registry.New(nil), insights.New(nil))
 	for week := 0; week < 4; week++ {
-		if _, err := p.RunWeek(pipeline.Config{Region: "sched", Week: week}); err != nil {
+		if _, err := p.RunWeek(context.Background(), pipeline.Config{Region: "sched", Week: week}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func trueDayFunc(fleet *simulate.Fleet) TrueDayFunc {
 
 func TestScheduleWeekDecisions(t *testing.T) {
 	s, _, _ := fixture(t, 70)
-	decisions, err := s.ScheduleWeek("sched", 3)
+	decisions, err := s.ScheduleWeek(context.Background(), "sched", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestScheduleWeekDecisions(t *testing.T) {
 func TestScheduleEarlyWeekAllDefault(t *testing.T) {
 	s, _, _ := fixture(t, 40)
 	// Week 0 has no prior evaluation → everything defaults.
-	decisions, err := s.ScheduleWeek("sched", 0)
+	decisions, err := s.ScheduleWeek(context.Background(), "sched", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestScheduleEarlyWeekAllDefault(t *testing.T) {
 
 func TestEvaluateImpactShape(t *testing.T) {
 	s, fleet, _ := fixture(t, 120)
-	decisions, err := s.ScheduleWeek("sched", 3)
+	decisions, err := s.ScheduleWeek(context.Background(), "sched", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestEvaluateImpactShape(t *testing.T) {
 
 func TestEvaluateImpactMissingActuals(t *testing.T) {
 	s, _, _ := fixture(t, 30)
-	decisions, err := s.ScheduleWeek("sched", 3)
+	decisions, err := s.ScheduleWeek(context.Background(), "sched", 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,180 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"seagull/internal/timeseries"
+)
+
+// APIError is a structured error decoded from a v2 error envelope. v1
+// responses and undecodable bodies degrade to CodeInternal with the raw
+// body as the message.
+type APIError struct {
+	Status  int
+	Code    ErrorCode
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serving: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client is the typed Go client for the serving endpoints, v1 and v2.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for baseURL (no trailing slash required).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// do posts (or gets, when in is nil) JSON and decodes the response into out,
+// converting non-200 responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError reads a failed response into an *APIError, preferring the
+// v2 envelope and degrading to the raw body.
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env errorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	return &APIError{Status: resp.StatusCode, Code: CodeInternal, Message: string(bytes.TrimSpace(data))}
+}
+
+// --- v2 methods ---
+
+// PredictV2 posts a v2 predict request.
+func (c *Client) PredictV2(ctx context.Context, req PredictRequestV2) (PredictResponseV2, error) {
+	var out PredictResponseV2
+	err := c.do(ctx, http.MethodPost, "/v2/predict", req, &out)
+	return out, err
+}
+
+// PredictBatch posts a batch of servers in one call.
+func (c *Client) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v2/predict/batch", req, &out)
+	return out, err
+}
+
+// Advise reviews a customer-selected backup window.
+func (c *Client) Advise(ctx context.Context, req AdviseRequest) (AdviseResponse, error) {
+	var out AdviseResponse
+	err := c.do(ctx, http.MethodPost, "/v2/advise", req, &out)
+	return out, err
+}
+
+// ModelsV2 fetches the v2 deployment listing with pool statistics.
+func (c *Client) ModelsV2(ctx context.Context) (ModelsResponseV2, error) {
+	var out ModelsResponseV2
+	err := c.do(ctx, http.MethodGet, "/v2/models", nil, &out)
+	return out, err
+}
+
+// Predictions fetches the stored pipeline predictions of one (region, week).
+func (c *Client) Predictions(ctx context.Context, region string, week int) (PredictionsResponse, error) {
+	var out PredictionsResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v2/predictions/%s/%d", region, week), nil, &out)
+	return out, err
+}
+
+// Ready reports whether the endpoint accepts new traffic (/readyz).
+func (c *Client) Ready(ctx context.Context) bool {
+	err := c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+	return err == nil
+}
+
+// --- v1 methods (kept for compatibility) ---
+
+// Predict posts a history series to the v1 endpoint and returns the
+// forecast.
+func (c *Client) Predict(scenario, region string, history timeseries.Series, horizon int) (timeseries.Series, PredictResponse, error) {
+	req := PredictRequest{
+		Scenario: scenario, Region: region,
+		History: FromSeries(history), Horizon: horizon,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return timeseries.Series{}, PredictResponse{}, fmt.Errorf("serving: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return timeseries.Series{}, PredictResponse{}, err
+	}
+	return pr.Forecast.ToSeries(), pr, nil
+}
+
+// Models fetches the v1 deployment listing.
+func (c *Client) Models() ([]ModelInfo, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serving: %s", resp.Status)
+	}
+	var out []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the endpoint responds to /healthz.
+func (c *Client) Healthy() bool {
+	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

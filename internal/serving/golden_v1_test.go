@@ -1,0 +1,126 @@
+package serving
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"seagull/internal/forecast"
+	"seagull/internal/registry"
+)
+
+// The v1 golden wire test: the compatibility shim must keep emitting the
+// exact bytes the original single-endpoint handler produced — struct field
+// order, flat {"error": ...} bodies, trailing newline from json.Encoder and
+// all. Any diff here is a v1 wire break.
+
+func postRaw(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestV1PredictGoldenWire(t *testing.T) {
+	srv, reg := testServer(t)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "westus"}, forecast.NamePersistentPrevDay, "")
+
+	// One day of hourly observations 0..23: the persistent prev-day forecast
+	// replays them verbatim starting at the next midnight.
+	req := `{"scenario":"backup","region":"westus","horizon":24,` +
+		`"history":{"start":"2019-12-01T00:00:00Z","interval_min":60,` +
+		`"values":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23]}}`
+
+	status, body := postRaw(t, srv.URL+"/v1/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	want := `{"model":"pf-prev-day","version":1,"forecast":` +
+		`{"start":"2019-12-02T00:00:00Z","interval_min":60,` +
+		`"values":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23]}}` + "\n"
+	if body != want {
+		t.Errorf("v1 predict wire format changed:\n got: %q\nwant: %q", body, want)
+	}
+}
+
+func TestV1ErrorGoldenWire(t *testing.T) {
+	srv, reg := testServer(t)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "r"}, forecast.NamePersistentPrevDay, "")
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantBody   string
+	}{
+		{
+			"zero horizon",
+			`{"scenario":"backup","region":"r","horizon":0,` +
+				`"history":{"start":"2019-12-01T00:00:00Z","interval_min":5,"values":[1]}}`,
+			http.StatusBadRequest,
+			`{"error":"horizon must be positive"}` + "\n",
+		},
+		{
+			"zero interval",
+			`{"scenario":"backup","region":"r","horizon":10,` +
+				`"history":{"start":"2019-12-01T00:00:00Z","interval_min":0,"values":[1]}}`,
+			http.StatusBadRequest,
+			`{"error":"history must be a non-empty series with a positive interval"}` + "\n",
+		},
+		{
+			"no deployment",
+			`{"scenario":"backup","region":"nowhere","horizon":10,` +
+				`"history":{"start":"2019-12-01T00:00:00Z","interval_min":5,"values":[1]}}`,
+			http.StatusNotFound,
+			`{"error":"registry: no deployment: backup/nowhere"}` + "\n",
+		},
+	}
+	for _, tc := range cases {
+		status, body := postRaw(t, srv.URL+"/v1/predict", tc.body)
+		if status != tc.wantStatus || body != tc.wantBody {
+			t.Errorf("%s: got %d %q, want %d %q", tc.name, status, body, tc.wantStatus, tc.wantBody)
+		}
+	}
+}
+
+// TestV1AcceptsHorizonBeyondV2Limit: the legacy endpoint took any positive
+// horizon; the v2 MaxHorizon cap must not leak into the shim.
+func TestV1AcceptsHorizonBeyondV2Limit(t *testing.T) {
+	srv, reg := testServer(t)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "westus"}, forecast.NamePersistentPrevDay, "")
+	req := `{"scenario":"backup","region":"westus","horizon":8640,` +
+		`"history":{"start":"2019-12-01T00:00:00Z","interval_min":5,"values":[` +
+		strings.Repeat("1,", 287) + `1]}}`
+	status, body := postRaw(t, srv.URL+"/v1/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %.200s", status, body)
+	}
+}
+
+func TestV1ModelsGoldenWire(t *testing.T) {
+	srv, reg := testServer(t)
+	tgt := registry.Target{Scenario: "backup", Region: "westus"}
+	v := reg.Deploy(tgt, forecast.NamePersistentPrevDay, "")
+	if err := reg.RecordAccuracy(tgt, v, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	want := `[{"scenario":"backup","region":"westus","model":"pf-prev-day","version":1,"accuracy":0.5}]` + "\n"
+	if string(data) != want {
+		t.Errorf("v1 models wire format changed:\n got: %q\nwant: %q", data, want)
+	}
+}

@@ -1,0 +1,299 @@
+package serving
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+
+	"seagull/internal/forecast"
+	"seagull/internal/registry"
+	"seagull/internal/timeseries"
+)
+
+// PoolConfig sizes the warm model pool.
+type PoolConfig struct {
+	// MaxEntries bounds how many distinct (scenario, region, version) slots
+	// the pool keeps warm; the least recently used slot is evicted beyond
+	// that. Values below 1 select the default, 64.
+	MaxEntries int
+	// MaxIdle bounds the idle model instances retained per slot (the
+	// concurrency level that stays warm). Default 4; NewService raises the
+	// default to its batch fan-out width so a whole batch's worker models
+	// re-pool. Negative disables pooling entirely: every checkout builds a
+	// fresh model — the model-per-request behaviour of the v1 handler,
+	// kept for benchmarks and as an escape hatch.
+	MaxIdle int
+	// Seed is the deterministic seed every pooled model instance is built
+	// with, so a warm instance and a fresh instance are interchangeable:
+	// all models pin retrain-equals-fresh behaviour in their equivalence
+	// tests, and identical seeding removes the remaining degree of freedom.
+	Seed int64
+	// NewModel overrides model construction (tests inject slow or failing
+	// models). Default forecast.New.
+	NewModel func(name string, seed int64) (forecast.Model, error)
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxEntries < 1 {
+		c.MaxEntries = 64
+	}
+	if c.MaxIdle == 0 {
+		c.MaxIdle = 4
+	}
+	if c.NewModel == nil {
+		c.NewModel = forecast.New
+	}
+	return c
+}
+
+// poolKey identifies one warm slot: a deployment target at a specific
+// version. Keying on the version means a promote or rollback naturally
+// misses the pool even before the invalidation watcher runs.
+type poolKey struct {
+	scenario, region string
+	version          int
+}
+
+// targetKey is the version-less half of a poolKey: invalidation generations
+// are tracked per target because Invalidate drops every version of one.
+type targetKey struct {
+	scenario, region string
+}
+
+// Instance is one checked-out model with its warm-pool bookkeeping: the
+// fingerprint of the last trained history, which lets TrainOn skip a
+// retrain when a deterministic-inference model sees the identical series
+// again (retries, several clients asking about the same server, an advise
+// flow following a predict). Instances are handed out with exclusive
+// ownership — models are not safe for concurrent use.
+type Instance struct {
+	Model forecast.Model
+	// memoOK records whether the model advertises deterministic inference
+	// (see forecast.InferenceDeterministic); only then may a retrain be
+	// skipped.
+	memoOK  bool
+	trained bool
+	// The last trained history, retained verbatim (start/interval/values).
+	// Histories are arbitrary client-supplied data on a public endpoint, so
+	// a skip is proven by comparing the actual bytes — sameHistory rejects
+	// in O(1) on differing start/length and early-exits on the first
+	// differing value, so no hash pre-filter is needed.
+	histStart    time.Time
+	histInterval time.Duration
+	histVals     []float64
+	// gen is the target's invalidation generation at checkout time; Return
+	// drops the instance when the target was invalidated while it was out.
+	gen uint64
+}
+
+func newInstance(m forecast.Model) *Instance {
+	di, ok := m.(forecast.InferenceDeterministic)
+	return &Instance{Model: m, memoOK: ok && di.DeterministicInference()}
+}
+
+// TrainOn trains the instance on h. When the model's inference is
+// deterministic and h is bit-identical to the last trained history, the
+// retrain is skipped — the post-Train state is already exactly what Train
+// would re-establish. skipped reports whether that happened.
+func (inst *Instance) TrainOn(h timeseries.Series) (skipped bool, err error) {
+	if inst.memoOK && inst.trained && inst.sameHistory(h) {
+		return true, nil
+	}
+	// Drop the trained flag before touching the model: Train mutates the
+	// retained state in place, so an error — or a panic recovered further
+	// up (parallel.safeCall on the batch path) — must leave the instance
+	// marked untrained, or a later memo hit would serve a forecast from
+	// half-mutated weights.
+	inst.trained = false
+	if err := inst.Model.Train(h); err != nil {
+		return false, err
+	}
+	inst.trained = true
+	if inst.memoOK {
+		inst.histStart, inst.histInterval = h.Start, h.Interval
+		if cap(inst.histVals) < len(h.Values) {
+			inst.histVals = make([]float64, len(h.Values))
+		}
+		inst.histVals = inst.histVals[:len(h.Values)]
+		copy(inst.histVals, h.Values)
+	}
+	return false, nil
+}
+
+// sameHistory compares h against the retained last-trained series bit for
+// bit (Float64bits, so Missing/NaN observations compare equal to
+// themselves).
+func (inst *Instance) sameHistory(h timeseries.Series) bool {
+	if !h.Start.Equal(inst.histStart) || h.Interval != inst.histInterval || len(h.Values) != len(inst.histVals) {
+		return false
+	}
+	for i, v := range h.Values {
+		if math.Float64bits(v) != math.Float64bits(inst.histVals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// poolEntry is one slot's idle instances.
+type poolEntry struct {
+	key  poolKey
+	idle []*Instance
+}
+
+// PoolStats is a point-in-time snapshot of pool effectiveness.
+type PoolStats struct {
+	Entries       int    `json:"entries"`       // warm slots
+	Idle          int    `json:"idle"`          // idle model instances across slots
+	Hits          uint64 `json:"hits"`          // checkouts served from a warm instance
+	Misses        uint64 `json:"misses"`        // checkouts that built a fresh model
+	Evictions     uint64 `json:"evictions"`     // slots dropped by the LRU bound
+	Invalidations uint64 `json:"invalidations"` // invalidation events (registry changes, manual)
+}
+
+// ModelPool keeps trained model instances warm per (scenario, region,
+// version) so repeated serving requests reuse the scratch buffers the models
+// retain across Train calls (PR 2's retrain-equals-fresh guarantee) instead
+// of reallocating them per request. Safe for concurrent use.
+type ModelPool struct {
+	mu      sync.Mutex
+	cfg     PoolConfig
+	entries map[poolKey]*list.Element // value: *poolEntry
+	lru     *list.List                // front = most recently used slot
+	// gens counts invalidations per target; instances checked out under an
+	// older generation are dropped on Return instead of resurrecting a
+	// stale slot.
+	gens  map[targetKey]uint64
+	stats PoolStats
+}
+
+// NewModelPool returns an empty pool.
+func NewModelPool(cfg PoolConfig) *ModelPool {
+	return &ModelPool{
+		cfg:     cfg.withDefaults(),
+		entries: map[poolKey]*list.Element{},
+		lru:     list.New(),
+		gens:    map[targetKey]uint64{},
+	}
+}
+
+// Bind subscribes the pool to a registry's deployment changes: any promote
+// or rollback of a target invalidates that target's warm instances, so a
+// request arriving after a deployment never trains a stale model name. The
+// returned unbind removes the subscription; a pool that does not outlive
+// the registry must be unbound or it stays pinned by the watcher.
+func (p *ModelPool) Bind(reg *registry.Registry) (unbind func()) {
+	return reg.Watch(p.Invalidate)
+}
+
+// Checkout hands out a model instance for the deployment (target, version,
+// modelName) with exclusive ownership. It returns a warm instance when one
+// is idle and builds a deterministic fresh one otherwise; hit reports which.
+// The caller must hand the instance back with Return when done (also on
+// error paths), or drop it on the floor — the pool does not track it.
+func (p *ModelPool) Checkout(target registry.Target, version int, modelName string) (inst *Instance, hit bool, err error) {
+	if p.cfg.MaxIdle < 0 {
+		p.mu.Lock()
+		p.stats.Misses++
+		p.mu.Unlock()
+		m, err := p.cfg.NewModel(modelName, p.cfg.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		return newInstance(m), false, nil
+	}
+	key := poolKey{scenario: target.Scenario, region: target.Region, version: version}
+	p.mu.Lock()
+	gen := p.gens[targetKey{scenario: target.Scenario, region: target.Region}]
+	if el, ok := p.entries[key]; ok {
+		p.lru.MoveToFront(el)
+		e := el.Value.(*poolEntry)
+		if n := len(e.idle); n > 0 {
+			inst = e.idle[n-1]
+			e.idle[n-1] = nil
+			e.idle = e.idle[:n-1]
+			inst.gen = gen
+			p.stats.Hits++
+			p.mu.Unlock()
+			return inst, true, nil
+		}
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+	m, err := p.cfg.NewModel(modelName, p.cfg.Seed)
+	if err != nil {
+		return nil, false, err
+	}
+	inst = newInstance(m)
+	inst.gen = gen
+	return inst, false, nil
+}
+
+// Return hands an instance back to its slot. Instances whose target was
+// invalidated while they were out, and instances beyond the slot's MaxIdle,
+// are dropped. A slot that was merely LRU-evicted in the meantime is
+// recreated — the instance is still valid for its version, so re-pooling it
+// is harmless LRU churn, unlike an invalidation, where re-pooling would
+// serve a stale deployment.
+func (p *ModelPool) Return(target registry.Target, version int, inst *Instance) {
+	if inst == nil || p.cfg.MaxIdle < 0 {
+		return
+	}
+	key := poolKey{scenario: target.Scenario, region: target.Region, version: version}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if inst.gen != p.gens[targetKey{scenario: target.Scenario, region: target.Region}] {
+		// The target was invalidated while the instance was out: dropping it
+		// here is what keeps a stale slot from being resurrected.
+		return
+	}
+	el, ok := p.entries[key]
+	if !ok {
+		// First return for this slot creates it (checkout misses do not, so
+		// a burst of misses cannot thrash the LRU before any model is warm).
+		e := &poolEntry{key: key}
+		el = p.lru.PushFront(e)
+		p.entries[key] = el
+		for p.lru.Len() > p.cfg.MaxEntries {
+			back := p.lru.Back()
+			evicted := back.Value.(*poolEntry)
+			p.lru.Remove(back)
+			delete(p.entries, evicted.key)
+			p.stats.Evictions++
+		}
+	}
+	e := el.Value.(*poolEntry)
+	if len(e.idle) < p.cfg.MaxIdle {
+		e.idle = append(e.idle, inst)
+	}
+}
+
+// Invalidate drops every warm slot of a target, across all versions —
+// including instances currently checked out, which Return discards instead
+// of re-pooling. Wired to registry.Watch by Bind, and callable directly
+// (e.g. after mutating a model's configuration out of band).
+func (p *ModelPool) Invalidate(target registry.Target) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gens[targetKey{scenario: target.Scenario, region: target.Region}]++
+	p.stats.Invalidations++
+	for key, el := range p.entries {
+		if key.scenario == target.Scenario && key.region == target.Region {
+			p.lru.Remove(el)
+			delete(p.entries, key)
+		}
+	}
+}
+
+// Stats returns a snapshot of pool effectiveness counters.
+func (p *ModelPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Entries = p.lru.Len()
+	for _, el := range p.entries {
+		st.Idle += len(el.Value.(*poolEntry).idle)
+	}
+	return st
+}

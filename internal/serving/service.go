@@ -1,0 +1,504 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/metrics"
+	"seagull/internal/parallel"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/scheduler"
+)
+
+// statusClientClosedRequest is the conventional (nginx) status for a request
+// abandoned by the caller; Go's net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+// ServiceConfig parameterizes the serving layer. The zero value selects
+// production defaults.
+type ServiceConfig struct {
+	// Metrics carries the accuracy constants used by /v2/advise and the
+	// lowest-load windows of predict responses. Zero value → DefaultConfig.
+	Metrics metrics.Config
+	// MaxBodyBytes bounds any request body. Default 64 MiB (the historical
+	// v1 limit).
+	MaxBodyBytes int64
+	// MaxBatch bounds the servers in one batch predict call. Default 256.
+	MaxBatch int
+	// MaxHorizon bounds the forecast horizon in observations. Default 4032
+	// (two weeks at five-minute granularity).
+	MaxHorizon int
+	// Timeout is the per-request serving deadline. Default 60s. Negative
+	// disables the deadline (the caller's context still applies).
+	Timeout time.Duration
+	// Workers bounds the batch fan-out concurrency. 0 means NumCPU.
+	Workers int
+	// Pool sizes the warm model pool.
+	Pool PoolConfig
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Metrics == (metrics.Config{}) {
+		c.Metrics = metrics.DefaultConfig()
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxHorizon == 0 {
+		c.MaxHorizon = 4032
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Service is the long-lived serving layer: the v2 prediction protocol
+// (single, batch, advise, model listing, stored predictions) over a warm
+// model pool, plus the v1 endpoints as a compatibility shim. Safe for
+// concurrent use; one Service is meant to serve a process's whole traffic.
+type Service struct {
+	reg     *registry.Registry
+	db      *cosmos.DB // optional; nil disables /v2/predictions
+	cfg     ServiceConfig
+	pool    *ModelPool
+	workers *parallel.Pool
+	mux     *http.ServeMux
+	ready   atomic.Bool
+	unbind  func() // detaches the pool's registry watcher
+}
+
+// NewService wires a service over a registry and an optional document store
+// and subscribes the warm pool to the registry's deployment changes.
+func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	if cfg.Pool.MaxIdle == 0 {
+		// A batch checks out one instance per fan-out worker; the per-slot
+		// idle bound must cover that width or every batch on a many-core
+		// host would discard most of the trained instances it returns.
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		cfg.Pool.MaxIdle = max(4, workers)
+	}
+	s := &Service{
+		reg:     reg,
+		db:      db,
+		cfg:     cfg,
+		pool:    NewModelPool(cfg.Pool),
+		workers: parallel.NewPool(cfg.Workers).WithSchedule(parallel.ScheduleGuided),
+	}
+	s.unbind = s.pool.Bind(reg)
+	s.ready.Store(true)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	// v1 compatibility shim (see serving.go for the wire types).
+	mux.HandleFunc("GET /v1/models", s.handleModelsV1)
+	mux.HandleFunc("POST /v1/predict", s.handlePredictV1)
+	// v2 protocol.
+	mux.HandleFunc("POST /v2/predict", s.handlePredictV2)
+	mux.HandleFunc("POST /v2/predict/batch", s.handleBatchV2)
+	mux.HandleFunc("POST /v2/advise", s.handleAdviseV2)
+	mux.HandleFunc("GET /v2/models", s.handleModelsV2)
+	mux.HandleFunc("GET /v2/predictions/{region}/{week}", s.handlePredictionsV2)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the service as an http.Handler (itself).
+func (s *Service) Handler() http.Handler { return s }
+
+// Pool exposes the warm model pool (stats, manual invalidation).
+func (s *Service) Pool() *ModelPool { return s.pool }
+
+// SetReady flips the /readyz verdict. A service starts ready; servers flip
+// it to false while draining during graceful shutdown so load balancers
+// stop routing new traffic.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close detaches the service from its registry so a discarded service (and
+// its warm pool) can be collected while the registry lives on. The service
+// keeps answering requests after Close, but its pool no longer learns about
+// promotes/rollbacks — call it only when retiring the service. Idempotent.
+func (s *Service) Close() { s.unbind() }
+
+// --- core operations (also the benchmark surface: no HTTP involved) ---
+
+// ctxServiceError maps a context error to its wire representation.
+func ctxServiceError(err error) *ServiceError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return svcErr(CodeDeadline, http.StatusGatewayTimeout, "request deadline exceeded")
+	}
+	return svcErr(CodeCanceled, statusClientClosedRequest, "request canceled")
+}
+
+// validateSeries checks the common history/horizon invariants.
+// enforceLimits applies the v2 horizon cap; the v1 shim passes false —
+// the legacy endpoint accepted any positive horizon and must keep doing so.
+func (s *Service) validateSeries(history SeriesJSON, horizon, windowPoints int, enforceLimits bool) *ServiceError {
+	if horizon <= 0 {
+		return badRequest("horizon must be positive")
+	}
+	if enforceLimits && horizon > s.cfg.MaxHorizon {
+		return svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
+			"horizon %d exceeds the limit of %d observations", horizon, s.cfg.MaxHorizon)
+	}
+	if history.IntervalMin <= 0 || len(history.Values) == 0 {
+		return badRequest("history must be a non-empty series with a positive interval")
+	}
+	if windowPoints < 0 || windowPoints > horizon {
+		return badRequest("window_points %d must be within the horizon %d", windowPoints, horizon)
+	}
+	return nil
+}
+
+// active resolves the deployment slot serving (scenario, region).
+func (s *Service) active(scenario, region string) (registry.Target, registry.Version, *ServiceError) {
+	target := registry.Target{Scenario: scenario, Region: region}
+	v, err := s.reg.Active(target)
+	if err != nil {
+		return target, registry.Version{}, svcErr(CodeNotFound, http.StatusNotFound, "%v", err)
+	}
+	return target, v, nil
+}
+
+// predictWith trains the instance on the item's history and forecasts,
+// observing ctx between the phases (models do not take a context; training
+// one server is the cancellation granularity). Deterministic-inference
+// instances skip the retrain when the history is identical to their last
+// trained one (see Instance.TrainOn).
+func (s *Service) predictWith(ctx context.Context, inst *Instance, history SeriesJSON, horizon, windowPoints int) (SeriesJSON, int, float64, *ServiceError) {
+	if err := ctx.Err(); err != nil {
+		return SeriesJSON{}, -1, 0, ctxServiceError(err)
+	}
+	if _, err := inst.TrainOn(history.ToSeries()); err != nil {
+		return SeriesJSON{}, -1, 0, svcErr(CodeUntrainable, http.StatusUnprocessableEntity, "train: %v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return SeriesJSON{}, -1, 0, ctxServiceError(err)
+	}
+	pred, err := inst.Model.Forecast(horizon)
+	if err != nil {
+		return SeriesJSON{}, -1, 0, svcErr(CodeInternal, http.StatusInternalServerError, "forecast: %v", err)
+	}
+	llStart, llAvg := -1, 0.0
+	if windowPoints > 0 {
+		ll, err := metrics.LowestLoadWindow(pred, windowPoints)
+		if err != nil {
+			return SeriesJSON{}, -1, 0, svcErr(CodeInternal, http.StatusInternalServerError, "lowest-load window: %v", err)
+		}
+		llStart, llAvg = ll.Start, ll.AvgLoad
+	}
+	return FromSeries(pred), llStart, llAvg, nil
+}
+
+// Predict serves one forecast through the warm model pool.
+func (s *Service) Predict(ctx context.Context, req PredictRequestV2) (PredictResponseV2, *ServiceError) {
+	return s.predict(ctx, req, true)
+}
+
+func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimits bool) (PredictResponseV2, *ServiceError) {
+	if serr := s.validateSeries(req.History, req.Horizon, req.WindowPoints, enforceLimits); serr != nil {
+		return PredictResponseV2{}, serr
+	}
+	target, v, serr := s.active(req.Scenario, req.Region)
+	if serr != nil {
+		return PredictResponseV2{}, serr
+	}
+	inst, hit, err := s.pool.Checkout(target, v.Number, v.ModelName)
+	if err != nil {
+		return PredictResponseV2{}, svcErr(CodeInternal, http.StatusInternalServerError, "%v", err)
+	}
+	forecastJSON, llStart, llAvg, serr := s.predictWith(ctx, inst, req.History, req.Horizon, req.WindowPoints)
+	s.pool.Return(target, v.Number, inst)
+	if serr != nil {
+		return PredictResponseV2{}, serr
+	}
+	return PredictResponseV2{
+		ServerID: req.ServerID,
+		Model:    v.ModelName,
+		Version:  v.Number,
+		Forecast: forecastJSON,
+		Pooled:   hit,
+		LLStart:  llStart,
+		LLAvg:    llAvg,
+	}, nil
+}
+
+// PredictBatch serves many servers of one deployment slot in a single call.
+// Items fan out across the service's worker pool under guided scheduling;
+// each worker checks out one warm model and retrains it per server (the
+// retrain-equals-fresh guarantee makes that equivalent to fresh models).
+// Item-level failures are reported per item; cancelling ctx abandons the
+// batch and fails the whole call.
+func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, *ServiceError) {
+	if len(req.Servers) == 0 {
+		return BatchResponse{}, badRequest("batch must contain at least one server")
+	}
+	if len(req.Servers) > s.cfg.MaxBatch {
+		return BatchResponse{}, svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
+			"batch of %d servers exceeds the limit of %d", len(req.Servers), s.cfg.MaxBatch)
+	}
+	target, v, serr := s.active(req.Scenario, req.Region)
+	if serr != nil {
+		return BatchResponse{}, serr
+	}
+
+	type workerModel struct {
+		inst *Instance
+		err  error
+	}
+	var (
+		mu      sync.Mutex
+		loaned  []*Instance
+		results = make([]BatchItemResult, len(req.Servers))
+	)
+	err := parallel.ForEachScratchCtx(ctx, s.workers, len(req.Servers),
+		func() *workerModel {
+			inst, _, err := s.pool.Checkout(target, v.Number, v.ModelName)
+			if err == nil {
+				mu.Lock()
+				loaned = append(loaned, inst)
+				mu.Unlock()
+			}
+			return &workerModel{inst: inst, err: err}
+		},
+		func(i int, wm *workerModel) error {
+			item := req.Servers[i]
+			res := BatchItemResult{ServerID: item.ServerID, LLStart: -1}
+			switch {
+			case wm.err != nil:
+				res.Error = &ErrorBody{Code: CodeInternal, Message: wm.err.Error()}
+			default:
+				if serr := s.validateSeries(item.History, item.Horizon, item.WindowPoints, true); serr != nil {
+					res.Error = &ErrorBody{Code: serr.Code, Message: serr.Message}
+					break
+				}
+				forecastJSON, llStart, llAvg, serr := s.predictWith(ctx, wm.inst, item.History, item.Horizon, item.WindowPoints)
+				if serr != nil {
+					res.Error = &ErrorBody{Code: serr.Code, Message: serr.Message}
+					break
+				}
+				res.Forecast, res.LLStart, res.LLAvg = &forecastJSON, llStart, llAvg
+			}
+			results[i] = res
+			return nil
+		})
+	for _, inst := range loaned {
+		s.pool.Return(target, v.Number, inst)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return BatchResponse{}, ctxServiceError(ctx.Err())
+		}
+		return BatchResponse{}, svcErr(CodeInternal, http.StatusInternalServerError, "%v", err)
+	}
+
+	resp := BatchResponse{Model: v.ModelName, Version: v.Number, Results: results}
+	for i := range results {
+		if results[i].Error != nil {
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+	}
+	return resp, nil
+}
+
+// Advise reviews a customer-selected backup window against the predicted
+// lowest-load window (Section 6.2).
+func (s *Service) Advise(req AdviseRequest) (AdviseResponse, *ServiceError) {
+	if req.PredictedDay.IntervalMin <= 0 || len(req.PredictedDay.Values) == 0 {
+		return AdviseResponse{}, badRequest("predicted_day must be a non-empty series with a positive interval")
+	}
+	if req.WindowPoints <= 0 || req.WindowPoints > len(req.PredictedDay.Values) {
+		return AdviseResponse{}, badRequest("window_points %d must be within the predicted day of %d observations",
+			req.WindowPoints, len(req.PredictedDay.Values))
+	}
+	adv, err := scheduler.AdviseWindow(req.PredictedDay.ToSeries(), req.CustomerStart, req.WindowPoints, s.cfg.Metrics)
+	if err != nil {
+		return AdviseResponse{}, badRequest("advise: %v", err)
+	}
+	return AdviseResponse{
+		KeepCurrent:    adv.KeepCurrent,
+		SuggestedStart: adv.SuggestedStart,
+		CurrentAvg:     adv.CurrentAvg,
+		SuggestedAvg:   adv.SuggestedAvg,
+	}, nil
+}
+
+// ModelList snapshots every deployment slot's active version.
+func (s *Service) ModelList() []ModelInfo {
+	var out []ModelInfo
+	for _, t := range s.reg.Targets() {
+		v, err := s.reg.Active(t)
+		if err != nil {
+			continue
+		}
+		out = append(out, ModelInfo{
+			Scenario: t.Scenario, Region: t.Region,
+			Model: v.ModelName, Version: v.Number, Accuracy: v.Accuracy,
+		})
+	}
+	return out
+}
+
+// StoredPredictions returns the pipeline's stored PredictionDocs for one
+// (region, week) from the document store.
+func (s *Service) StoredPredictions(region string, week int) ([]*pipeline.PredictionDoc, *ServiceError) {
+	if s.db == nil {
+		return nil, svcErr(CodeNotFound, http.StatusNotFound, "no document store attached to this service")
+	}
+	var docs []*pipeline.PredictionDoc
+	// The pipeline keys predictions as "<serverID>/week-%04d"; matching the
+	// id suffix first avoids unmarshalling every other week's documents in
+	// a region partition that accumulates weeks. The decoded Week is still
+	// checked, so a foreign id scheme degrades to a filter, not a wrong
+	// answer.
+	weekSuffix := fmt.Sprintf("/week-%04d", week)
+	err := s.db.Collection("predictions").Query(region, func(id string, body json.RawMessage) error {
+		if !strings.HasSuffix(id, weekSuffix) {
+			return nil
+		}
+		var pd pipeline.PredictionDoc
+		if err := json.Unmarshal(body, &pd); err != nil {
+			return fmt.Errorf("decode prediction %s: %w", id, err)
+		}
+		if pd.Week == week {
+			docs = append(docs, &pd)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, svcErr(CodeInternal, http.StatusInternalServerError, "%v", err)
+	}
+	return docs, nil
+}
+
+// --- HTTP plumbing ---
+
+// requestContext applies the service deadline to the caller's context.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.Timeout)
+}
+
+// decode reads a JSON body under the service's size limit.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) *ServiceError {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return badRequest("decode request: %v", err)
+	}
+	return nil
+}
+
+func writeV2Error(w http.ResponseWriter, serr *ServiceError) {
+	writeJSON(w, serr.Status, errorEnvelope{Error: ErrorBody{Code: serr.Code, Message: serr.Message}})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Service) handlePredictV2(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequestV2
+	if serr := s.decode(w, r, &req); serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, serr := s.Predict(ctx, req)
+	if serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if serr := s.decode(w, r, &req); serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, serr := s.PredictBatch(ctx, req)
+	if serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleAdviseV2(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	if serr := s.decode(w, r, &req); serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	resp, serr := s.Advise(req)
+	if serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleModelsV2(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ModelsResponseV2{Models: s.ModelList(), Pool: s.pool.Stats()})
+}
+
+func (s *Service) handlePredictionsV2(w http.ResponseWriter, r *http.Request) {
+	region := r.PathValue("region")
+	week, err := strconv.Atoi(r.PathValue("week"))
+	if err != nil {
+		writeV2Error(w, badRequest("week must be an integer: %v", err))
+		return
+	}
+	docs, serr := s.StoredPredictions(region, week)
+	if serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	if docs == nil {
+		docs = []*pipeline.PredictionDoc{}
+	}
+	writeJSON(w, http.StatusOK, PredictionsResponse{Region: region, Week: week, Predictions: docs})
+}

@@ -1,24 +1,36 @@
-// Package serving exposes deployed forecast models through a REST endpoint,
-// mirroring the AML-deployed REST endpoints of Section 2.2: the pipeline
-// deploys a model version per (scenario, region); clients post a server's
-// load history and receive the predicted series.
+// Package serving exposes deployed forecast models through a REST service,
+// mirroring the AML-deployed REST endpoints of Section 2.2 at production
+// shape: a long-lived, concurrency-safe Service carries a warm model pool
+// per (scenario, region, version) — checked-out instances reuse the scratch
+// buffers the models retain across Train calls — and speaks a versioned wire
+// protocol. v2 adds batch prediction, window advice, stored-prediction
+// lookup, structured error codes and request limits; the original v1
+// endpoints keep serving through a thin compatibility shim.
+//
+// Endpoints:
+//
+//	GET  /healthz                          liveness
+//	GET  /readyz                           readiness (flips during drain)
+//	POST /v1/predict                       single forecast (legacy wire format)
+//	GET  /v1/models                        deployment listing (legacy wire format)
+//	POST /v2/predict                       single forecast + lowest-load window
+//	POST /v2/predict/batch                 many servers, fanned across the pool
+//	POST /v2/advise                        customer backup-window review
+//	GET  /v2/models                        deployments + pool statistics
+//	GET  /v2/predictions/{region}/{week}   stored pipeline predictions
 package serving
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
-	"io"
 	"net/http"
 	"time"
 
-	"seagull/internal/forecast"
 	"seagull/internal/registry"
 	"seagull/internal/timeseries"
 )
 
-// SeriesJSON is the wire form of a time series.
+// SeriesJSON is the wire form of a time series (shared by v1 and v2).
 type SeriesJSON struct {
 	Start       time.Time `json:"start"`
 	IntervalMin int       `json:"interval_min"`
@@ -35,8 +47,8 @@ func FromSeries(s timeseries.Series) SeriesJSON {
 	return SeriesJSON{Start: s.Start, IntervalMin: int(s.Interval / time.Minute), Values: s.Values}
 }
 
-// PredictRequest asks the deployed model of one (scenario, region) to
-// forecast `horizon` observations following the supplied history.
+// PredictRequest is the v1 predict request: one (scenario, region), one
+// history, no batch, no window. Kept wire-compatible forever.
 type PredictRequest struct {
 	Scenario string     `json:"scenario"`
 	Region   string     `json:"region"`
@@ -44,14 +56,14 @@ type PredictRequest struct {
 	Horizon  int        `json:"horizon"`
 }
 
-// PredictResponse carries the forecast and the serving model's identity.
+// PredictResponse is the v1 predict response.
 type PredictResponse struct {
 	Model    string     `json:"model"`
 	Version  int        `json:"version"`
 	Forecast SeriesJSON `json:"forecast"`
 }
 
-// ModelInfo describes one deployment slot in the /v1/models listing.
+// ModelInfo describes one deployment slot in the models listings.
 type ModelInfo struct {
 	Scenario string  `json:"scenario"`
 	Region   string  `json:"region"`
@@ -60,91 +72,51 @@ type ModelInfo struct {
 	Accuracy float64 `json:"accuracy"`
 }
 
-// Handler serves the model endpoint backed by a registry. Model instances
-// are created per request from the deployed model name; persistent forecast
-// instances are stateless between requests, making this safe.
-type Handler struct {
-	reg *registry.Registry
-	// NewModel builds a model by name; defaults to forecast.New with seed 0.
-	NewModel func(name string) (forecast.Model, error)
-	mux      *http.ServeMux
+// NewHandler returns the serving endpoint over a registry with default
+// limits and no document store — the historical constructor, now backed by
+// the full Service (v1 and v2 endpoints both).
+func NewHandler(reg *registry.Registry) *Service {
+	return NewService(reg, nil, ServiceConfig{})
 }
 
-// NewHandler returns an http.Handler exposing the registry's models.
-func NewHandler(reg *registry.Registry) *Handler {
-	h := &Handler{
-		reg: reg,
-		NewModel: func(name string) (forecast.Model, error) {
-			return forecast.New(name, 0)
-		},
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.handleHealth)
-	mux.HandleFunc("GET /v1/models", h.handleModels)
-	mux.HandleFunc("POST /v1/predict", h.handlePredict)
-	h.mux = mux
-	return h
-}
+// --- v1 compatibility shim ---
+//
+// The v1 handlers translate to the v2 core (same warm pool, same
+// cancellation) but keep the original wire format: flat {"error": "..."}
+// bodies and the original status mapping. The golden test in
+// serving_test.go pins the format.
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
-
-func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (h *Handler) handleModels(w http.ResponseWriter, _ *http.Request) {
-	var out []ModelInfo
-	for _, t := range h.reg.Targets() {
-		v, err := h.reg.Active(t)
-		if err != nil {
-			continue
-		}
-		out = append(out, ModelInfo{
-			Scenario: t.Scenario, Region: t.Region,
-			Model: v.ModelName, Version: v.Number, Accuracy: v.Accuracy,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handlePredictV1(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if serr := s.decode(w, r, &req); serr != nil {
+		if serr.Code == CodeTooLarge {
+			// The original handler truncated oversized bodies at its
+			// LimitReader and reported a 400 decode failure; keep the v1
+			// status class.
+			httpError(w, http.StatusBadRequest, errors.New("decode request: request body too large"))
+			return
+		}
+		httpError(w, serr.Status, errors.New(serr.Message))
 		return
 	}
-	if req.Horizon <= 0 {
-		httpError(w, http.StatusBadRequest, errors.New("horizon must be positive"))
-		return
-	}
-	if req.History.IntervalMin <= 0 || len(req.History.Values) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("history must be a non-empty series with a positive interval"))
-		return
-	}
-	target := registry.Target{Scenario: req.Scenario, Region: req.Region}
-	v, err := h.reg.Active(target)
-	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	m, err := h.NewModel(v.ModelName)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	if err := m.Train(req.History.ToSeries()); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("train: %w", err))
-		return
-	}
-	pred, err := m.Forecast(req.Horizon)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("forecast: %w", err))
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// enforceLimits=false: v1 accepted any positive horizon.
+	resp, serr := s.predict(ctx, PredictRequestV2{
+		Scenario: req.Scenario, Region: req.Region,
+		History: req.History, Horizon: req.Horizon,
+	}, false)
+	if serr != nil {
+		httpError(w, serr.Status, errors.New(serr.Message))
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{
-		Model: v.ModelName, Version: v.Number, Forecast: FromSeries(pred),
+		Model: resp.Model, Version: resp.Version, Forecast: resp.Forecast,
 	})
+}
+
+func (s *Service) handleModelsV1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ModelList())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -155,68 +127,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// Client is a typed client for the serving endpoint.
-type Client struct {
-	BaseURL string
-	HTTP    *http.Client
-}
-
-// NewClient returns a client for baseURL (no trailing slash required).
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 60 * time.Second}}
-}
-
-// Predict posts a history series and returns the forecast.
-func (c *Client) Predict(scenario, region string, history timeseries.Series, horizon int) (timeseries.Series, PredictResponse, error) {
-	req := PredictRequest{
-		Scenario: scenario, Region: region,
-		History: FromSeries(history), Horizon: horizon,
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return timeseries.Series{}, PredictResponse{}, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return timeseries.Series{}, PredictResponse{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return timeseries.Series{}, PredictResponse{}, fmt.Errorf("serving: %s: %s", resp.Status, bytes.TrimSpace(data))
-	}
-	var pr PredictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return timeseries.Series{}, PredictResponse{}, err
-	}
-	return pr.Forecast.ToSeries(), pr, nil
-}
-
-// Models fetches the deployment listing.
-func (c *Client) Models() ([]ModelInfo, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/models")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serving: %s", resp.Status)
-	}
-	var out []ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// Healthy reports whether the endpoint responds to /healthz.
-func (c *Client) Healthy() bool {
-	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
 }

@@ -23,10 +23,12 @@
 package seagull
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"seagull/internal/autoscale"
@@ -99,7 +101,19 @@ type (
 	AutoscaleEval = autoscale.ModelEval
 	// AutoscaleConfig parameterizes the Appendix A evaluation.
 	AutoscaleConfig = autoscale.EvalConfig
+
+	// Service is the long-lived, concurrency-safe serving layer: the v2
+	// prediction protocol over a warm model pool, with v1 compatibility.
+	Service = serving.Service
+	// ServiceConfig parameterizes the serving layer (request limits,
+	// deadlines, warm-pool sizing).
+	ServiceConfig = serving.ServiceConfig
+	// Client is the typed Go client for the serving endpoints (v1 and v2).
+	Client = serving.Client
 )
+
+// NewClient returns a typed client for a serving endpoint base URL.
+func NewClient(baseURL string) *Client { return serving.NewClient(baseURL) }
 
 // Model registry names (Section 5.1's zoo).
 const (
@@ -232,6 +246,9 @@ type System struct {
 
 	dataDir string
 	ownsDir bool
+
+	serveOnce sync.Once
+	serve     *Service
 }
 
 // NewSystem builds a ready-to-use system.
@@ -298,19 +315,30 @@ func (s *System) LoadFleet(fleet *Fleet) (int, error) {
 
 // RunWeek executes one weekly pipeline run.
 func (s *System) RunWeek(cfg PipelineConfig) (*PipelineResult, error) {
-	return s.Pipeline.RunWeek(cfg)
+	return s.RunWeekCtx(context.Background(), cfg)
+}
+
+// RunWeekCtx is RunWeek under a caller context: cancelling ctx abandons the
+// run at the next stage boundary or server partition.
+func (s *System) RunWeekCtx(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	return s.Pipeline.RunWeek(ctx, cfg)
 }
 
 // RunWeeks executes the pipeline for weeks firstWeek..lastWeek (inclusive)
 // in one region, returning the final week's result. Earlier weeks build the
 // prediction history that Definition 9's predictability gate needs.
 func (s *System) RunWeeks(region string, firstWeek, lastWeek int, cfg PipelineConfig) (*PipelineResult, error) {
+	return s.RunWeeksCtx(context.Background(), region, firstWeek, lastWeek, cfg)
+}
+
+// RunWeeksCtx is RunWeeks under a caller context.
+func (s *System) RunWeeksCtx(ctx context.Context, region string, firstWeek, lastWeek int, cfg PipelineConfig) (*PipelineResult, error) {
 	var last *PipelineResult
 	for w := firstWeek; w <= lastWeek; w++ {
 		cfg := cfg
 		cfg.Region = region
 		cfg.Week = w
-		res, err := s.Pipeline.RunWeek(cfg)
+		res, err := s.Pipeline.RunWeek(ctx, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -323,13 +351,37 @@ func (s *System) RunWeeks(region string, firstWeek, lastWeek int, cfg PipelineCo
 // prediction for week in region (Section 2.3) and records them in the
 // fabric property store.
 func (s *System) ScheduleBackups(region string, week int) ([]Decision, error) {
-	return s.Scheduler.ScheduleWeek(region, week)
+	return s.ScheduleBackupsCtx(context.Background(), region, week)
+}
+
+// ScheduleBackupsCtx is ScheduleBackups under a caller context.
+func (s *System) ScheduleBackupsCtx(ctx context.Context, region string, week int) ([]Decision, error) {
+	return s.Scheduler.ScheduleWeek(ctx, region, week)
+}
+
+// Service builds a serving layer over the system's registry and document
+// store with the given configuration: the v2 prediction protocol (single,
+// batch, advise, models, stored predictions) with a warm model pool, plus
+// the v1 compatibility endpoints. See internal/serving and DESIGN.md.
+//
+// The caller owns the returned Service: each one subscribes its warm pool
+// to the registry, so a Service discarded before the System must be
+// Close()d or its pool stays pinned by the registry watcher. For the common
+// one-service-per-system case use Handler(), which caches a single
+// default-configuration Service.
+func (s *System) Service(cfg ServiceConfig) *Service {
+	return serving.NewService(s.Registry, s.DB, cfg)
 }
 
 // Handler returns the REST serving endpoint over the system's registry
-// (Section 2.2's deployed-model endpoint).
+// (Section 2.2's deployed-model endpoint) with default service limits. The
+// underlying Service is created once per System and reused — repeated calls
+// share one warm model pool and one registry watcher.
 func (s *System) Handler() http.Handler {
-	return serving.NewHandler(s.Registry)
+	s.serveOnce.Do(func() {
+		s.serve = serving.NewService(s.Registry, s.DB, ServiceConfig{})
+	})
+	return s.serve.Handler()
 }
 
 // DashboardSummary returns the aggregated pipeline-run view.
