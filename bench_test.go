@@ -8,11 +8,13 @@ package seagull_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
 
 	"seagull"
+	"seagull/internal/cosmos"
 	"seagull/internal/experiments"
 	"seagull/internal/forecast"
 	"seagull/internal/linalg"
@@ -21,6 +23,7 @@ import (
 	"seagull/internal/registry"
 	"seagull/internal/serving"
 	"seagull/internal/simulate"
+	"seagull/internal/stream"
 	"seagull/internal/timeseries"
 )
 
@@ -395,6 +398,126 @@ func BenchmarkServeBatch(b *testing.B) {
 		}
 		if resp.Failed != 0 {
 			b.Fatalf("%d batch items failed", resp.Failed)
+		}
+	}
+}
+
+// --- Stream-layer benchmarks: ingest hot path, drift sweep, warm refresh ---
+
+// BenchmarkStreamIngest measures the warm append path: 64 servers, strictly
+// advancing slots, every ring already allocated. The acceptance bar is ≥1M
+// points/sec on the 1-CPU bench host with 0 allocs/op.
+func BenchmarkStreamIngest(b *testing.B) {
+	epoch := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	ing := stream.NewIngestor(stream.Config{Epoch: epoch, Slots: 4096})
+	const servers = 64
+	ids := make([]string, servers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-srv-%04d", i)
+		ing.Append(ids[i], epoch, 1) // prime: the only allocating append per server
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := epoch.Add(time.Duration(1+i/servers) * 5 * time.Minute)
+		if st := ing.Append(ids[i%servers], at, 42); st != stream.Appended {
+			b.Fatalf("append %d: %v", i, st)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// streamDriftFixture stores `servers` flat predictions and full live backup
+// days, half of them drifted.
+func streamDriftFixture(b *testing.B, servers int) (*stream.DriftDetector, int) {
+	b.Helper()
+	db, err := cosmos.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epoch := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	ing := stream.NewIngestor(stream.Config{Epoch: epoch, Slots: 4096})
+	day := epoch.Add(24 * time.Hour)
+	for s := 0; s < servers; s++ {
+		id := fmt.Sprintf("bench-srv-%04d", s)
+		vals := make([]float64, 288)
+		for i := range vals {
+			vals[i] = 20
+		}
+		doc := &seagull.PredictionDoc{
+			ServerID: id, Region: "bench", Week: 1, Model: seagull.ModelPersistentPrevDay,
+			BackupDay: day, WindowPoints: 12, IntervalMin: 5, Values: vals,
+		}
+		if err := db.Collection("predictions").Upsert("bench", fmt.Sprintf("%s/week-0001", id), doc); err != nil {
+			b.Fatal(err)
+		}
+		live := 20.0
+		if s%2 == 1 {
+			live = 60 // drifted half
+		}
+		for i := 0; i < 288; i++ {
+			ing.Append(id, day.Add(time.Duration(i)*5*time.Minute), live)
+		}
+	}
+	return stream.NewDriftDetector(ing, db, stream.DriftConfig{}), servers / 2
+}
+
+// BenchmarkStreamDriftSweep measures a full drift sweep over 64 stored
+// predictions with complete live backup days (zero-copy comparisons on both
+// sides).
+func BenchmarkStreamDriftSweep(b *testing.B) {
+	det, wantDrifted := streamDriftFixture(b, 64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := det.Sweep(ctx, "bench", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Drifted != wantDrifted {
+			b.Fatalf("drifted = %d, want %d", rep.Drifted, wantDrifted)
+		}
+	}
+}
+
+// BenchmarkStreamRefresh measures one drift-triggered refresh through the
+// serving layer's warm model pool (SSA): snapshot the live history, retrain
+// the warm instance (the train memo collapses identical-history retrains),
+// forecast, recompute the LL window and republish the PredictionDoc.
+func BenchmarkStreamRefresh(b *testing.B) {
+	db, err := cosmos.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epoch := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	ing := stream.NewIngestor(stream.Config{Epoch: epoch, Slots: 8064})
+	reg := registry.New(nil)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, forecast.NameSSA, "bench")
+	day := epoch.Add(7 * 24 * time.Hour)
+	for i := 0; i < 7*288; i++ {
+		ing.Append("bench-srv", epoch.Add(time.Duration(i)*5*time.Minute),
+			30+20*math.Sin(2*math.Pi*float64(i%288)/288))
+	}
+	doc := &seagull.PredictionDoc{
+		ServerID: "bench-srv", Region: "bench", Week: 1, Model: forecast.NameSSA,
+		BackupDay: day, WindowPoints: 12, IntervalMin: 5, Values: make([]float64, 288),
+	}
+	if err := db.Collection("predictions").Upsert("bench", "bench-srv/week-0001", doc); err != nil {
+		b.Fatal(err)
+	}
+	pool := serving.NewModelPool(serving.PoolConfig{})
+	defer pool.Bind(reg)()
+	ref := stream.NewRefresher(ing, db, reg, serving.StreamPool(pool), stream.RefreshConfig{})
+	ctx := context.Background()
+	if err := ref.RefreshServer(ctx, "bench", "bench-srv", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ref.RefreshServer(ctx, "bench", "bench-srv", 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

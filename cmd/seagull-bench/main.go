@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -42,7 +41,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkPersistentForecastTrainInfer|BenchmarkFleetGeneration|" +
 	"BenchmarkFleetGenerationEager|BenchmarkFleetMaterialize|" +
 	"BenchmarkFig11aTrainInfer|" +
-	"BenchmarkServePredict|BenchmarkServeBatch"
+	"BenchmarkServePredict|BenchmarkServeBatch|" +
+	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh"
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -50,6 +50,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. points/s from
+	// BenchmarkStreamIngest), informational.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type summary struct {
@@ -69,26 +72,50 @@ func run(name string, args ...string) (string, error) {
 	return string(out), err
 }
 
-// benchLine matches go test benchmark output, e.g.
-// BenchmarkARIMATrain  	     186	  13733155 ns/op	  269404 B/op	     110 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
+// parseBench reads go test benchmark output lines, e.g.
+//
+//	BenchmarkARIMATrain  	     186	  13733155 ns/op	  269404 B/op	     110 allocs/op
+//	BenchmarkStreamIngest	 2000000	      62.19 ns/op	  16080650 points/s	       0 B/op	       0 allocs/op
+//
+// Value/unit pairs are scanned positionally so custom b.ReportMetric units
+// (points/s above) do not hide the B/op and allocs/op columns from the
+// regression gate; they land in Extra instead.
 func parseBench(out string) []benchResult {
 	var results []benchResult
 	for _, line := range strings.Split(out, "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
 			continue
 		}
-		r := benchResult{Name: m[1]}
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
 		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		r := benchResult{Name: name}
+		r.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if r.Extra == nil {
+						r.Extra = map[string]float64{}
+					}
+					r.Extra[unit] = v
+				}
+			}
 		}
 		results = append(results, r)
 	}

@@ -1,17 +1,27 @@
 // Command seagull-serve runs Seagull as an actual server: it wires a System
 // (lake, document store, model registry, pipeline, scheduler) behind the
-// serving layer's v1+v2 REST protocol, with a warm model pool, readiness
-// reporting and graceful shutdown on SIGINT/SIGTERM.
+// serving layer's v1+v2 REST protocol, with a warm model pool, the online
+// telemetry stream (live ingest + drift-triggered refresh), an optional
+// weekly pipeline cron, readiness reporting and graceful shutdown on
+// SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	seagull-serve -addr :8080 -deploy backup/westus=pf-prev-day,backup/eastus=nimbus-ssa
 //	seagull-serve -addr :8080 -demo          # seed a demo fleet + pipeline run
+//	seagull-serve -addr :8080 -demo -cron    # + recurring weekly runs, no operator
 //	seagull-serve -data ./seagull-data -persist
 //
-// Endpoints: GET /healthz, GET /readyz, POST /v1/predict, GET /v1/models,
-// POST /v2/predict, POST /v2/predict/batch, POST /v2/advise, GET /v2/models,
-// GET /v2/predictions/{region}/{week}.
+// Endpoints: GET /healthz, GET /readyz, GET /varz, POST /v1/predict,
+// GET /v1/models, POST /v2/predict, POST /v2/predict/batch, POST /v2/advise,
+// POST /v2/ingest, GET /v2/models, GET /v2/predictions/{region}/{week}.
+//
+// The stream layer (on by default, -stream=false to disable) accepts live
+// telemetry on POST /v2/ingest; a request carrying a "sweep" clause checks
+// the stored predictions of one (region, week) against the live actuals and
+// queues drifted servers for background retraining through the warm pool.
+// -cron re-runs the weekly pipeline per deployed backup region as each
+// dataset week elapses, so deployments refresh without an operator.
 //
 // On SIGTERM the server flips /readyz to draining, stops accepting new
 // connections, waits up to -drain for in-flight requests and exits 0.
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"seagull"
+	"seagull/internal/pipeline"
 	"seagull/internal/registry"
 )
 
@@ -52,18 +63,29 @@ func main() {
 		grace = flag.Duration("grace", 0,
 			"delay between flipping /readyz to draining and closing the listener, so load "+
 				"balancers observe the drain before connections are refused (set to your probe interval)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
+		streamOn  = flag.Bool("stream", true, "enable the online telemetry stream (POST /v2/ingest + drift refresh)")
+		cronOn    = flag.Bool("cron", false, "run the weekly pipeline automatically for every backup deployment region")
+		cronEpoch = flag.String("cron-epoch", "2019-12-01T00:00:00Z",
+			"dataset epoch (RFC3339): week N covers [epoch+N·week, epoch+(N+1)·week)")
+		cronFirst = flag.Int("cron-first", 1, "first week the cron processes")
+		cronLast  = flag.Int("cron-last", 1, "last week the cron processes (inclusive)")
 	)
 	flag.Parse()
 
 	cfg := serveConfig{
-		Deploy:  *deploy,
-		DataDir: *dataDir,
-		Persist: *persist,
-		Demo:    *demo,
-		Drain:   *drain,
-		Grace:   *grace,
-		Timeout: *timeout,
+		Deploy:    *deploy,
+		DataDir:   *dataDir,
+		Persist:   *persist,
+		Demo:      *demo,
+		Drain:     *drain,
+		Grace:     *grace,
+		Timeout:   *timeout,
+		Stream:    *streamOn,
+		Cron:      *cronOn,
+		CronEpoch: *cronEpoch,
+		CronFirst: *cronFirst,
+		CronLast:  *cronLast,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -79,13 +101,18 @@ func main() {
 // serveConfig carries everything serve needs; main fills it from flags and
 // the smoke test builds it directly.
 type serveConfig struct {
-	Deploy  string
-	DataDir string
-	Persist bool
-	Demo    bool
-	Drain   time.Duration
-	Grace   time.Duration
-	Timeout time.Duration
+	Deploy    string
+	DataDir   string
+	Persist   bool
+	Demo      bool
+	Drain     time.Duration
+	Grace     time.Duration
+	Timeout   time.Duration
+	Stream    bool
+	Cron      bool
+	CronEpoch string
+	CronFirst int
+	CronLast  int
 }
 
 // serve builds the system, wires the service over ln and blocks until ctx is
@@ -125,7 +152,50 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		fmt.Fprintf(out, "demo pipeline: region=%s week=1 predicted=%d\n", region, res.Predicted)
 	}
 
-	svc := sys.Service(seagull.ServiceConfig{Timeout: cfg.Timeout})
+	svcCfg := seagull.ServiceConfig{Timeout: cfg.Timeout}
+	if cfg.Stream {
+		// The shared stream set: live ingest on /v2/ingest, drift sweeps,
+		// and a background refresher retraining drifted servers through a
+		// registry-bound warm pool (stopped by sys.Close on the way out).
+		svcCfg.Ingestor = sys.Stream()
+		svcCfg.Drift = sys.Drift()
+		svcCfg.Refresher = sys.Refresher()
+		sys.StartRefresher()
+		fmt.Fprintln(out, "stream layer enabled: POST /v2/ingest (drift sweeps → background refresh), GET /varz")
+	}
+	svc := sys.Service(svcCfg)
+
+	var crons []*pipeline.Cron
+	if cfg.Cron {
+		epoch, err := time.Parse(time.RFC3339, cfg.CronEpoch)
+		if err != nil {
+			return fmt.Errorf("-cron-epoch: %w", err)
+		}
+		// One cron per backup deployment: each region's weekly runs retrain
+		// the model the operator deployed for *that* region (RunWeek deploys
+		// its configured model, so sharing one model across regions would
+		// silently flip the others' deployments).
+		var regions []string
+		for _, d := range slots {
+			if d.scenario != pipeline.Scenario {
+				continue
+			}
+			regions = append(regions, d.region)
+			c := pipeline.NewCron(sys.Pipeline, pipeline.CronConfig{
+				Regions: []string{d.region}, Start: epoch,
+				FirstWeek: cfg.CronFirst, LastWeek: cfg.CronLast,
+				Base: pipeline.Config{ModelName: d.model},
+			})
+			c.Start()
+			crons = append(crons, c)
+		}
+		if len(crons) == 0 {
+			return fmt.Errorf("-cron requires at least one %s/<region> deployment", pipeline.Scenario)
+		}
+		fmt.Fprintf(out, "pipeline cron: weeks %d..%d for %s (epoch %s)\n",
+			cfg.CronFirst, cfg.CronLast, strings.Join(regions, ","), epoch.Format(time.RFC3339))
+	}
+
 	server := &http.Server{
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -151,6 +221,9 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	// for the grace period so readiness probes can observe the draining
 	// state, then let in-flight requests finish under the drain budget.
 	fmt.Fprintf(out, "shutdown: draining for up to %s (grace %s)\n", cfg.Drain, cfg.Grace)
+	for _, c := range crons {
+		c.Stop()
+	}
 	svc.SetReady(false)
 	if cfg.Grace > 0 {
 		time.Sleep(cfg.Grace)

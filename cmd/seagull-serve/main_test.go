@@ -25,11 +25,16 @@ func TestServeSmoke(t *testing.T) {
 	defer stop()
 
 	cfg := serveConfig{
-		Deploy:  "backup/smoke=pf-prev-day",
-		Demo:    true,
-		Drain:   5 * time.Second,
-		Grace:   500 * time.Millisecond,
-		Timeout: 30 * time.Second,
+		Deploy:    "backup/smoke=pf-prev-day",
+		Demo:      true,
+		Drain:     5 * time.Second,
+		Grace:     500 * time.Millisecond,
+		Timeout:   30 * time.Second,
+		Stream:    true,
+		Cron:      true,
+		CronEpoch: "2019-12-01T00:00:00Z",
+		CronFirst: 1,
+		CronLast:  1,
 	}
 	done := make(chan error, 1)
 	go func() { done <- serve(ctx, cfg, ln, testWriter{t}) }()
@@ -68,6 +73,61 @@ func TestServeSmoke(t *testing.T) {
 	if len(preds.Predictions) == 0 {
 		t.Error("demo run should have stored predictions")
 	}
+
+	// The cron re-runs week 1 without an operator: the demo run deployed
+	// v2, so the cron's run promotes v3 (dataset weeks have long elapsed
+	// against the wall clock, so it fires immediately).
+	waitFor(t, func() bool {
+		ms, err := c.ModelsV2(context.Background())
+		if err != nil {
+			return false
+		}
+		for _, m := range ms.Models {
+			if m.Scenario == "backup" && m.Region == "smoke" && m.Version >= 3 {
+				return true
+			}
+		}
+		return false
+	}, "cron pipeline run")
+
+	// Live ingest → drift sweep → background refresh, over the wire.
+	target := preds.Predictions[0]
+	day := target.BackupDay
+	vals := make([]float64, 8*288)
+	for i := range vals {
+		if i < 7*288 {
+			vals[i] = 25
+		} else {
+			// The live backup day runs 45 points above the stored forecast:
+			// far outside the +10/−5 acceptance bound, so the prediction
+			// has unambiguously drifted.
+			vals[i] = target.Values[i-7*288] + 45
+		}
+	}
+	ing, err := c.Ingest(context.Background(), serving.IngestRequest{
+		Servers: []serving.IngestSeries{{
+			ServerID: target.ServerID, Start: day.Add(-7 * 24 * time.Hour), IntervalMin: 5, Values: vals,
+		}},
+		Sweep: &serving.SweepSpec{Region: "smoke", Week: 1},
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if ing.Accepted == 0 || ing.Sweep == nil {
+		t.Fatalf("ingest = %+v", ing)
+	}
+	if ing.Sweep.Drifted == 0 || ing.Sweep.Queued == 0 {
+		t.Fatalf("sweep = %+v, want the hot server drifted and queued", ing.Sweep)
+	}
+
+	// /varz reflects the whole loop once the background refresher drains.
+	waitFor(t, func() bool {
+		vz, err := c.Varz(context.Background())
+		if err != nil || vz.Ingest == nil || vz.Drift == nil || vz.Refresh == nil {
+			return false
+		}
+		return vz.Refresh.Refreshed >= uint64(ing.Sweep.Queued) && vz.Drift.Sweeps >= 1
+	}, "background refresh observed on /varz")
 
 	// Deliver a real SIGTERM to this process; the notify context catches it
 	// and serve must drain cleanly. During the grace window the listener

@@ -66,8 +66,18 @@ func DefaultConfig() Config {
 // the acceptable error bound of their true counterparts. Pairs where either
 // side is missing are skipped; a comparison with no usable pairs has ratio 0.
 func BucketRatio(trueS, predS timeseries.Series, b Bound) (float64, error) {
+	r, _, err := BucketRatioCount(trueS, predS, b)
+	return r, err
+}
+
+// BucketRatioCount is BucketRatio plus the number of usable (both sides
+// non-missing) pairs the ratio was computed over. Consumers judging partially
+// observed series — the stream drift detector compares live telemetry that
+// may only cover part of a predicted day — need the pair count to decide
+// whether the ratio is meaningful at all.
+func BucketRatioCount(trueS, predS timeseries.Series, b Bound) (ratio float64, pairs int, err error) {
 	if trueS.Len() != predS.Len() {
-		return 0, fmt.Errorf("%w: true has %d points, predicted %d",
+		return 0, 0, fmt.Errorf("%w: true has %d points, predicted %d",
 			timeseries.ErrLengthMismatch, trueS.Len(), predS.Len())
 	}
 	in, n := 0, 0
@@ -82,9 +92,9 @@ func BucketRatio(trueS, predS timeseries.Series, b Bound) (float64, error) {
 		}
 	}
 	if n == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
-	return float64(in) / float64(n), nil
+	return float64(in) / float64(n), n, nil
 }
 
 // Accurate (Definition 2) reports whether a prediction is accurate: the

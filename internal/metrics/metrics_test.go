@@ -82,6 +82,26 @@ func TestBucketRatioLengthMismatch(t *testing.T) {
 	}
 }
 
+func TestBucketRatioCount(t *testing.T) {
+	trueS := series(50, timeseries.Missing, 50, 50)
+	predS := series(50, 50, timeseries.Missing, 80)
+	r, n, err := BucketRatioCount(trueS, predS, DefaultBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || r != 0.5 {
+		t.Errorf("BucketRatioCount = (%v, %d), want (0.5, 2)", r, n)
+	}
+	allMiss := series(timeseries.Missing)
+	r, n, err = BucketRatioCount(allMiss, allMiss, DefaultBound)
+	if err != nil || n != 0 || r != 0 {
+		t.Errorf("all-missing = (%v, %d, %v)", r, n, err)
+	}
+	if _, _, err := BucketRatioCount(series(1), series(1, 2), DefaultBound); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
 func TestAccurate(t *testing.T) {
 	cfg := DefaultConfig()
 	trueS := series(50, 50, 50, 50, 50, 50, 50, 50, 50, 50)

@@ -105,6 +105,9 @@ type PredictionDoc struct {
 	LLStart int `json:"ll_start"`
 	// LLAvg is the predicted average load inside that window.
 	LLAvg float64 `json:"ll_avg"`
+	// Refreshes counts how many times the stream layer re-derived this
+	// prediction from live telemetry since the weekly run stored it.
+	Refreshes int `json:"refreshes,omitempty"`
 }
 
 // Series reconstructs the predicted day as a series.

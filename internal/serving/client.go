@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -26,10 +27,42 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("serving: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
+// RetryConfig bounds the client's retry loop. Retries target the drain
+// window of a rolling restart: a server flips /readyz to draining and soon
+// refuses connections, so a request may hit a transport error or a 503
+// until the replacement is up. Every v2 request is safe to retry — predicts
+// are pure, ingest appends are idempotent (first write per slot wins).
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff; each retry doubles it up to MaxDelay,
+	// and the actual sleep is uniformly jittered over [delay/2, delay) so
+	// synchronized clients do not re-converge on the recovering server.
+	// Defaults: 50ms base, 1s max.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	return c
+}
+
 // Client is the typed Go client for the serving endpoints, v1 and v2.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry, when MaxAttempts ≥ 2, retries requests that failed with a
+	// transport error or a 503 (the drain/restart signals) with jittered
+	// exponential backoff. The readiness probe itself never retries — its
+	// job is to observe draining, not to wait it out.
+	Retry RetryConfig
 }
 
 // NewClient returns a client for baseURL (no trailing slash required).
@@ -38,21 +71,61 @@ func NewClient(baseURL string) *Client {
 }
 
 // do posts (or gets, when in is nil) JSON and decodes the response into out,
-// converting non-200 responses into *APIError.
+// converting non-200 responses into *APIError, with retries per c.Retry.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	rc := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, out)
+		if err == nil || !retryable(err) || attempt+1 >= rc.MaxAttempts {
+			return err
+		}
+		lastErr = err
+		delay := rc.BaseDelay << attempt
+		if delay > rc.MaxDelay || delay <= 0 {
+			delay = rc.MaxDelay
+		}
+		// Uniform jitter over [delay/2, delay).
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("serving: retry abandoned after %d attempts: %w (last: %v)",
+				attempt+1, ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+// retryable reports whether an attempt's failure is a drain/restart signal
+// worth retrying: transport errors (connection refused/reset mid-restart)
+// and 503 responses. Structured API errors other than 503 are definitive.
+func retryable(err error) bool {
+	if apiErr, ok := err.(*APIError); ok {
+		return apiErr.Status == http.StatusServiceUnavailable
+	}
+	return true // transport-level failure
+}
+
+// doOnce performs a single request attempt over the pre-marshalled body.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.HTTP.Do(req)
@@ -117,9 +190,26 @@ func (c *Client) Predictions(ctx context.Context, region string, week int) (Pred
 	return out, err
 }
 
-// Ready reports whether the endpoint accepts new traffic (/readyz).
+// Ingest posts a telemetry batch to the stream layer. Safe to re-send on
+// failure: appends are idempotent (replays count as duplicates).
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v2/ingest", req, &out)
+	return out, err
+}
+
+// Varz fetches the operational counters document.
+func (c *Client) Varz(ctx context.Context) (Varz, error) {
+	var out Varz
+	err := c.do(ctx, http.MethodGet, "/varz", nil, &out)
+	return out, err
+}
+
+// Ready reports whether the endpoint accepts new traffic (/readyz). It
+// deliberately bypasses the retry loop: its job is to observe the draining
+// state, not to wait it out.
 func (c *Client) Ready(ctx context.Context) bool {
-	err := c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+	err := c.doOnce(ctx, http.MethodGet, "/readyz", nil, nil)
 	return err == nil
 }
 

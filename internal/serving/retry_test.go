@@ -1,0 +1,144 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seagull/internal/registry"
+)
+
+// flappingServer fails the first `failures` requests with the given status
+// (or by dropping the connection when status is 0), then serves a valid
+// empty v2 models response — a server mid rolling restart.
+func flappingServer(t *testing.T, failures int64, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			if status == 0 {
+				// Simulate a connection cut: hijack and close.
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("no hijacker")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				conn.Close()
+				return
+			}
+			writeJSON(w, status, errorEnvelope{Error: ErrorBody{Code: CodeInternal, Message: "draining"}})
+			return
+		}
+		writeJSON(w, http.StatusOK, ModelsResponseV2{})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetriesThrough503(t *testing.T) {
+	srv, calls := flappingServer(t, 2, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	if _, err := c.ModelsV2(context.Background()); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestClientRetriesThroughConnectionDrop(t *testing.T) {
+	srv, calls := flappingServer(t, 1, 0)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if _, err := c.ModelsV2(context.Background()); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestClientRetryBounded(t *testing.T) {
+	srv, calls := flappingServer(t, 1<<30, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := c.ModelsV2(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=4", got)
+	}
+}
+
+func TestClientNoRetryByDefault(t *testing.T) {
+	srv, calls := flappingServer(t, 1, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	if _, err := c.ModelsV2(context.Background()); err == nil {
+		t.Fatal("default client must not retry")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestClientNoRetryOnDefinitiveError(t *testing.T) {
+	// 404 is a definitive answer, not a drain signal.
+	srv, calls := flappingServer(t, 5, http.StatusNotFound)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	if _, err := c.ModelsV2(context.Background()); err == nil {
+		t.Fatal("404 should surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on 404)", got)
+	}
+}
+
+func TestClientRetryCancelDuringBackoff(t *testing.T) {
+	srv, _ := flappingServer(t, 1<<30, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 10, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ModelsV2(ctx)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ctx deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v; backoff did not observe ctx", elapsed)
+	}
+}
+
+// TestClientRetryAgainstReadyzDrain: the readiness probe stays retry-free so
+// callers can observe the draining state the retry loop exists to ride out.
+func TestClientRetryAgainstReadyzDrain(t *testing.T) {
+	svc := NewService(registry.New(nil), nil, ServiceConfig{})
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond}
+
+	svc.SetReady(false)
+	start := time.Now()
+	if c.Ready(context.Background()) {
+		t.Fatal("draining service reported ready")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Ready() took %v; it must not retry", elapsed)
+	}
+	svc.SetReady(true)
+	if !c.Ready(context.Background()) {
+		t.Fatal("ready service reported draining")
+	}
+}

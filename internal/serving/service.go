@@ -19,6 +19,7 @@ import (
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
 	"seagull/internal/scheduler"
+	"seagull/internal/stream"
 )
 
 // statusClientClosedRequest is the conventional (nginx) status for a request
@@ -46,6 +47,16 @@ type ServiceConfig struct {
 	Workers int
 	// Pool sizes the warm model pool.
 	Pool PoolConfig
+	// MaxIngestPoints bounds the telemetry points in one /v2/ingest call.
+	// Default 1<<20 (one million — ~8 MiB of values, inside the body limit).
+	MaxIngestPoints int
+	// Ingestor, when set, enables the POST /v2/ingest endpoint feeding the
+	// stream layer; Drift and Refresher additionally let an ingest call run
+	// a drift sweep and queue drifted servers for refresh. All three also
+	// surface their counters on /varz.
+	Ingestor  *stream.Ingestor
+	Drift     *stream.DriftDetector
+	Refresher *stream.Refresher
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -64,6 +75,9 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.Timeout == 0 {
 		c.Timeout = 60 * time.Second
 	}
+	if c.MaxIngestPoints == 0 {
+		c.MaxIngestPoints = 1 << 20
+	}
 	return c
 }
 
@@ -78,6 +92,7 @@ type Service struct {
 	pool    *ModelPool
 	workers *parallel.Pool
 	mux     *http.ServeMux
+	varz    *varz
 	ready   atomic.Bool
 	unbind  func() // detaches the pool's registry watcher
 }
@@ -102,22 +117,30 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 		cfg:     cfg,
 		pool:    NewModelPool(cfg.Pool),
 		workers: parallel.NewPool(cfg.Workers).WithSchedule(parallel.ScheduleGuided),
+		varz:    newVarz(),
 	}
 	s.unbind = s.pool.Bind(reg)
 	s.ready.Store(true)
 
+	// Every route is instrumented under its route pattern, so /varz reports
+	// per-endpoint latency histograms, error counts and in-flight gauges.
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /readyz", s.handleReady)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /readyz", s.handleReady)
+	handle("GET /varz", s.handleVarz)
 	// v1 compatibility shim (see serving.go for the wire types).
-	mux.HandleFunc("GET /v1/models", s.handleModelsV1)
-	mux.HandleFunc("POST /v1/predict", s.handlePredictV1)
+	handle("GET /v1/models", s.handleModelsV1)
+	handle("POST /v1/predict", s.handlePredictV1)
 	// v2 protocol.
-	mux.HandleFunc("POST /v2/predict", s.handlePredictV2)
-	mux.HandleFunc("POST /v2/predict/batch", s.handleBatchV2)
-	mux.HandleFunc("POST /v2/advise", s.handleAdviseV2)
-	mux.HandleFunc("GET /v2/models", s.handleModelsV2)
-	mux.HandleFunc("GET /v2/predictions/{region}/{week}", s.handlePredictionsV2)
+	handle("POST /v2/predict", s.handlePredictV2)
+	handle("POST /v2/predict/batch", s.handleBatchV2)
+	handle("POST /v2/advise", s.handleAdviseV2)
+	handle("POST /v2/ingest", s.handleIngestV2)
+	handle("GET /v2/models", s.handleModelsV2)
+	handle("GET /v2/predictions/{region}/{week}", s.handlePredictionsV2)
 	s.mux = mux
 	return s
 }
@@ -250,11 +273,16 @@ func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimi
 // each worker checks out one warm model and retrains it per server (the
 // retrain-equals-fresh guarantee makes that equivalent to fresh models).
 // Item-level failures are reported per item; cancelling ctx abandons the
-// batch and fails the whole call.
+// batch and fails the whole call. An item carrying a positive DeadlineMS is
+// additionally bounded by its own deadline, measured from the start of the
+// batch: a late item fails alone with a deadline_exceeded code while the
+// rest of the batch proceeds (deadlines are observed at the train/forecast
+// phase boundaries — training one server is the cancellation granularity).
 func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, *ServiceError) {
 	if len(req.Servers) == 0 {
 		return BatchResponse{}, badRequest("batch must contain at least one server")
 	}
+	batchStart := time.Now()
 	if len(req.Servers) > s.cfg.MaxBatch {
 		return BatchResponse{}, svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
 			"batch of %d servers exceeds the limit of %d", len(req.Servers), s.cfg.MaxBatch)
@@ -294,7 +322,14 @@ func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResp
 					res.Error = &ErrorBody{Code: serr.Code, Message: serr.Message}
 					break
 				}
-				forecastJSON, llStart, llAvg, serr := s.predictWith(ctx, wm.inst, item.History, item.Horizon, item.WindowPoints)
+				itemCtx := ctx
+				if item.DeadlineMS > 0 {
+					var cancel context.CancelFunc
+					itemCtx, cancel = context.WithDeadline(ctx,
+						batchStart.Add(time.Duration(item.DeadlineMS)*time.Millisecond))
+					defer cancel()
+				}
+				forecastJSON, llStart, llAvg, serr := s.predictWith(itemCtx, wm.inst, item.History, item.Horizon, item.WindowPoints)
 				if serr != nil {
 					res.Error = &ErrorBody{Code: serr.Code, Message: serr.Message}
 					break

@@ -1,0 +1,221 @@
+package serving
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"time"
+
+	"seagull/internal/registry"
+	"seagull/internal/stream"
+	"seagull/internal/timeseries"
+)
+
+// This file wires the stream layer into the serving surface: the warm-pool
+// adapter the refresher trains through, and the POST /v2/ingest endpoint
+// that feeds live telemetry into the ingestor (optionally closing the loop
+// with a drift sweep + refresh enqueue in the same call).
+
+// poolInstance adapts a warm-pool Instance to stream.Instance (Forecast
+// lives on the embedded Model).
+type poolInstance struct{ *Instance }
+
+func (pi poolInstance) Forecast(horizon int) (timeseries.Series, error) {
+	return pi.Model.Forecast(horizon)
+}
+
+// streamPool adapts a ModelPool to the stream refresher's Pool interface.
+type streamPool struct{ p *ModelPool }
+
+func (sp streamPool) Checkout(target registry.Target, version int, modelName string) (stream.Instance, error) {
+	inst, _, err := sp.p.Checkout(target, version, modelName)
+	if err != nil {
+		return nil, err
+	}
+	return poolInstance{inst}, nil
+}
+
+func (sp streamPool) Return(target registry.Target, version int, inst stream.Instance) {
+	if pi, ok := inst.(poolInstance); ok {
+		sp.p.Return(target, version, pi.Instance)
+	}
+}
+
+// StreamPool adapts a warm model pool to the stream refresher's Pool
+// interface, so drift-triggered retrains reuse the same trained-scratch-
+// retaining instances (and invalidation semantics) as serving traffic.
+func StreamPool(p *ModelPool) stream.Pool { return streamPool{p: p} }
+
+// --- /v2/ingest wire types ---
+
+// IngestSeries is one server's contiguous run of observations. Its interval
+// must match the ingestor's slot granularity. Negative values follow the
+// lake extract convention and mark missing observations (skipped — an empty
+// slot already reads as missing).
+type IngestSeries struct {
+	ServerID    string    `json:"server_id"`
+	Start       time.Time `json:"start"`
+	IntervalMin int       `json:"interval_min"`
+	Values      []float64 `json:"values"`
+}
+
+// IngestPoint is one standalone observation.
+type IngestPoint struct {
+	ServerID string `json:"server_id"`
+	// TimeUnix is the observation time in Unix seconds.
+	TimeUnix int64   `json:"t_unix"`
+	Value    float64 `json:"v"`
+}
+
+// SweepSpec asks the ingest call to run a drift sweep over one stored
+// (region, week) after the appends and queue drifted servers for refresh.
+type SweepSpec struct {
+	Region string `json:"region"`
+	Week   int    `json:"week"`
+}
+
+// IngestRequest feeds live telemetry into the stream layer. Either (or
+// both) of Servers and Points may be set; ingestion is idempotent, so
+// at-least-once clients simply re-send on failure.
+type IngestRequest struct {
+	Servers []IngestSeries `json:"servers,omitempty"`
+	Points  []IngestPoint  `json:"points,omitempty"`
+	Sweep   *SweepSpec     `json:"sweep,omitempty"`
+}
+
+// SweepResult reports the drift sweep an ingest call ran.
+type SweepResult struct {
+	Region  string   `json:"region"`
+	Week    int      `json:"week"`
+	Checked int      `json:"checked"`
+	Drifted int      `json:"drifted"`
+	Skipped int      `json:"skipped"`
+	Queued  int      `json:"queued"` // drifted servers newly queued for refresh
+	Servers []string `json:"drifted_servers,omitempty"`
+}
+
+// IngestResponse tallies the appended points and carries the optional sweep
+// outcome.
+type IngestResponse struct {
+	Accepted   int          `json:"accepted"`
+	Duplicates int          `json:"duplicates"`
+	TooOld     int          `json:"too_old"`
+	TooNew     int          `json:"too_new"`
+	BadValues  int          `json:"bad_values"`
+	Skipped    int          `json:"skipped"` // missing observations in series
+	Sweep      *SweepResult `json:"sweep,omitempty"`
+}
+
+// Ingest appends a telemetry batch into the attached ingestor and, when
+// requested, sweeps one stored week for drift and queues the drifted
+// servers for refresh. ctx is observed between servers and before the
+// sweep; a cancelled call may have ingested a prefix (re-sending is safe —
+// appends are idempotent).
+func (s *Service) Ingest(ctx context.Context, req IngestRequest) (IngestResponse, *ServiceError) {
+	ing := s.cfg.Ingestor
+	if ing == nil {
+		return IngestResponse{}, svcErr(CodeNotFound, http.StatusNotFound, "no stream ingestor attached to this service")
+	}
+	total := len(req.Points)
+	for i := range req.Servers {
+		total += len(req.Servers[i].Values)
+	}
+	if total == 0 {
+		return IngestResponse{}, badRequest("ingest batch must contain at least one point")
+	}
+	if total > s.cfg.MaxIngestPoints {
+		return IngestResponse{}, svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
+			"ingest batch of %d points exceeds the limit of %d", total, s.cfg.MaxIngestPoints)
+	}
+
+	var sum stream.AppendSummary
+	slotMin := int(ing.Interval() / time.Minute)
+	for i := range req.Servers {
+		if err := ctx.Err(); err != nil {
+			return IngestResponse{}, ctxServiceError(err)
+		}
+		sr := &req.Servers[i]
+		if sr.ServerID == "" {
+			return IngestResponse{}, badRequest("servers[%d]: server_id is required", i)
+		}
+		if sr.IntervalMin != slotMin {
+			return IngestResponse{}, badRequest(
+				"servers[%d]: interval %dm must match the ingest granularity of %dm", i, sr.IntervalMin, slotMin)
+		}
+		for j, v := range sr.Values {
+			if v < 0 || math.IsNaN(v) {
+				sum.Skipped++ // lake convention: negative encodes missing
+				continue
+			}
+			sum.Add(ing.Append(sr.ServerID, sr.Start.Add(time.Duration(j)*ing.Interval()), v))
+		}
+	}
+	for i := range req.Points {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return IngestResponse{}, ctxServiceError(err)
+			}
+		}
+		p := &req.Points[i]
+		if p.ServerID == "" {
+			return IngestResponse{}, badRequest("points[%d]: server_id is required", i)
+		}
+		if p.Value < 0 || math.IsNaN(p.Value) {
+			sum.Skipped++
+			continue
+		}
+		sum.Add(ing.Append(p.ServerID, time.Unix(p.TimeUnix, 0).UTC(), p.Value))
+	}
+
+	resp := IngestResponse{
+		Accepted:   sum.Appended,
+		Duplicates: sum.Duplicates,
+		TooOld:     sum.TooOld,
+		TooNew:     sum.TooNew,
+		BadValues:  sum.BadValues,
+		Skipped:    sum.Skipped,
+	}
+	if req.Sweep != nil {
+		if s.cfg.Drift == nil {
+			return resp, svcErr(CodeNotFound, http.StatusNotFound, "no drift detector attached to this service")
+		}
+		if err := ctx.Err(); err != nil {
+			return resp, ctxServiceError(err)
+		}
+		rep, err := s.cfg.Drift.Sweep(ctx, req.Sweep.Region, req.Sweep.Week)
+		if err != nil {
+			if ctx.Err() != nil {
+				return resp, ctxServiceError(ctx.Err())
+			}
+			return resp, svcErr(CodeInternal, http.StatusInternalServerError, "drift sweep: %v", err)
+		}
+		sr := &SweepResult{
+			Region: rep.Region, Week: rep.Week,
+			Checked: rep.Checked, Drifted: rep.Drifted, Skipped: rep.Skipped,
+		}
+		for _, sd := range rep.DriftedServers {
+			sr.Servers = append(sr.Servers, sd.ServerID)
+		}
+		if s.cfg.Refresher != nil {
+			sr.Queued = s.cfg.Refresher.EnqueueReport(rep)
+		}
+		resp.Sweep = sr
+	}
+	return resp, nil
+}
+
+func (s *Service) handleIngestV2(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if serr := s.decode(w, r, &req); serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, serr := s.Ingest(ctx, req)
+	if serr != nil {
+		writeV2Error(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

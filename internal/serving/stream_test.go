@@ -1,0 +1,234 @@
+package serving
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/forecast"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/stream"
+)
+
+// newTestHTTPServer serves svc on an ephemeral port and returns its URL.
+func newTestHTTPServer(t *testing.T, svc *Service) string {
+	t.Helper()
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func timeUnixStr(t time.Time) string { return strconv.FormatInt(t.Unix(), 10) }
+
+// streamServer wires a service with the full stream stack attached: an
+// ingestor, a drift detector over db, and a refresher training through the
+// service's own warm pool.
+func streamServer(t *testing.T) (*Client, *Service, *registry.Registry, *cosmos.DB, *stream.Ingestor) {
+	t.Helper()
+	db, err := cosmos.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(nil)
+	epoch := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	ing := stream.NewIngestor(stream.Config{Epoch: epoch})
+	det := stream.NewDriftDetector(ing, db, stream.DriftConfig{})
+	pool := NewModelPool(PoolConfig{})
+	t.Cleanup(pool.Bind(reg))
+	ref := stream.NewRefresher(ing, db, reg, StreamPool(pool), stream.RefreshConfig{})
+	svc := NewService(reg, db, ServiceConfig{Ingestor: ing, Drift: det, Refresher: ref})
+	srv := newTestHTTPServer(t, svc)
+	return NewClient(srv), svc, reg, db, ing
+}
+
+// TestIngestEndToEnd drives the full loop over HTTP: ingest live telemetry,
+// sweep for drift against a stored prediction, queue the drifted server,
+// refresh it through the warm pool, and observe the counters on /varz.
+func TestIngestEndToEnd(t *testing.T) {
+	c, svc, reg, db, ing := streamServer(t)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "r"}, forecast.NamePersistentPrevDay, "")
+	ctx := context.Background()
+	epoch := ing.Epoch()
+	day := epoch.Add(7 * 24 * time.Hour)
+
+	// A stored prediction of flat 20 for the backup day.
+	vals := make([]float64, 288)
+	for i := range vals {
+		vals[i] = 20
+	}
+	doc := &pipeline.PredictionDoc{
+		ServerID: "srv", Region: "r", Week: 1, Model: forecast.NamePersistentPrevDay,
+		BackupDay: day, WindowPoints: 12, IntervalMin: 5, Values: vals,
+	}
+	if err := db.Collection("predictions").Upsert("r", "srv/week-0001", doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seven days of history plus a backup day running 40 points hot: the
+	// prediction has drifted. One value is negative (missing per the lake
+	// convention) and the last chunk is re-sent to prove idempotence.
+	hist := make([]float64, 8*288)
+	for i := range hist {
+		if i < 7*288 {
+			hist[i] = 25
+		} else {
+			hist[i] = 60
+		}
+	}
+	hist[3] = -1
+	resp, err := c.Ingest(ctx, IngestRequest{Servers: []IngestSeries{
+		{ServerID: "srv", Start: epoch, IntervalMin: 5, Values: hist},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != len(hist)-1 || resp.Skipped != 1 {
+		t.Fatalf("ingest = %+v", resp)
+	}
+	replay, err := c.Ingest(ctx, IngestRequest{Servers: []IngestSeries{
+		{ServerID: "srv", Start: day, IntervalMin: 5, Values: hist[7*288:]},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Duplicates != 288 || replay.Accepted != 0 {
+		t.Fatalf("replay = %+v, want all duplicates", replay)
+	}
+
+	// Sweep week 1: srv drifted (actuals 60 vs predicted 20) and queues.
+	resp, err = c.Ingest(ctx, IngestRequest{
+		Points: []IngestPoint{{ServerID: "other", TimeUnix: day.Unix(), Value: 30}},
+		Sweep:  &SweepSpec{Region: "r", Week: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Sweep == nil {
+		t.Fatalf("sweep ingest = %+v", resp)
+	}
+	if resp.Sweep.Drifted != 1 || resp.Sweep.Queued != 1 || resp.Sweep.Servers[0] != "srv" {
+		t.Fatalf("sweep = %+v", resp.Sweep)
+	}
+
+	// Drain the refresh queue: the stored doc must now carry the live-based
+	// forecast (pf-prev-day → previous live day = 60s).
+	if err := svc.cfg.Refresher.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var got pipeline.PredictionDoc
+	if err := db.Collection("predictions").Get("r", "srv/week-0001", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", got.Refreshes)
+	}
+	if got.Values[0] != 25 {
+		t.Fatalf("refreshed forecast v0 = %v, want the live previous-day 25", got.Values[0])
+	}
+
+	// /varz surfaces the whole story.
+	vz, err := c.Varz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Ingest == nil || vz.Ingest.Appended == 0 || vz.Ingest.Duplicates == 0 {
+		t.Fatalf("varz ingest = %+v", vz.Ingest)
+	}
+	if vz.Drift == nil || vz.Drift.Sweeps != 1 || vz.Drift.Drifted != 1 {
+		t.Fatalf("varz drift = %+v", vz.Drift)
+	}
+	if vz.Refresh == nil || vz.Refresh.Refreshed != 1 {
+		t.Fatalf("varz refresh = %+v", vz.Refresh)
+	}
+	ep, ok := vz.Endpoints["POST /v2/ingest"]
+	if !ok || ep.Count != 3 {
+		t.Fatalf("varz ingest endpoint = %+v (ok=%v)", ep, ok)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	c, _, _, _, ing := streamServer(t)
+	ctx := context.Background()
+	epoch := ing.Epoch()
+
+	cases := []struct {
+		name string
+		req  IngestRequest
+		code ErrorCode
+	}{
+		{"empty", IngestRequest{}, CodeBadRequest},
+		{"no id", IngestRequest{Servers: []IngestSeries{{IntervalMin: 5, Start: epoch, Values: []float64{1}}}}, CodeBadRequest},
+		{"bad interval", IngestRequest{Servers: []IngestSeries{{ServerID: "s", IntervalMin: 15, Start: epoch, Values: []float64{1}}}}, CodeBadRequest},
+		{"point no id", IngestRequest{Points: []IngestPoint{{TimeUnix: epoch.Unix(), Value: 1}}}, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := c.Ingest(ctx, tc.req)
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.Code != tc.code {
+			t.Errorf("%s: err = %v, want code %s", tc.name, err, tc.code)
+		}
+	}
+
+	// Over the point limit → too_large.
+	big := IngestRequest{Servers: []IngestSeries{{ServerID: "s", IntervalMin: 5, Start: epoch, Values: make([]float64, 2048)}}}
+	svcSmall := NewService(registry.New(nil), nil, ServiceConfig{
+		Ingestor: stream.NewIngestor(stream.Config{}), MaxIngestPoints: 1024,
+	})
+	cSmall := NewClient(newTestHTTPServer(t, svcSmall))
+	if _, err := cSmall.Ingest(ctx, big); !hasCode(err, CodeTooLarge) {
+		t.Errorf("oversized ingest: %v", err)
+	}
+
+	// Sweep without a drift detector attached.
+	db, _ := cosmos.Open("")
+	reg := registry.New(nil)
+	svcNoDrift := NewService(reg, db, ServiceConfig{Ingestor: stream.NewIngestor(stream.Config{})})
+	cNoDrift := NewClient(newTestHTTPServer(t, svcNoDrift))
+	_, err := cNoDrift.Ingest(ctx, IngestRequest{
+		Points: []IngestPoint{{ServerID: "s", TimeUnix: time.Now().Unix(), Value: 1}},
+		Sweep:  &SweepSpec{Region: "r", Week: 0},
+	})
+	if !hasCode(err, CodeNotFound) {
+		t.Errorf("sweep without detector: %v", err)
+	}
+
+	// No ingestor at all → not_found.
+	svcBare := NewService(registry.New(nil), nil, ServiceConfig{})
+	cBare := NewClient(newTestHTTPServer(t, svcBare))
+	_, err = cBare.Ingest(ctx, IngestRequest{Points: []IngestPoint{{ServerID: "s", TimeUnix: 0, Value: 1}}})
+	if !hasCode(err, CodeNotFound) {
+		t.Errorf("ingest without ingestor: %v", err)
+	}
+}
+
+// hasCode reports whether err is an APIError with the given code.
+func hasCode(err error, code ErrorCode) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.Code == code
+}
+
+// TestIngestRaw exercises the wire shape directly (field names are a
+// compatibility surface).
+func TestIngestRaw(t *testing.T) {
+	c, _, _, _, ing := streamServer(t)
+	body := `{"points":[{"server_id":"s","t_unix":` +
+		// a point one week past the epoch
+		timeUnixStr(ing.Epoch().Add(7*24*time.Hour)) + `,"v":12.5}]}`
+	resp, err := http.Post(c.BaseURL+"/v2/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw ingest status = %d", resp.StatusCode)
+	}
+	if st := ing.Stats(); st.Appended != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,160 @@
+package serving
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/stream"
+)
+
+// The /varz endpoint (stdlib-only, named after the classic borgmon page)
+// exposes the serving process's operational counters as one JSON document:
+// warm-pool effectiveness, per-endpoint latency histograms and in-flight
+// counts, and — when the stream layer is attached — ingest, drift and
+// refresh counters.
+
+// latencyBoundsMs are the histogram bucket upper bounds in milliseconds; a
+// final implicit +Inf bucket catches the rest. Spanning 100µs to 10s covers
+// warm-pool predicts (~10µs–1ms) through cold batch trains (seconds).
+var latencyBoundsMs = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// endpointVars is one endpoint's live counters. All fields are atomics: the
+// observation path adds no locks to request handling.
+type endpointVars struct {
+	inFlight atomic.Int64
+	count    atomic.Uint64
+	errors   atomic.Uint64
+	sumNs    atomic.Int64
+	buckets  [17]atomic.Uint64 // len(latencyBoundsMs)+1; last = overflow
+}
+
+// observe records one finished request.
+func (ev *endpointVars) observe(d time.Duration, status int) {
+	ev.count.Add(1)
+	if status >= 400 {
+		ev.errors.Add(1)
+	}
+	ev.sumNs.Add(int64(d))
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBoundsMs, ms)
+	ev.buckets[i].Add(1)
+}
+
+// EndpointVarz is the wire form of one endpoint's counters.
+type EndpointVarz struct {
+	Count    uint64 `json:"count"`
+	Errors   uint64 `json:"errors"`
+	InFlight int64  `json:"in_flight"`
+	// LatencyMsSum is the total handling time in milliseconds; divide by
+	// Count for the mean.
+	LatencyMsSum float64 `json:"latency_ms_sum"`
+	// LatencyMsBounds are the histogram bucket upper bounds; LatencyCounts
+	// has one extra trailing entry for observations beyond the last bound.
+	LatencyMsBounds []float64 `json:"latency_ms_bounds"`
+	LatencyCounts   []uint64  `json:"latency_counts"`
+}
+
+// Varz is the /varz document.
+type Varz struct {
+	UptimeSec float64                 `json:"uptime_sec"`
+	Pool      PoolStats               `json:"pool"`
+	Endpoints map[string]EndpointVarz `json:"endpoints"`
+	Ingest    *stream.Stats           `json:"ingest,omitempty"`
+	Drift     *stream.DriftStats      `json:"drift,omitempty"`
+	Refresh   *stream.RefreshStats    `json:"refresh,omitempty"`
+}
+
+// varz tracks every instrumented endpoint for one service.
+type varz struct {
+	mu        sync.Mutex
+	started   time.Time
+	endpoints map[string]*endpointVars
+}
+
+func newVarz() *varz {
+	return &varz{started: time.Now(), endpoints: map[string]*endpointVars{}}
+}
+
+// endpoint returns (creating once) the counters for name. Endpoints are
+// registered at mux-build time, so the map is effectively read-only while
+// serving.
+func (v *varz) endpoint(name string) *endpointVars {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ev, ok := v.endpoints[name]
+	if !ok {
+		ev = &endpointVars{}
+		v.endpoints[name] = ev
+	}
+	return ev
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with latency/error/in-flight accounting under
+// the given endpoint name.
+func (s *Service) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ev := s.varz.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		ev.inFlight.Add(1)
+		defer ev.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		ev.observe(time.Since(start), sw.status)
+	}
+}
+
+// VarzSnapshot assembles the current /varz document.
+func (s *Service) VarzSnapshot() Varz {
+	out := Varz{
+		UptimeSec: time.Since(s.varz.started).Seconds(),
+		Pool:      s.pool.Stats(),
+		Endpoints: map[string]EndpointVarz{},
+	}
+	s.varz.mu.Lock()
+	for name, ev := range s.varz.endpoints {
+		e := EndpointVarz{
+			Count:           ev.count.Load(),
+			Errors:          ev.errors.Load(),
+			InFlight:        ev.inFlight.Load(),
+			LatencyMsSum:    float64(ev.sumNs.Load()) / float64(time.Millisecond),
+			LatencyMsBounds: latencyBoundsMs,
+			LatencyCounts:   make([]uint64, len(ev.buckets)),
+		}
+		for i := range ev.buckets {
+			e.LatencyCounts[i] = ev.buckets[i].Load()
+		}
+		out.Endpoints[name] = e
+	}
+	s.varz.mu.Unlock()
+	if s.cfg.Ingestor != nil {
+		st := s.cfg.Ingestor.Stats()
+		out.Ingest = &st
+	}
+	if s.cfg.Drift != nil {
+		st := s.cfg.Drift.Stats()
+		out.Drift = &st
+	}
+	if s.cfg.Refresher != nil {
+		st := s.cfg.Refresher.Stats()
+		out.Refresh = &st
+	}
+	return out
+}
+
+func (s *Service) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.VarzSnapshot())
+}

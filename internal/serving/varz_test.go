@@ -1,0 +1,76 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"seagull/internal/forecast"
+	"seagull/internal/registry"
+)
+
+func TestVarzEndpoint(t *testing.T) {
+	srv, _, reg := v2Server(t, ServiceConfig{})
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "r"}, forecast.NamePersistentPrevDay, "")
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	// Two warm predicts and one failing request.
+	req := PredictRequestV2{
+		Scenario: "backup", Region: "r",
+		History: FromSeries(weekHistory()), Horizon: 288,
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.PredictV2(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.PredictV2(ctx, PredictRequestV2{Scenario: "backup", Region: "nope", History: req.History, Horizon: 1}); err == nil {
+		t.Fatal("predict against missing region should fail")
+	}
+
+	vz, err := c.Varz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.UptimeSec < 0 {
+		t.Errorf("uptime = %v", vz.UptimeSec)
+	}
+	ep, ok := vz.Endpoints["POST /v2/predict"]
+	if !ok {
+		t.Fatalf("endpoints = %v", vz.Endpoints)
+	}
+	if ep.Count != 3 || ep.Errors != 1 || ep.InFlight != 0 {
+		t.Fatalf("predict endpoint = %+v, want 3 requests / 1 error / 0 in flight", ep)
+	}
+	// Histogram invariants: one bucket per bound plus overflow, and the
+	// observations all landed somewhere.
+	if len(ep.LatencyCounts) != len(ep.LatencyMsBounds)+1 {
+		t.Fatalf("bucket layout: %d counts vs %d bounds", len(ep.LatencyCounts), len(ep.LatencyMsBounds))
+	}
+	var total uint64
+	for _, n := range ep.LatencyCounts {
+		total += n
+	}
+	if total != ep.Count {
+		t.Errorf("histogram total %d != count %d", total, ep.Count)
+	}
+	if ep.LatencyMsSum <= 0 {
+		t.Errorf("latency sum = %v", ep.LatencyMsSum)
+	}
+	// Pool effectiveness flows through: the second predict hit warm.
+	if vz.Pool.Hits == 0 || vz.Pool.Misses == 0 {
+		t.Errorf("pool = %+v", vz.Pool)
+	}
+	// No stream layer attached: those sections are absent.
+	if vz.Ingest != nil || vz.Drift != nil || vz.Refresh != nil {
+		t.Errorf("stream sections should be nil without a stream layer: %+v", vz)
+	}
+	// The varz fetch itself is instrumented too.
+	vz2, err := c.Varz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz2.Endpoints["GET /varz"].Count == 0 {
+		t.Error("varz endpoint not instrumented")
+	}
+}

@@ -96,6 +96,11 @@ type BatchItem struct {
 	History      SeriesJSON `json:"history"`
 	Horizon      int        `json:"horizon"`
 	WindowPoints int        `json:"window_points,omitempty"`
+	// DeadlineMS, when positive, bounds this item's train+forecast to a
+	// deadline that many milliseconds after the batch started; a late item
+	// fails alone with a deadline_exceeded code instead of cancelling the
+	// whole batch. Zero means only the request deadline applies.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // BatchRequest predicts many servers of one (scenario, region) in a single

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/metrics"
+	"seagull/internal/pipeline"
+	"seagull/internal/timeseries"
+)
+
+// DriftConfig parameterizes drift detection. The zero value selects the
+// production defaults.
+type DriftConfig struct {
+	// Metrics carries the Definition 1/2 constants. Zero value → DefaultConfig.
+	Metrics metrics.Config
+	// MinRatio is the bucket ratio (Definition 1, live actuals vs the stored
+	// prediction) below which a server counts as drifted. Default: the
+	// Definition 2 accuracy threshold (0.90) — a stored prediction that would
+	// no longer be judged accurate has drifted.
+	MinRatio float64
+	// MinPoints is the minimum number of live/predicted pairs required to
+	// judge a server at all; with fewer overlapping points the verdict is
+	// "skipped", not "drifted". Default 12 (one hour at five-minute slots).
+	MinPoints int
+	// Collection is the cosmos collection holding PredictionDocs. Default
+	// "predictions" (the pipeline's).
+	Collection string
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Metrics == (metrics.Config{}) {
+		c.Metrics = metrics.DefaultConfig()
+	}
+	if c.MinRatio == 0 {
+		c.MinRatio = c.Metrics.AccuracyThreshold
+	}
+	if c.MinPoints == 0 {
+		c.MinPoints = 12
+	}
+	if c.Collection == "" {
+		c.Collection = "predictions"
+	}
+	return c
+}
+
+// ServerDrift is one server's sweep verdict.
+type ServerDrift struct {
+	ServerID string  `json:"server_id"`
+	Ratio    float64 `json:"ratio"`  // bucket ratio of live actuals vs stored prediction
+	Points   int     `json:"points"` // live/predicted pairs the ratio covers
+}
+
+// Report is the outcome of one drift sweep over a stored (region, week).
+type Report struct {
+	Region  string `json:"region"`
+	Week    int    `json:"week"`
+	Checked int    `json:"checked"` // stored predictions examined
+	Drifted int    `json:"drifted"` // predictions whose live actuals fell below MinRatio
+	// Skipped counts predictions with too little live overlap to judge.
+	Skipped int `json:"skipped"`
+	// DriftedServers lists the drifted servers' verdicts, worst ratio first.
+	DriftedServers []ServerDrift `json:"drifted_servers,omitempty"`
+}
+
+// DriftStats accumulates sweep counters across the detector's lifetime.
+type DriftStats struct {
+	Sweeps  uint64 `json:"sweeps"`
+	Checked uint64 `json:"checked"`
+	Drifted uint64 `json:"drifted"`
+	Skipped uint64 `json:"skipped"`
+}
+
+// DriftDetector compares live slots against stored PredictionDocs: a stored
+// prediction whose live actuals score below the accuracy threshold on the
+// Definition 1 bucket ratio has drifted and should be refreshed. Safe for
+// concurrent use; one detector serves every region.
+type DriftDetector struct {
+	ing *Ingestor
+	db  *cosmos.DB
+	cfg DriftConfig
+
+	sweeps  atomic.Uint64
+	checked atomic.Uint64
+	drifted atomic.Uint64
+	skipped atomic.Uint64
+}
+
+// NewDriftDetector returns a detector over live telemetry and the document
+// store holding the pipeline's predictions.
+func NewDriftDetector(ing *Ingestor, db *cosmos.DB, cfg DriftConfig) *DriftDetector {
+	return &DriftDetector{ing: ing, db: db, cfg: cfg.withDefaults()}
+}
+
+// Sweep judges every stored prediction of (region, week) against the live
+// telemetry and returns the drifted servers, worst ratio first. The
+// comparison is zero-copy on both sides: the live day is read in place under
+// the shard lock and the stored day is viewed, with metrics.BucketRatioCount
+// skipping slots that have not arrived yet. Cancelling ctx abandons the
+// sweep between servers.
+func (d *DriftDetector) Sweep(ctx context.Context, region string, week int) (Report, error) {
+	rep := Report{Region: region, Week: week}
+	weekSuffix := fmt.Sprintf("/week-%04d", week)
+	err := d.db.Collection(d.cfg.Collection).Query(region, func(id string, body json.RawMessage) error {
+		if !strings.HasSuffix(id, weekSuffix) {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var doc pipeline.PredictionDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("decode prediction %s: %w", id, err)
+		}
+		if doc.Week != week {
+			return nil
+		}
+		rep.Checked++
+		ratio, points, ok := d.judge(&doc)
+		if !ok {
+			rep.Skipped++
+			return nil
+		}
+		if ratio < d.cfg.MinRatio {
+			rep.Drifted++
+			rep.DriftedServers = append(rep.DriftedServers, ServerDrift{
+				ServerID: doc.ServerID, Ratio: ratio, Points: points,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	// Worst offenders first, so a bounded refresh queue spends its budget on
+	// the most wrong predictions.
+	for i := 1; i < len(rep.DriftedServers); i++ {
+		for j := i; j > 0 && rep.DriftedServers[j].Ratio < rep.DriftedServers[j-1].Ratio; j-- {
+			rep.DriftedServers[j], rep.DriftedServers[j-1] = rep.DriftedServers[j-1], rep.DriftedServers[j]
+		}
+	}
+	d.sweeps.Add(1)
+	d.checked.Add(uint64(rep.Checked))
+	d.drifted.Add(uint64(rep.Drifted))
+	d.skipped.Add(uint64(rep.Skipped))
+	return rep, nil
+}
+
+// judge computes the Definition 1 bucket ratio of the live actuals inside
+// the stored prediction's day. ok is false when too few live points overlap
+// the predicted day to call a verdict.
+func (d *DriftDetector) judge(doc *pipeline.PredictionDoc) (ratio float64, points int, ok bool) {
+	interval := time.Duration(doc.IntervalMin) * time.Minute
+	if interval <= 0 || interval != d.ing.Interval() || len(doc.Values) == 0 {
+		return 0, 0, false
+	}
+	d.ing.WithView(doc.ServerID, func(live timeseries.Series) {
+		span := doc.BackupDay.Sub(live.Start)
+		if span%interval != 0 {
+			// The predicted day is off the ingestor's slot grid: pairing
+			// truncated indices would score live slots against predictions
+			// for different times. Skip — the refresher rejects the same
+			// misalignment.
+			return
+		}
+		off := int(span / interval)
+		lo, hi := off, off+len(doc.Values)
+		if lo < 0 {
+			lo = 0
+		}
+		if n := live.Len(); hi > n {
+			hi = n
+		}
+		if hi <= lo {
+			return
+		}
+		liveDay, err := live.View(lo, hi)
+		if err != nil {
+			return
+		}
+		pred := doc.Series()
+		predDay, err := pred.View(lo-off, hi-off)
+		if err != nil {
+			return
+		}
+		ratio, points, err = metrics.BucketRatioCount(liveDay, predDay, d.cfg.Metrics.Bound)
+		ok = err == nil && points >= d.cfg.MinPoints
+	})
+	return ratio, points, ok
+}
+
+// Stats snapshots the lifetime sweep counters.
+func (d *DriftDetector) Stats() DriftStats {
+	return DriftStats{
+		Sweeps:  d.sweeps.Load(),
+		Checked: d.checked.Load(),
+		Drifted: d.drifted.Load(),
+		Skipped: d.skipped.Load(),
+	}
+}

@@ -1,0 +1,452 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"seagull/internal/timeseries"
+)
+
+// Common errors returned by the stream layer.
+var (
+	ErrBadInterval = errors.New("stream: series interval must match the ingestor slot interval")
+	ErrNoTelemetry = errors.New("stream: no live telemetry for server")
+)
+
+// Config parameterizes an Ingestor. The zero value selects the production
+// defaults: five-minute slots (the paper's telemetry granularity), four weeks
+// of retained history per server, and sixteen lock stripes.
+type Config struct {
+	// Interval is the slot granularity every point rolls up to; it must match
+	// the granularity the pipeline trains at. Default five minutes.
+	Interval time.Duration
+	// Epoch is the slot-index origin: a point at time t lands in slot
+	// (t-Epoch)/Interval. Points before Epoch are rejected as too old.
+	// Default: the Unix epoch (UTC).
+	Epoch time.Time
+	// Slots bounds the retained history per server, in slots; as the newest
+	// slot advances, slots older than the trailing window fall off. Default
+	// 8064 (four weeks at five-minute granularity).
+	Slots int
+	// Shards is the number of lock stripes server rings are hashed across;
+	// rounded up to a power of two. Default 16.
+	Shards int
+	// MaxFuture bounds how far past the current wall clock a point's
+	// timestamp may lie. Without it, one bogus far-future point (a client
+	// sending milliseconds where seconds are expected, say) would slide the
+	// server's whole retained window into the future and turn every real
+	// point into a too-old drop. Default one hour (generous clock skew);
+	// negative disables the bound.
+	MaxFuture time.Duration
+	// Now is the wall clock MaxFuture is judged against; nil means
+	// time.Now. Tests inject their own.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Minute
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Unix(0, 0).UTC()
+	}
+	if c.Slots <= 0 {
+		c.Slots = 4 * 7 * 24 * 12 // four weeks of five-minute slots
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.MaxFuture == 0 {
+		c.MaxFuture = time.Hour
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// AppendStatus reports what happened to one appended point.
+type AppendStatus uint8
+
+// Append outcomes.
+const (
+	// Appended: the point filled a new slot.
+	Appended AppendStatus = iota
+	// Duplicate: the slot already held a value; the first write wins, which
+	// makes ingestion idempotent under at-least-once delivery and replays.
+	Duplicate
+	// TooOld: the point predates the server's retained window (or the epoch)
+	// and was dropped.
+	TooOld
+	// TooNew: the point's timestamp lies beyond the wall clock plus
+	// Config.MaxFuture and was dropped before it could poison the ring.
+	TooNew
+	// BadValue: the value was NaN or infinite.
+	BadValue
+)
+
+// String renders the status for diagnostics.
+func (s AppendStatus) String() string {
+	switch s {
+	case Appended:
+		return "appended"
+	case Duplicate:
+		return "duplicate"
+	case TooOld:
+		return "too-old"
+	case TooNew:
+		return "too-new"
+	default:
+		return "bad-value"
+	}
+}
+
+// Stats is a point-in-time snapshot of ingestion counters across all shards.
+type Stats struct {
+	Servers    int    `json:"servers"`
+	Appended   uint64 `json:"appended"`
+	Duplicates uint64 `json:"duplicates"`
+	TooOld     uint64 `json:"too_old"`
+	TooNew     uint64 `json:"too_new"`
+	BadValues  uint64 `json:"bad_values"`
+}
+
+// serverRing is one server's retained history: a linear buffer of 2×Slots
+// slots (NaN = empty) that slides forward by an amortized shift, so the live
+// window is always contiguous in memory and zero-copy views are possible —
+// a classic ring buffer would wrap and force copies on every read.
+type serverRing struct {
+	vals  []float64
+	start int64 // absolute slot index of vals[0]
+	head  int64 // one past the newest filled slot
+	min   int64 // oldest filled slot (lower bound after eviction)
+}
+
+func newRing(slot int64, slots int) *serverRing {
+	vals := make([]float64, 2*slots)
+	for i := range vals {
+		vals[i] = timeseries.Missing
+	}
+	// Placing the first point in the middle leaves a full window of backward
+	// room for out-of-order arrivals that predate it.
+	return &serverRing{vals: vals, start: slot - int64(slots), head: slot, min: slot}
+}
+
+// put rolls one point into its slot. The first write to a slot wins;
+// re-deliveries are reported as Duplicate and ignored, which keeps the
+// rolled-up state independent of arrival order (the equivalence the property
+// tests pin).
+func (r *serverRing) put(slot int64, v float64, slots int) AppendStatus {
+	if slot < r.head-int64(slots) {
+		return TooOld
+	}
+	idx := slot - r.start
+	if idx < 0 {
+		// Unreachable under the start ≤ head-Slots invariant; kept as a
+		// defensive drop rather than a panic on a hot concurrent path.
+		return TooOld
+	}
+	if idx >= int64(len(r.vals)) {
+		r.shift(slot)
+		idx = slot - r.start
+	}
+	if !math.IsNaN(r.vals[idx]) {
+		return Duplicate
+	}
+	r.vals[idx] = v
+	if slot >= r.head {
+		r.head = slot + 1
+	}
+	if slot < r.min {
+		r.min = slot
+	}
+	return Appended
+}
+
+// shift slides the buffer so slot becomes indexable, moving the trailing
+// retained window that ends at slot to the front of the buffer — which
+// leaves a full window of forward room, so the next shift is at least
+// len(vals)/2 appends away and the amortized append cost stays O(1) and
+// allocation-free.
+func (r *serverRing) shift(slot int64) {
+	slots := int64(len(r.vals) / 2)
+	newStart := slot + 1 - slots
+	lo := r.min
+	if hs := slot + 1 - slots; lo < hs {
+		lo = hs // slots beyond the retained window are evicted by the move
+	}
+	if lo < r.head {
+		copy(r.vals[lo-newStart:r.head-newStart], r.vals[lo-r.start:r.head-r.start])
+		for i := int64(0); i < lo-newStart; i++ {
+			r.vals[i] = timeseries.Missing
+		}
+		for i := r.head - newStart; i < int64(len(r.vals)); i++ {
+			r.vals[i] = timeseries.Missing
+		}
+		if r.min < lo {
+			r.min = lo
+		}
+	} else {
+		for i := range r.vals {
+			r.vals[i] = timeseries.Missing
+		}
+		r.min = slot + 1 // nothing retained; the pending put re-establishes it
+		r.head = slot    // and advances head
+	}
+	r.start = newStart
+}
+
+// view returns the zero-copy live window [max(min, head-Slots), head).
+func (r *serverRing) view(slots int, epoch time.Time, interval time.Duration) (timeseries.Series, bool) {
+	lo := r.min
+	if hs := r.head - int64(slots); lo < hs {
+		lo = hs
+	}
+	if lo >= r.head {
+		return timeseries.Series{}, false
+	}
+	vals := r.vals[lo-r.start : r.head-r.start : r.head-r.start]
+	return timeseries.New(epoch.Add(time.Duration(lo)*interval), interval, vals), true
+}
+
+// shard is one lock stripe of server rings. Counters are guarded by mu.
+type shard struct {
+	mu         sync.RWMutex
+	rings      map[string]*serverRing
+	appended   uint64
+	duplicates uint64
+	tooOld     uint64
+	tooNew     uint64
+	badValues  uint64
+}
+
+// Ingestor accepts out-of-order per-server load points and rolls them up
+// incrementally to the pipeline's slot granularity. Server rings are hashed
+// across lock-striped shards; the warm append path (ring exists) is
+// allocation-free. Safe for concurrent use.
+type Ingestor struct {
+	cfg  Config
+	mask uint32
+	sh   []shard
+}
+
+// NewIngestor returns an empty ingestor.
+func NewIngestor(cfg Config) *Ingestor {
+	cfg = cfg.withDefaults()
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	g := &Ingestor{cfg: cfg, mask: uint32(n - 1), sh: make([]shard, n)}
+	for i := range g.sh {
+		g.sh[i].rings = map[string]*serverRing{}
+	}
+	return g
+}
+
+// Interval returns the slot granularity.
+func (g *Ingestor) Interval() time.Duration { return g.cfg.Interval }
+
+// Epoch returns the slot-index origin.
+func (g *Ingestor) Epoch() time.Time { return g.cfg.Epoch }
+
+// SlotOf returns the slot index covering t, and whether t is at or after the
+// epoch.
+func (g *Ingestor) SlotOf(t time.Time) (int64, bool) {
+	d := t.Sub(g.cfg.Epoch)
+	if d < 0 {
+		return 0, false
+	}
+	return int64(d / g.cfg.Interval), true
+}
+
+// shardOf stripes a server id across shards with FNV-1a (inlined: the
+// hash/fnv package would force a byte-slice conversion and an allocation on
+// the hot path).
+func (g *Ingestor) shardOf(serverID string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(serverID); i++ {
+		h ^= uint64(serverID[i])
+		h *= 1099511628211
+	}
+	return &g.sh[uint32(h)&g.mask]
+}
+
+// Append rolls one load point into the server's ring. Allocation-free once
+// the server's ring exists (the first point per server allocates it).
+func (g *Ingestor) Append(serverID string, t time.Time, v float64) AppendStatus {
+	sh := g.shardOf(serverID)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		sh.mu.Lock()
+		sh.badValues++
+		sh.mu.Unlock()
+		return BadValue
+	}
+	if g.cfg.MaxFuture >= 0 && t.Sub(g.cfg.Now()) > g.cfg.MaxFuture {
+		sh.mu.Lock()
+		sh.tooNew++
+		sh.mu.Unlock()
+		return TooNew
+	}
+	slot, ok := g.SlotOf(t)
+	if !ok {
+		sh.mu.Lock()
+		sh.tooOld++
+		sh.mu.Unlock()
+		return TooOld
+	}
+	sh.mu.Lock()
+	r := sh.rings[serverID]
+	if r == nil {
+		r = newRing(slot, g.cfg.Slots)
+		sh.rings[serverID] = r
+	}
+	st := r.put(slot, v, g.cfg.Slots)
+	switch st {
+	case Appended:
+		sh.appended++
+	case Duplicate:
+		sh.duplicates++
+	case TooOld:
+		sh.tooOld++
+	}
+	sh.mu.Unlock()
+	return st
+}
+
+// AppendSummary tallies the outcomes of a batch append.
+type AppendSummary struct {
+	Appended   int `json:"appended"`
+	Duplicates int `json:"duplicates"`
+	TooOld     int `json:"too_old"`
+	TooNew     int `json:"too_new"`
+	BadValues  int `json:"bad_values"`
+	// Skipped counts missing (NaN) observations in a series append, which
+	// are not ingested — an empty slot already means missing.
+	Skipped int `json:"skipped"`
+}
+
+// Add folds one point status into the summary (also used by the serving
+// layer's ingest endpoint, so the status→counter mapping lives here only).
+func (a *AppendSummary) Add(st AppendStatus) {
+	switch st {
+	case Appended:
+		a.Appended++
+	case Duplicate:
+		a.Duplicates++
+	case TooOld:
+		a.TooOld++
+	case TooNew:
+		a.TooNew++
+	case BadValue:
+		a.BadValues++
+	}
+}
+
+// AppendSeries appends a contiguous run of observations starting at start.
+// The series interval must equal the ingestor's slot interval (points are
+// rolled up by slot, so a mismatched interval would alias). Missing (NaN)
+// observations are skipped — an unfilled slot already reads as missing.
+func (g *Ingestor) AppendSeries(serverID string, start time.Time, vals []float64) (AppendSummary, error) {
+	var sum AppendSummary
+	for i, v := range vals {
+		if timeseries.IsMissing(v) {
+			sum.Skipped++
+			continue
+		}
+		sum.Add(g.Append(serverID, start.Add(time.Duration(i)*g.cfg.Interval), v))
+	}
+	return sum, nil
+}
+
+// WithView runs fn with a zero-copy view of the server's live window —
+// [newest-Slots, newest] trimmed to filled slots, unfilled slots reading as
+// timeseries.Missing — while holding the server's shard read lock, so the
+// view is stable for the duration of fn. fn must not retain the series or
+// call back into the ingestor. It reports whether the server had any live
+// telemetry.
+func (g *Ingestor) WithView(serverID string, fn func(live timeseries.Series)) bool {
+	sh := g.shardOf(serverID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := sh.rings[serverID]
+	if r == nil {
+		return false
+	}
+	s, ok := r.view(g.cfg.Slots, g.cfg.Epoch, g.cfg.Interval)
+	if !ok {
+		return false
+	}
+	fn(s)
+	return true
+}
+
+// View returns a zero-copy view of the server's live window. The backing
+// array is shared with the ring: the view is only stable until the next
+// append for this server, so it suits single-writer phases and tests; use
+// WithView or SnapshotInto when appenders run concurrently.
+func (g *Ingestor) View(serverID string) (timeseries.Series, bool) {
+	var out timeseries.Series
+	ok := g.WithView(serverID, func(live timeseries.Series) { out = live })
+	return out, ok
+}
+
+// SnapshotInto copies the server's live window into buf (grown when needed)
+// and returns a series owning the copy — the stable-snapshot counterpart of
+// WithView for long work like model training, where holding a shard lock
+// would stall ingestion. Callers reuse the returned Values as the next buf
+// to stay allocation-free in steady state.
+func (g *Ingestor) SnapshotInto(serverID string, buf []float64) (timeseries.Series, bool) {
+	sh := g.shardOf(serverID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := sh.rings[serverID]
+	if r == nil {
+		return timeseries.Series{}, false
+	}
+	s, ok := r.view(g.cfg.Slots, g.cfg.Epoch, g.cfg.Interval)
+	if !ok {
+		return timeseries.Series{}, false
+	}
+	if cap(buf) < s.Len() {
+		buf = make([]float64, s.Len())
+	}
+	buf = buf[:s.Len()]
+	copy(buf, s.Values)
+	return timeseries.New(s.Start, s.Interval, buf), true
+}
+
+// Servers lists every server with live telemetry, sorted.
+func (g *Ingestor) Servers() []string {
+	var out []string
+	for i := range g.sh {
+		sh := &g.sh[i]
+		sh.mu.RLock()
+		for id := range sh.rings {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats sums the ingestion counters across shards.
+func (g *Ingestor) Stats() Stats {
+	var st Stats
+	for i := range g.sh {
+		sh := &g.sh[i]
+		sh.mu.RLock()
+		st.Servers += len(sh.rings)
+		st.Appended += sh.appended
+		st.Duplicates += sh.duplicates
+		st.TooOld += sh.tooOld
+		st.TooNew += sh.tooNew
+		st.BadValues += sh.badValues
+		sh.mu.RUnlock()
+	}
+	return st
+}

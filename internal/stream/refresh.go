@@ -1,0 +1,415 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/forecast"
+	"seagull/internal/metrics"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/timeseries"
+)
+
+// Refresh errors.
+var (
+	ErrNoPrediction        = errors.New("stream: no stored prediction for server")
+	ErrInsufficientHistory = errors.New("stream: insufficient live history to retrain")
+	ErrQueueFull           = errors.New("stream: refresh queue full")
+)
+
+// Instance is one checked-out trained-or-trainable model. It is satisfied by
+// the serving layer's warm-pool instances (serving.Instance via its stream
+// adapter), whose retained scratch makes repeated refreshes allocation-lean.
+type Instance interface {
+	// TrainOn fits the instance on h; deterministic-inference instances may
+	// skip when h is bit-identical to their last trained history.
+	TrainOn(h timeseries.Series) (skipped bool, err error)
+	// Forecast predicts the next horizon observations after the trained
+	// history.
+	Forecast(horizon int) (timeseries.Series, error)
+}
+
+// Pool is the warm model source the refresher trains through. The serving
+// layer's ModelPool satisfies it through serving.StreamPool; NewFreshPool
+// provides a dependency-free fallback that builds a model per refresh.
+type Pool interface {
+	Checkout(target registry.Target, version int, modelName string) (Instance, error)
+	Return(target registry.Target, version int, inst Instance)
+}
+
+// freshPool is the no-reuse Pool: a deterministic fresh model per checkout,
+// mirroring what the batch pipeline does per server.
+type freshPool struct{ seed int64 }
+
+// freshInstance adapts a bare forecast.Model to the Instance interface.
+type freshInstance struct{ m forecast.Model }
+
+func (fi freshInstance) TrainOn(h timeseries.Series) (bool, error) { return false, fi.m.Train(h) }
+func (fi freshInstance) Forecast(horizon int) (timeseries.Series, error) {
+	return fi.m.Forecast(horizon)
+}
+
+func (p freshPool) Checkout(_ registry.Target, _ int, modelName string) (Instance, error) {
+	m, err := forecast.New(modelName, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	return freshInstance{m: m}, nil
+}
+
+func (p freshPool) Return(registry.Target, int, Instance) {}
+
+// NewFreshPool returns a Pool that builds a deterministic fresh model per
+// checkout — the model-per-refresh baseline, and the standalone option when
+// no serving layer is attached.
+func NewFreshPool(seed int64) Pool { return freshPool{seed: seed} }
+
+// RefreshConfig parameterizes a Refresher. The zero value selects the
+// pipeline's production defaults.
+type RefreshConfig struct {
+	// Scenario is the deployment scenario whose active model retrains.
+	// Default: the pipeline's backup scenario.
+	Scenario string
+	// Metrics carries the accuracy constants. Zero value → DefaultConfig.
+	Metrics metrics.Config
+	// HistoryDays bounds the live history a refresh trains on; default 7
+	// (the batch pipeline's training window).
+	HistoryDays int
+	// MinDays is the minimum whole days of live history required to retrain;
+	// default 3 (Section 5.3.1's floor, matching the batch pipeline).
+	MinDays int
+	// QueueSize bounds the pending refresh queue; default 1024.
+	QueueSize int
+	// Collection is the cosmos collection holding PredictionDocs. Default
+	// "predictions".
+	Collection string
+}
+
+func (c RefreshConfig) withDefaults() RefreshConfig {
+	if c.Scenario == "" {
+		c.Scenario = pipeline.Scenario
+	}
+	if c.Metrics == (metrics.Config{}) {
+		c.Metrics = metrics.DefaultConfig()
+	}
+	if c.HistoryDays <= 0 {
+		c.HistoryDays = 7
+	}
+	if c.MinDays <= 0 {
+		c.MinDays = 3
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Collection == "" {
+		c.Collection = "predictions"
+	}
+	return c
+}
+
+// RefreshStats snapshots the refresher's lifetime counters.
+type RefreshStats struct {
+	Queued    uint64 `json:"queued"`
+	Coalesced uint64 `json:"coalesced"` // enqueues folded into an already-pending job
+	Dropped   uint64 `json:"dropped"`   // enqueues rejected by a full queue
+	Refreshed uint64 `json:"refreshed"`
+	Skipped   uint64 `json:"skipped"` // insufficient live history
+	Failed    uint64 `json:"failed"`
+	Pending   int    `json:"pending"`
+}
+
+// job is one queued refresh.
+type job struct {
+	region   string
+	serverID string
+	week     int
+}
+
+// Refresher retrains drifted servers from live telemetry and republishes
+// their PredictionDocs. Refreshes flow through a bounded dedup queue drained
+// by Run (one background worker — retraining is CPU-bound, and the serving
+// pool hands each checkout exclusive ownership), or synchronously through
+// RefreshServer/RefreshWeek. Safe for concurrent use.
+type Refresher struct {
+	ing  *Ingestor
+	db   *cosmos.DB
+	reg  *registry.Registry
+	pool Pool
+	cfg  RefreshConfig
+
+	mu      sync.Mutex
+	jobs    chan job
+	pending map[job]bool
+
+	queued    atomic.Uint64
+	coalesced atomic.Uint64
+	dropped   atomic.Uint64
+	refreshed atomic.Uint64
+	skipped   atomic.Uint64
+	failed    atomic.Uint64
+
+	scratchMu sync.Mutex
+	scratch   []float64
+}
+
+// NewRefresher wires a refresher over live telemetry, the document store,
+// the model registry and a warm model pool. pool may be nil: a fresh
+// deterministic model is then built per refresh (NewFreshPool(0)).
+func NewRefresher(ing *Ingestor, db *cosmos.DB, reg *registry.Registry, pool Pool, cfg RefreshConfig) *Refresher {
+	cfg = cfg.withDefaults()
+	if pool == nil {
+		pool = NewFreshPool(0)
+	}
+	return &Refresher{
+		ing: ing, db: db, reg: reg, pool: pool, cfg: cfg,
+		jobs:    make(chan job, cfg.QueueSize),
+		pending: map[job]bool{},
+	}
+}
+
+// Enqueue queues one server for refresh. queued reports whether a new job
+// entered the queue: an enqueue matching an already-pending job coalesces
+// (false, nil), and a full queue rejects with ErrQueueFull (drift sweeps
+// re-find a server that stays drifted, so a rejected enqueue heals on the
+// next sweep).
+func (r *Refresher) Enqueue(region, serverID string, week int) (queued bool, err error) {
+	j := job{region: region, serverID: serverID, week: week}
+	r.mu.Lock()
+	if r.pending[j] {
+		r.mu.Unlock()
+		r.coalesced.Add(1)
+		return false, nil
+	}
+	select {
+	case r.jobs <- j:
+		r.pending[j] = true
+		r.mu.Unlock()
+		r.queued.Add(1)
+		return true, nil
+	default:
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return false, ErrQueueFull
+	}
+}
+
+// EnqueueReport queues every drifted server of a sweep report and returns
+// how many were newly queued (coalesced and rejected enqueues excluded).
+func (r *Refresher) EnqueueReport(rep Report) int {
+	n := 0
+	for _, sd := range rep.DriftedServers {
+		if queued, _ := r.Enqueue(rep.Region, sd.ServerID, rep.Week); queued {
+			n++
+		}
+	}
+	return n
+}
+
+// Run drains the refresh queue until ctx is cancelled. Refresh failures are
+// counted, not fatal. Run returns ctx.Err; it is meant to be launched on its
+// own goroutine (seagull.System.StartRefresher does).
+func (r *Refresher) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case j := <-r.jobs:
+			r.take(j)
+			_ = r.RefreshServer(ctx, j.region, j.serverID, j.week)
+		}
+	}
+}
+
+// Drain synchronously processes every currently queued job — the test and
+// walkthrough hook, where a background worker would force sleeps.
+func (r *Refresher) Drain(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case j := <-r.jobs:
+			r.take(j)
+			_ = r.RefreshServer(ctx, j.region, j.serverID, j.week)
+		default:
+			return nil
+		}
+	}
+}
+
+// take clears a job's pending mark once it leaves the queue.
+func (r *Refresher) take(j job) {
+	r.mu.Lock()
+	delete(r.pending, j)
+	r.mu.Unlock()
+}
+
+// RefreshServer retrains one server's stored prediction from live telemetry
+// through the warm pool and republishes the PredictionDoc. The history
+// window replicates the batch pipeline exactly (up to HistoryDays whole days
+// immediately before the predicted day, at least MinDays), so for identical
+// telemetry the refreshed forecast is bit-identical to a full weekly run.
+func (r *Refresher) RefreshServer(ctx context.Context, region, serverID string, week int) error {
+	err := r.refresh(ctx, region, serverID, week)
+	switch {
+	case err == nil:
+		r.refreshed.Add(1)
+	case errors.Is(err, ErrInsufficientHistory) || errors.Is(err, ErrNoTelemetry):
+		r.skipped.Add(1)
+	default:
+		r.failed.Add(1)
+	}
+	return err
+}
+
+func (r *Refresher) refresh(ctx context.Context, region, serverID string, week int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	col := r.db.Collection(r.cfg.Collection)
+	docID := fmt.Sprintf("%s/week-%04d", serverID, week)
+	var doc pipeline.PredictionDoc
+	if err := col.Get(region, docID, &doc); err != nil {
+		if errors.Is(err, cosmos.ErrNotFound) {
+			return fmt.Errorf("%w: %s %s", ErrNoPrediction, region, docID)
+		}
+		return err
+	}
+	interval := time.Duration(doc.IntervalMin) * time.Minute
+	if interval <= 0 || interval != r.ing.Interval() {
+		return fmt.Errorf("%w: stored interval %v vs ingestor %v", ErrBadInterval, interval, r.ing.Interval())
+	}
+	ppd := int(24 * time.Hour / interval)
+
+	target := registry.Target{Scenario: r.cfg.Scenario, Region: region}
+	v, err := r.reg.Active(target)
+	if err != nil {
+		return err
+	}
+
+	// Snapshot the live history (stable copy: training is long, and holding
+	// the shard lock would stall ingestion). The scratch buffer is retained
+	// across refreshes, so the steady state allocates nothing here.
+	r.scratchMu.Lock()
+	defer r.scratchMu.Unlock()
+	snap, ok := r.ing.SnapshotInto(serverID, r.scratch)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTelemetry, serverID)
+	}
+	r.scratch = snap.Values
+
+	// Replicate the batch pipeline's training window: whole days up to
+	// HistoryDays immediately before the predicted day, at least MinDays.
+	d := doc.BackupDay.Sub(snap.Start)
+	if d < 0 || d%interval != 0 {
+		return fmt.Errorf("%w: predicted day %s not aligned with live telemetry starting %s",
+			ErrInsufficientHistory, doc.BackupDay.Format(time.RFC3339), snap.Start.Format(time.RFC3339))
+	}
+	dayIdx := int(d / interval)
+	if dayIdx > snap.Len() {
+		dayIdx = snap.Len() // history can only use what has arrived
+	}
+	trainPoints := r.cfg.HistoryDays * ppd
+	if dayIdx < trainPoints {
+		trainPoints = dayIdx - dayIdx%ppd // whole days available
+	}
+	if trainPoints < r.cfg.MinDays*ppd {
+		return fmt.Errorf("%w: %s has %d points before %s, need %d",
+			ErrInsufficientHistory, serverID, dayIdx, doc.BackupDay.Format(time.RFC3339), r.cfg.MinDays*ppd)
+	}
+	history, err := snap.View(dayIdx-trainPoints, dayIdx)
+	if err != nil {
+		return err
+	}
+
+	inst, err := r.pool.Checkout(target, v.Number, v.ModelName)
+	if err != nil {
+		return err
+	}
+	defer r.pool.Return(target, v.Number, inst)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, err := inst.TrainOn(history); err != nil {
+		return fmt.Errorf("retrain %s with %s: %w", serverID, v.ModelName, err)
+	}
+	pred, err := inst.Forecast(ppd)
+	if err != nil {
+		return fmt.Errorf("forecast %s with %s: %w", serverID, v.ModelName, err)
+	}
+	w := doc.WindowPoints
+	if w < 1 {
+		w = 1
+	}
+	if w > ppd {
+		w = ppd
+	}
+	llw, err := metrics.LowestLoadWindow(pred, w)
+	if err != nil {
+		return err
+	}
+
+	doc.Model = v.ModelName
+	doc.Values = pred.Values
+	doc.LLStart = llw.Start
+	doc.LLAvg = llw.AvgLoad
+	doc.Refreshes++
+	return col.Upsert(region, docID, &doc)
+}
+
+// RefreshWeek synchronously refreshes every stored prediction of (region,
+// week) — the full-fleet path the equivalence tests pin against
+// pipeline.RunWeek — and returns how many servers were refreshed. Servers
+// with insufficient live history are skipped, not fatal.
+func (r *Refresher) RefreshWeek(ctx context.Context, region string, week int) (int, error) {
+	weekSuffix := fmt.Sprintf("/week-%04d", week)
+	var ids []string
+	err := r.db.Collection(r.cfg.Collection).Query(region, func(id string, body json.RawMessage) error {
+		if strings.HasSuffix(id, weekSuffix) {
+			ids = append(ids, strings.TrimSuffix(id, weekSuffix))
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, serverID := range ids {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		err := r.RefreshServer(ctx, region, serverID, week)
+		switch {
+		case err == nil:
+			n++
+		case errors.Is(err, ErrInsufficientHistory) || errors.Is(err, ErrNoTelemetry):
+			// counted as skipped by RefreshServer
+		default:
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Stats snapshots the refresher's lifetime counters.
+func (r *Refresher) Stats() RefreshStats {
+	r.mu.Lock()
+	pending := len(r.pending)
+	r.mu.Unlock()
+	return RefreshStats{
+		Queued:    r.queued.Load(),
+		Coalesced: r.coalesced.Load(),
+		Dropped:   r.dropped.Load(),
+		Refreshed: r.refreshed.Load(),
+		Skipped:   r.skipped.Load(),
+		Failed:    r.failed.Load(),
+		Pending:   pending,
+	}
+}

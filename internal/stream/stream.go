@@ -1,0 +1,27 @@
+// Package stream is Seagull's online telemetry layer: it replaces the
+// weekly batch-only seam between production telemetry and the pipeline with
+// continuous ingestion and incremental, drift-triggered forecast refresh.
+//
+// Three components compose end to end:
+//
+//   - Ingestor accepts out-of-order per-server load points into
+//     fixed-capacity per-server slot rings, lock-striped across shards. The
+//     warm append path is allocation-free; points roll up to the pipeline's
+//     slot granularity as they arrive, so a server's live history is always
+//     one zero-copy view away from being model-ready.
+//
+//   - DriftDetector compares live slots against the stored PredictionDocs
+//     (the pipeline's cosmos output) using the paper's Definition 1/2
+//     bucket-ratio machinery: a stored prediction whose live actuals fall
+//     below the accuracy threshold has drifted.
+//
+//   - Refresher retrains only the drifted servers — through the serving
+//     layer's warm model pool, via the Pool interface — and republishes the
+//     refreshed PredictionDocs to cosmos. A fleet where 2% of servers
+//     drifted costs ~2% of a weekly pipeline run.
+//
+// The refresh path is pinned equivalent to the batch path: for the same
+// telemetry, a refreshed prediction is bit-identical to what a full
+// pipeline.RunWeek would store (see equiv_test.go). Drift detection is
+// therefore a pure scheduling optimization, never an accuracy trade.
+package stream

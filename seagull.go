@@ -44,6 +44,7 @@ import (
 	"seagull/internal/scheduler"
 	"seagull/internal/serving"
 	"seagull/internal/simulate"
+	"seagull/internal/stream"
 	"seagull/internal/timeseries"
 )
 
@@ -110,6 +111,22 @@ type (
 	ServiceConfig = serving.ServiceConfig
 	// Client is the typed Go client for the serving endpoints (v1 and v2).
 	Client = serving.Client
+
+	// Ingestor is the online telemetry ingestion layer: sharded per-server
+	// slot rings accepting out-of-order points, with zero-copy live views.
+	Ingestor = stream.Ingestor
+	// StreamConfig parameterizes the ingestor (slot interval, epoch,
+	// retained window, shard count).
+	StreamConfig = stream.Config
+	// DriftDetector compares live telemetry against stored predictions.
+	DriftDetector = stream.DriftDetector
+	// DriftReport is the outcome of one drift sweep.
+	DriftReport = stream.Report
+	// Refresher retrains drifted servers from live telemetry and
+	// republishes their predictions.
+	Refresher = stream.Refresher
+	// AppendStatus reports what happened to one ingested point.
+	AppendStatus = stream.AppendStatus
 )
 
 // NewClient returns a typed client for a serving endpoint base URL.
@@ -232,6 +249,10 @@ type SystemConfig struct {
 	// Persist keeps the document store durable on disk. Without it the
 	// document store is memory-only (the lake always uses the file system).
 	Persist bool
+	// Stream parameterizes the lazily created telemetry ingestor (see
+	// System.Stream). The zero value selects five-minute slots, a four-week
+	// retained window and the Unix epoch as the slot origin.
+	Stream StreamConfig
 }
 
 // System wires all Seagull components over shared storage.
@@ -244,11 +265,23 @@ type System struct {
 	Scheduler *scheduler.Scheduler
 	Fabric    *scheduler.FabricStore
 
+	cfg     SystemConfig
 	dataDir string
 	ownsDir bool
 
 	serveOnce sync.Once
 	serve     *Service
+
+	streamOnce sync.Once
+	stream     *Ingestor
+
+	streamSetOnce sync.Once
+	drift         *DriftDetector
+	refresher     *Refresher
+	refUnbind     func()
+
+	refMu   sync.Mutex
+	refStop func()
 }
 
 // NewSystem builds a ready-to-use system.
@@ -286,6 +319,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Pipeline:  pipeline.New(store, db, reg, dash),
 		Scheduler: scheduler.New(db, fabric, metrics.DefaultConfig()),
 		Fabric:    fabric,
+		cfg:       cfg,
 		dataDir:   dir,
 		ownsDir:   owns,
 	}
@@ -295,8 +329,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // DataDir returns the system's storage root.
 func (s *System) DataDir() string { return s.dataDir }
 
-// Close flushes the document store and removes owned temporary storage.
+// Close stops the refresher, flushes the document store and removes owned
+// temporary storage.
 func (s *System) Close() error {
+	s.refMu.Lock()
+	stop := s.refStop
+	s.refMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if s.refUnbind != nil {
+		s.refUnbind()
+	}
 	if err := s.DB.Flush(); err != nil {
 		return err
 	}
@@ -374,14 +418,92 @@ func (s *System) Service(cfg ServiceConfig) *Service {
 }
 
 // Handler returns the REST serving endpoint over the system's registry
-// (Section 2.2's deployed-model endpoint) with default service limits. The
-// underlying Service is created once per System and reused — repeated calls
-// share one warm model pool and one registry watcher.
+// (Section 2.2's deployed-model endpoint) with default service limits and
+// the system's stream layer attached (POST /v2/ingest feeds System.Stream;
+// sweeps queue into the shared refresher — call StartRefresher to drain it
+// in the background). The underlying Service is created once per System and
+// reused — repeated calls share one warm model pool and one registry
+// watcher.
 func (s *System) Handler() http.Handler {
 	s.serveOnce.Do(func() {
-		s.serve = serving.NewService(s.Registry, s.DB, ServiceConfig{})
+		ing, det, ref := s.streamSet()
+		s.serve = serving.NewService(s.Registry, s.DB, ServiceConfig{
+			Ingestor: ing, Drift: det, Refresher: ref,
+		})
 	})
 	return s.serve.Handler()
+}
+
+// Stream returns the system's shared telemetry ingestor, created lazily
+// from SystemConfig.Stream — the entry point for live per-server load
+// points (the stream layer's counterpart of LoadFleet's batch extracts).
+func (s *System) Stream() *Ingestor {
+	s.streamOnce.Do(func() { s.stream = stream.NewIngestor(s.cfg.Stream) })
+	return s.stream
+}
+
+// Ingest rolls one live load point into the system's telemetry stream.
+func (s *System) Ingest(serverID string, t time.Time, value float64) AppendStatus {
+	return s.Stream().Append(serverID, t, value)
+}
+
+// streamSet lazily builds the shared drift detector and refresher. The
+// refresher trains through its own warm model pool (the serving layer's
+// pool machinery, bound to the registry for invalidation on
+// promote/rollback) so drift-triggered retrains reuse trained scratch
+// without contending with request-serving instances.
+func (s *System) streamSet() (*Ingestor, *DriftDetector, *Refresher) {
+	s.streamSetOnce.Do(func() {
+		ing := s.Stream()
+		s.drift = stream.NewDriftDetector(ing, s.DB, stream.DriftConfig{})
+		pool := serving.NewModelPool(serving.PoolConfig{})
+		s.refUnbind = pool.Bind(s.Registry)
+		s.refresher = stream.NewRefresher(ing, s.DB, s.Registry, serving.StreamPool(pool), stream.RefreshConfig{})
+	})
+	return s.stream, s.drift, s.refresher
+}
+
+// Drift returns the system's shared drift detector over the stored
+// predictions.
+func (s *System) Drift() *DriftDetector {
+	_, det, _ := s.streamSet()
+	return det
+}
+
+// Refresher returns the system's shared drift-refresh worker. Use Enqueue/
+// Drain for synchronous control, or StartRefresher for a background worker.
+func (s *System) Refresher() *Refresher {
+	_, _, ref := s.streamSet()
+	return ref
+}
+
+// StartRefresher launches the shared refresher's background worker and
+// returns a stop function (also invoked by Close). Repeated calls return
+// the same stop function while the worker runs.
+func (s *System) StartRefresher() (stop func()) {
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	if s.refStop != nil {
+		return s.refStop
+	}
+	ref := s.Refresher()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ref.Run(ctx)
+	}()
+	var once sync.Once
+	s.refStop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+			s.refMu.Lock()
+			s.refStop = nil
+			s.refMu.Unlock()
+		})
+	}
+	return s.refStop
 }
 
 // DashboardSummary returns the aggregated pipeline-run view.

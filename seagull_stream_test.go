@@ -1,0 +1,127 @@
+package seagull_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"seagull"
+	"seagull/internal/serving"
+	"seagull/internal/stream"
+)
+
+// TestSystemStreaming drives the streaming loop through the public facade:
+// batch pipeline → live ingest → drift sweep over HTTP → background
+// refresher → refreshed stored prediction.
+func TestSystemStreaming(t *testing.T) {
+	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	sys, err := seagull.NewSystem(seagull.SystemConfig{
+		DataDir: t.TempDir(),
+		Stream:  seagull.StreamConfig{Epoch: start},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{Region: "live", Servers: 8, Weeks: 2, Seed: 5})
+	if _, err := sys.LoadFleet(fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWeek(seagull.PipelineConfig{Region: "live", Week: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+	c := seagull.NewClient(srv.URL)
+	stored, err := c.Predictions(context.Background(), "live", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := stored.Predictions
+	if len(preds) == 0 {
+		t.Fatal("no stored predictions")
+	}
+
+	// Feed every server's true telemetry through System.Ingest, running one
+	// server's backup day 45 points hot so it drifts.
+	hotID := preds[0].ServerID
+	hotDay := preds[0].BackupDay
+	for _, srv := range fleet.Servers {
+		load := srv.Load()
+		for i := 0; i < load.Len(); i++ {
+			v := load.Values[i]
+			if v != v { // missing
+				continue
+			}
+			at := load.TimeAt(i)
+			if srv.ID == hotID && !at.Before(hotDay) && at.Before(hotDay.Add(24*time.Hour)) {
+				v += 45
+			}
+			sys.Ingest(srv.ID, at, v)
+		}
+	}
+	if st := sys.Stream().Stats(); st.Appended == 0 || st.Servers != 8 {
+		t.Fatalf("ingest stats = %+v", st)
+	}
+
+	stop := sys.StartRefresher()
+	defer stop()
+
+	// Sweep over the HTTP surface the Handler wires up.
+	resp, err := c.Ingest(context.Background(), serving.IngestRequest{
+		Points: []serving.IngestPoint{{ServerID: hotID, TimeUnix: hotDay.Add(25 * time.Hour).Unix(), Value: 30}},
+		Sweep:  &serving.SweepSpec{Region: "live", Week: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sweep == nil || resp.Sweep.Drifted == 0 || resp.Sweep.Queued == 0 {
+		t.Fatalf("sweep = %+v, want the hot server flagged and queued", resp.Sweep)
+	}
+	found := false
+	for _, id := range resp.Sweep.Servers {
+		if id == hotID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hot server %s missing from drifted set %v", hotID, resp.Sweep.Servers)
+	}
+
+	// The background worker drains the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.Refresher().Stats().Refreshed < uint64(resp.Sweep.Queued) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := sys.Refresher().Stats()
+	if st.Refreshed < uint64(resp.Sweep.Queued) || st.Failed != 0 {
+		t.Fatalf("refresher stats = %+v, want %d refreshed", st, resp.Sweep.Queued)
+	}
+
+	// /varz shows the full operational picture through the facade handler.
+	vz, err := c.Varz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Ingest == nil || vz.Drift == nil || vz.Refresh == nil {
+		t.Fatalf("varz stream sections missing: %+v", vz)
+	}
+	if vz.Drift.Sweeps != 1 || vz.Refresh.Refreshed != uint64(st.Refreshed) {
+		t.Fatalf("varz drift/refresh = %+v / %+v", vz.Drift, vz.Refresh)
+	}
+
+	// StartRefresher is idempotent while running; stop is safe twice.
+	stop2 := sys.StartRefresher()
+	stop2()
+	stop2()
+}
+
+// TestStreamAliases pins the facade re-exports.
+func TestStreamAliases(t *testing.T) {
+	var _ *seagull.Ingestor = stream.NewIngestor(stream.Config{})
+	var _ seagull.StreamConfig = stream.Config{}
+	var _ seagull.DriftReport = stream.Report{}
+	var _ seagull.AppendStatus = stream.Appended
+}
