@@ -42,7 +42,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkFleetGenerationEager|BenchmarkFleetMaterialize|" +
 	"BenchmarkFig11aTrainInfer|" +
 	"BenchmarkServePredict|BenchmarkServeBatch|" +
-	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh"
+	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
+	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper"
 
 type benchResult struct {
 	Name        string  `json:"name"`

@@ -1,9 +1,9 @@
 // Command seagull-serve runs Seagull as an actual server: it wires a System
 // (lake, document store, model registry, pipeline, scheduler) behind the
 // serving layer's v1+v2 REST protocol, with a warm model pool, the online
-// telemetry stream (live ingest + drift-triggered refresh), an optional
-// weekly pipeline cron, readiness reporting and graceful shutdown on
-// SIGINT/SIGTERM.
+// telemetry stream (live ingest + drift-triggered refresh), durable ring
+// snapshots, a background drift sweeper, an optional weekly pipeline cron,
+// readiness reporting and graceful shutdown on SIGINT/SIGTERM.
 //
 // Usage:
 //
@@ -15,20 +15,28 @@
 // Endpoints: GET /healthz, GET /readyz, GET /varz, POST /v1/predict,
 // GET /v1/models, POST /v2/predict, POST /v2/predict/batch, POST /v2/advise,
 // POST /v2/ingest, GET /v2/models, GET /v2/predictions/{region}/{week}.
+// See README.md ("Operations guide") for the full flag and /varz reference.
 //
 // The stream layer (on by default, -stream=false to disable) accepts live
 // telemetry on POST /v2/ingest; a request carrying a "sweep" clause checks
 // the stored predictions of one (region, week) against the live actuals and
 // queues drifted servers for background retraining through the warm pool.
-// -cron re-runs the weekly pipeline per deployed backup region as each
-// dataset week elapses, so deployments refresh without an operator.
+// The same loop also runs itself: every -sweep-interval the background
+// sweeper discovers each region's latest summarized week from the document
+// store and sweeps it with zero client involvement, fanning the resulting
+// retrains across -refresh-workers. -cron re-runs the weekly pipeline per
+// deployed backup region as each dataset week elapses, so deployments
+// refresh without an operator.
 //
 // On SIGTERM the server flips /readyz to draining, stops accepting new
-// connections, waits up to -drain for in-flight requests and exits 0.
+// connections, waits up to -drain for in-flight requests, snapshots the
+// live telemetry rings to the lake (-snapshot, on by default; restored on
+// the next boot so the live window survives restarts) and exits 0.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +53,7 @@ import (
 	"seagull"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
+	"seagull/internal/stream"
 )
 
 func main() {
@@ -63,8 +73,16 @@ func main() {
 		grace = flag.Duration("grace", 0,
 			"delay between flipping /readyz to draining and closing the listener, so load "+
 				"balancers observe the drain before connections are refused (set to your probe interval)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
-		streamOn  = flag.Bool("stream", true, "enable the online telemetry stream (POST /v2/ingest + drift refresh)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
+		streamOn = flag.Bool("stream", true, "enable the online telemetry stream (POST /v2/ingest + drift refresh)")
+		snapshot = flag.Bool("snapshot", true,
+			"restore the live telemetry rings from the lake snapshot on startup and save them on drain, "+
+				"so the stream window survives restarts (requires -stream; pair with -data for durability)")
+		sweepEvery = flag.Duration("sweep-interval", time.Minute,
+			"background drift sweeper tick: every interval, sweep each region's latest summarized week "+
+				"against live telemetry and queue drifted servers for refresh (0 disables; requires -stream)")
+		refreshWorkers = flag.Int("refresh-workers", 0,
+			"concurrent drift retrains in the refresher (0 = one per CPU; 1 = serial)")
 		cronOn    = flag.Bool("cron", false, "run the weekly pipeline automatically for every backup deployment region")
 		cronEpoch = flag.String("cron-epoch", "2019-12-01T00:00:00Z",
 			"dataset epoch (RFC3339): week N covers [epoch+N·week, epoch+(N+1)·week)")
@@ -74,18 +92,21 @@ func main() {
 	flag.Parse()
 
 	cfg := serveConfig{
-		Deploy:    *deploy,
-		DataDir:   *dataDir,
-		Persist:   *persist,
-		Demo:      *demo,
-		Drain:     *drain,
-		Grace:     *grace,
-		Timeout:   *timeout,
-		Stream:    *streamOn,
-		Cron:      *cronOn,
-		CronEpoch: *cronEpoch,
-		CronFirst: *cronFirst,
-		CronLast:  *cronLast,
+		Deploy:         *deploy,
+		DataDir:        *dataDir,
+		Persist:        *persist,
+		Demo:           *demo,
+		Drain:          *drain,
+		Grace:          *grace,
+		Timeout:        *timeout,
+		Stream:         *streamOn,
+		Snapshot:       *snapshot,
+		SweepInterval:  *sweepEvery,
+		RefreshWorkers: *refreshWorkers,
+		Cron:           *cronOn,
+		CronEpoch:      *cronEpoch,
+		CronFirst:      *cronFirst,
+		CronLast:       *cronLast,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,18 +122,25 @@ func main() {
 // serveConfig carries everything serve needs; main fills it from flags and
 // the smoke test builds it directly.
 type serveConfig struct {
-	Deploy    string
-	DataDir   string
-	Persist   bool
-	Demo      bool
-	Drain     time.Duration
-	Grace     time.Duration
-	Timeout   time.Duration
-	Stream    bool
-	Cron      bool
-	CronEpoch string
-	CronFirst int
-	CronLast  int
+	Deploy  string
+	DataDir string
+	Persist bool
+	Demo    bool
+	Drain   time.Duration
+	Grace   time.Duration
+	Timeout time.Duration
+	Stream  bool
+	// Snapshot restores the telemetry rings from the lake on startup and
+	// saves them on drain (stream layer only).
+	Snapshot bool
+	// SweepInterval ticks the background drift sweeper; 0 disables it.
+	SweepInterval time.Duration
+	// RefreshWorkers bounds concurrent drift retrains (0 = one per CPU).
+	RefreshWorkers int
+	Cron           bool
+	CronEpoch      string
+	CronFirst      int
+	CronLast       int
 }
 
 // serve builds the system, wires the service over ln and blocks until ctx is
@@ -124,7 +152,16 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		// which would silently delete the "durable" store on shutdown.
 		return fmt.Errorf("-persist requires -data: a temporary data directory is removed on shutdown")
 	}
-	sys, err := seagull.NewSystem(seagull.SystemConfig{DataDir: cfg.DataDir, Persist: cfg.Persist})
+	workers := cfg.RefreshWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sys, err := seagull.NewSystem(seagull.SystemConfig{
+		DataDir: cfg.DataDir,
+		Persist: cfg.Persist,
+		Refresh: seagull.RefreshConfig{Workers: workers},
+		Sweep:   seagull.SweeperConfig{Interval: cfg.SweepInterval},
+	})
 	if err != nil {
 		return err
 	}
@@ -160,8 +197,28 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		svcCfg.Ingestor = sys.Stream()
 		svcCfg.Drift = sys.Drift()
 		svcCfg.Refresher = sys.Refresher()
+		svcCfg.Sweeper = sys.Sweeper()
 		sys.StartRefresher()
-		fmt.Fprintln(out, "stream layer enabled: POST /v2/ingest (drift sweeps → background refresh), GET /varz")
+		fmt.Fprintf(out, "stream layer enabled: POST /v2/ingest (drift sweeps → background refresh, %d workers), GET /varz\n", workers)
+		if cfg.Snapshot {
+			// Restore the live window a previous run saved on drain. A
+			// missing snapshot is the normal first boot; a damaged or
+			// geometry-mismatched one is logged and cold-started past —
+			// restarts must never be blocked by stale durable state.
+			switch err := sys.RestoreStreamSnapshot(); {
+			case err == nil:
+				st := sys.Stream().Stats()
+				fmt.Fprintf(out, "stream snapshot restored: %d servers live\n", st.Servers)
+			case errors.Is(err, stream.ErrNoSnapshot):
+				fmt.Fprintln(out, "stream snapshot: none stored, cold start")
+			default:
+				fmt.Fprintf(out, "stream snapshot unusable (%v), cold start\n", err)
+			}
+		}
+		if cfg.SweepInterval > 0 {
+			sys.StartSweeper()
+			fmt.Fprintf(out, "background drift sweeper: every %s over each region's latest summarized week\n", cfg.SweepInterval)
+		}
 	}
 	svc := sys.Service(svcCfg)
 
@@ -230,8 +287,25 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
 	defer cancel()
-	if err := server.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	shutdownErr := server.Shutdown(shutdownCtx)
+	if cfg.Stream && cfg.Snapshot {
+		// On a clean drain the listener is closed and in-flight requests
+		// have finished, so the rings are quiescent and the capture is
+		// exact. On a blown drain budget the capture is merely approximate
+		// (WriteSnapshot locks shard by shard under straggling appends) —
+		// an unclean shutdown is precisely when losing the window would
+		// hurt most, so the snapshot is saved either way. The write is
+		// atomic; a crash here leaves the previous snapshot.
+		if err := sys.SaveStreamSnapshot(); err != nil {
+			if shutdownErr != nil {
+				return fmt.Errorf("shutdown: %v; stream snapshot: %w", shutdownErr, err)
+			}
+			return fmt.Errorf("stream snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "stream snapshot saved: %d servers\n", sys.Stream().Stats().Servers)
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
 	}
 	if err := <-errCh; err != nil {
 		return err

@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"net"
+	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
@@ -158,6 +161,256 @@ func TestServeSmoke(t *testing.T) {
 	if c.Healthy() {
 		t.Error("endpoint still serving after shutdown")
 	}
+}
+
+// TestServeBackgroundSweep: the self-driving loop. With -sweep-interval set,
+// the server discovers the demo pipeline's stored week on its own, sweeps it
+// against live telemetry and retrains the drifted server — the client only
+// ever ingests points; no request carries a sweep clause.
+func TestServeBackgroundSweep(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := serveConfig{
+		Deploy:        "backup/bgsweep=pf-prev-day",
+		Demo:          true,
+		Drain:         5 * time.Second,
+		Timeout:       30 * time.Second,
+		Stream:        true,
+		SweepInterval: 50 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ln, testWriter{t}) }()
+
+	c := seagull.NewClient("http://" + ln.Addr().String())
+	waitFor(t, func() bool { return c.Healthy() }, "healthz")
+
+	preds, err := c.Predictions(context.Background(), "bgsweep", 1)
+	if err != nil || len(preds.Predictions) == 0 {
+		t.Fatalf("demo predictions: %v (%d)", err, len(preds.Predictions))
+	}
+	target := preds.Predictions[0]
+
+	// Live telemetry only: history plus a backup day far above the stored
+	// forecast. Zero sweep clauses anywhere in this test.
+	vals := make([]float64, 8*288)
+	for i := range vals {
+		if i < 7*288 {
+			vals[i] = 25
+		} else {
+			vals[i] = target.Values[i-7*288] + 45
+		}
+	}
+	ing, err := c.Ingest(context.Background(), serving.IngestRequest{
+		Servers: []serving.IngestSeries{{
+			ServerID: target.ServerID, Start: target.BackupDay.Add(-7 * 24 * time.Hour),
+			IntervalMin: 5, Values: vals,
+		}},
+	})
+	if err != nil || ing.Accepted == 0 {
+		t.Fatalf("ingest: %v (%+v)", err, ing)
+	}
+	if ing.Sweep != nil {
+		t.Fatal("no sweep was requested; the response must not carry one")
+	}
+
+	// The background loop alone finds and fixes the drift.
+	waitFor(t, func() bool {
+		vz, err := c.Varz(context.Background())
+		if err != nil || vz.Sweeper == nil || vz.Refresh == nil {
+			return false
+		}
+		return vz.Sweeper.Ticks >= 1 && vz.Sweeper.Drifted >= 1 && vz.Refresh.Refreshed >= 1
+	}, "background sweep + refresh observed on /varz")
+
+	refreshed, err := c.Predictions(context.Background(), "bgsweep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, doc := range refreshed.Predictions {
+		if doc.ServerID == target.ServerID && doc.Refreshes >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("drifted server was not republished by the background loop")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// recoveryServe boots serve() on an ephemeral port against dataDir and
+// returns a client plus a shutdown func that drains and waits.
+func recoveryServe(t *testing.T, dataDir string) (*seagull.Client, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := serveConfig{
+		Deploy:   "backup/rec=pf-prev-day",
+		DataDir:  dataDir,
+		Drain:    5 * time.Second,
+		Timeout:  30 * time.Second,
+		Stream:   true,
+		Snapshot: true,
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ln, testWriter{t}) }()
+	c := seagull.NewClient("http://" + ln.Addr().String())
+	waitFor(t, func() bool { return c.Healthy() }, "healthz")
+	return c, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+// livePredict asks the deployed model to forecast from the server-held live
+// window — no history on the wire.
+func livePredict(t *testing.T, c *seagull.Client) (serving.PredictResponseV2, error) {
+	t.Helper()
+	return c.PredictV2(context.Background(), serving.PredictRequestV2{
+		Scenario: "backup", Region: "rec", ServerID: "srv-rec",
+		LiveHistory: true, Horizon: 288, WindowPoints: 12,
+	})
+}
+
+// TestServeSnapshotRecovery is the crash-recovery property test: a server
+// killed mid-window and restarted over the same data dir must serve
+// /v2/predict responses bit-identical to a server that never restarted.
+func TestServeSnapshotRecovery(t *testing.T) {
+	// One deterministic telemetry window, split mid-stream.
+	start := time.Now().UTC().Add(-3 * 24 * time.Hour).Truncate(5 * time.Minute)
+	vals := make([]float64, 2*288)
+	for i := range vals {
+		vals[i] = 20 + float64(i%13)
+	}
+	cut := 400
+	ingest := func(c *seagull.Client, lo, hi int) {
+		t.Helper()
+		resp, err := c.Ingest(context.Background(), serving.IngestRequest{
+			Servers: []serving.IngestSeries{{
+				ServerID: "srv-rec", Start: start.Add(time.Duration(lo) * 5 * time.Minute),
+				IntervalMin: 5, Values: vals[lo:hi],
+			}},
+		})
+		if err != nil || resp.Accepted != hi-lo {
+			t.Fatalf("ingest [%d:%d): %v (%+v)", lo, hi, err, resp)
+		}
+	}
+
+	// Interrupted world: ingest half, die, restart, ingest the rest.
+	dirA := t.TempDir()
+	c1, shutdown1 := recoveryServe(t, dirA)
+	ingest(c1, 0, cut)
+	shutdown1() // SIGTERM path: drain + ring snapshot to the lake
+
+	c2, shutdown2 := recoveryServe(t, dirA)
+	defer shutdown2()
+	// The restored window alone already serves live predictions.
+	if resp, err := livePredict(t, c2); err != nil || len(resp.Forecast.Values) != 288 {
+		t.Fatalf("predict from restored rings: %v", err)
+	}
+	ingest(c2, cut, len(vals))
+	respA, err := livePredict(t, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted world: same telemetry, one process.
+	c3, shutdown3 := recoveryServe(t, t.TempDir())
+	defer shutdown3()
+	ingest(c3, 0, len(vals))
+	respB, err := livePredict(t, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if respA.Model != respB.Model || respA.Version != respB.Version {
+		t.Fatalf("deployment differs: %s v%d vs %s v%d", respA.Model, respA.Version, respB.Model, respB.Version)
+	}
+	if !respA.Forecast.Start.Equal(respB.Forecast.Start) || len(respA.Forecast.Values) != len(respB.Forecast.Values) {
+		t.Fatalf("forecast shape differs: %v/%d vs %v/%d",
+			respA.Forecast.Start, len(respA.Forecast.Values), respB.Forecast.Start, len(respB.Forecast.Values))
+	}
+	for i := range respA.Forecast.Values {
+		if respA.Forecast.Values[i] != respB.Forecast.Values[i] {
+			t.Fatalf("forecast[%d] = %v vs %v: restart is observable", i, respA.Forecast.Values[i], respB.Forecast.Values[i])
+		}
+	}
+	if respA.LLStart != respB.LLStart || respA.LLAvg != respB.LLAvg {
+		t.Fatalf("LL window (%d, %v) vs (%d, %v)", respA.LLStart, respA.LLAvg, respB.LLStart, respB.LLAvg)
+	}
+}
+
+// TestServeSnapshotCorruption: a truncated snapshot file must produce a
+// clean cold start — the server boots, reports healthy and simply has no
+// live telemetry — never a panic or a refused boot.
+func TestServeSnapshotCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c1, shutdown1 := recoveryServe(t, dir)
+	resp, err := c1.Ingest(context.Background(), serving.IngestRequest{
+		Servers: []serving.IngestSeries{{
+			ServerID:    "srv-rec",
+			Start:       time.Now().UTC().Add(-24 * time.Hour).Truncate(5 * time.Minute),
+			IntervalMin: 5, Values: []float64{1, 2, 3, 4, 5},
+		}},
+	})
+	if err != nil || resp.Accepted != 5 {
+		t.Fatalf("ingest: %v (%+v)", err, resp)
+	}
+	shutdown1()
+
+	snapPath := filepath.Join(dir, "lake", "stream", "rings.snap")
+	fi, err := os.Stat(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot not written on drain: %v", err)
+	}
+	if err := os.Truncate(snapPath, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, shutdown2 := recoveryServe(t, dir)
+	defer shutdown2()
+	if !c2.Ready(context.Background()) {
+		t.Fatal("server with a corrupt snapshot should still become ready")
+	}
+	// Cold start: the live window is gone, reported as not_found — not 500.
+	if _, err := livePredict(t, c2); !isAPICode(err, serving.CodeNotFound) {
+		t.Fatalf("predict after corrupt snapshot: %v, want not_found", err)
+	}
+	// The stream still works; the next drain rewrites a good snapshot.
+	if _, err := c2.Ingest(context.Background(), serving.IngestRequest{
+		Points: []serving.IngestPoint{{ServerID: "srv-rec", TimeUnix: time.Now().Unix() - 600, Value: 9}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isAPICode reports whether err is a serving APIError with the given code.
+func isAPICode(err error, code serving.ErrorCode) bool {
+	var apiErr *serving.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == code
 }
 
 func waitFor(t *testing.T, ok func() bool, what string) {

@@ -1,0 +1,69 @@
+package seagull_test
+
+// Markdown hygiene: every relative link in the repo's *.md files must
+// resolve to a real file or directory, so the docs never rot as code moves.
+// External links (http/https/mailto) and pure anchors are out of scope —
+// CI has no network, and anchor validity is an editor concern.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches the target of an inline markdown link: ](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found at the repo root")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			// Skip fenced code blocks: curl bodies and Go snippets are not
+			// links.
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				switch {
+				case strings.HasPrefix(target, "http://"),
+					strings.HasPrefix(target, "https://"),
+					strings.HasPrefix(target, "mailto:"),
+					strings.HasPrefix(target, "#"):
+					continue
+				}
+				// Drop an anchor suffix; what must exist is the file.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				if strings.HasPrefix(target, "/") {
+					t.Errorf("%s:%d: absolute link %q — use a repo-relative path", f, lineNo+1, m[1])
+					continue
+				}
+				if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+					t.Errorf("%s:%d: broken link %q", f, lineNo+1, m[1])
+				}
+			}
+		}
+	}
+}

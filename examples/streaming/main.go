@@ -5,6 +5,10 @@
 // republishes the prediction. A fleet where one server drifted costs one
 // retrain, not a weekly run.
 //
+// The finale is the durability seam: the live rings are snapshotted to the
+// lake, a second System (a "restarted process") restores them, and its
+// live windows are bit-identical — a restart costs nothing re-fed.
+//
 //	go run ./examples/streaming
 package main
 
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"seagull"
@@ -22,9 +27,19 @@ import (
 func main() {
 	log.SetFlags(0)
 
+	// An explicit data dir so a "restarted" System below can find the
+	// snapshot the first one saved (a System-owned temp dir is removed on
+	// Close).
+	dir, err := os.MkdirTemp("", "seagull-streaming-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
 	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
 	sys, err := seagull.NewSystem(seagull.SystemConfig{
-		Stream: seagull.StreamConfig{Epoch: start},
+		DataDir: dir,
+		Stream:  seagull.StreamConfig{Epoch: start},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -136,4 +151,45 @@ func main() {
 	fmt.Printf("\nvarz: ingest appended=%d dup=%d · drift sweeps=%d drifted=%d · refreshed=%d · pool hits=%d misses=%d\n",
 		vz.Ingest.Appended, vz.Ingest.Duplicates, vz.Drift.Sweeps, vz.Drift.Drifted,
 		vz.Refresh.Refreshed, vz.Pool.Hits, vz.Pool.Misses)
+
+	// Restart recovery: snapshot the live rings to the lake (what
+	// seagull-serve does on drain), then bring up a second System over the
+	// same data dir — its restored live windows match the original bit for
+	// bit, so forecasts, drift verdicts and refreshes pick up where the
+	// dead process left off instead of waiting for a month of re-fed
+	// telemetry.
+	if err := sys.SaveStreamSnapshot(); err != nil {
+		log.Fatal(err)
+	}
+	restarted, err := seagull.NewSystem(seagull.SystemConfig{
+		DataDir: dir,
+		Stream:  seagull.StreamConfig{Epoch: start},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restarted.Close()
+	if err := restarted.RestoreStreamSnapshot(); err != nil {
+		log.Fatal(err)
+	}
+	identical := 0
+	for _, s := range fleet.Servers {
+		before, ok1 := sys.Stream().View(s.ID)
+		after, ok2 := restarted.Stream().View(s.ID)
+		if ok1 && ok2 && before.Len() == after.Len() {
+			same := true
+			for i := range before.Values {
+				a, b := before.Values[i], after.Values[i]
+				if a != b && !(a != a && b != b) { // NaN slots compare equal
+					same = false
+					break
+				}
+			}
+			if same {
+				identical++
+			}
+		}
+	}
+	fmt.Printf("\nrestart recovery: snapshot → restore brought back %d/%d live windows bit-identical\n",
+		identical, len(fleet.Servers))
 }

@@ -4,6 +4,11 @@
 // 15-minute granularity with the shared model zoo, and evaluates prediction
 // error with the standard metrics of Appendix A.2 (mean NRMSE and MASE) —
 // the data behind Figures 16 and 17.
+//
+// Concurrency: evaluation entry points are stateless and safe to call from
+// multiple goroutines; the forecast models they build internally are not
+// shared. Equivalence: every run is deterministic per (model, seed, input),
+// so evaluation rows are reproducible bit for bit.
 package autoscale
 
 import (

@@ -6,6 +6,12 @@
 //
 // The classification drives model choice (Section 5.2) and reproduces the
 // population breakdown of Figure 3.
+//
+// Concurrency: Categorize and the feature helpers are pure; a Scratch is
+// single-goroutine state — parallel sweeps allocate one per worker (see
+// parallel.ForEachScratch). Equivalence: CategorizeScratch is pinned
+// bit-identical to Categorize (scratch_test.go); buffer reuse is never
+// allowed to change a verdict.
 package classify
 
 import (

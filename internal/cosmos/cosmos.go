@@ -3,6 +3,12 @@
 // pipeline's predictions and accuracy results. It is an in-process store
 // with optional durability to disk — the paper only exercises
 // write-then-read-by-key semantics.
+//
+// Concurrency: DB and Collection are safe for concurrent use (collections
+// are independently RW-locked; Query holds a collection's read lock for the
+// whole iteration, so callbacks must not write back into the same
+// collection). Durability: writes are applied in memory and persisted by
+// Flush; a persistent DB reloads every collection on Open.
 package cosmos
 
 import (

@@ -3,6 +3,13 @@
 // Each experiment is a named, parameterized run that produces tables
 // comparable to the paper's figures; cmd/seagull-experiments renders them
 // and bench_test.go wraps them as benchmarks.
+//
+// Concurrency: experiments share bounded parallel.Pool workers with
+// per-worker model arenas (one scratch-retaining model set per worker, no
+// locking on the hot path); fleets are memoized in a bounded LRU guarded by
+// a mutex. Equivalence: every experiment is deterministic per (config,
+// seed) regardless of worker count — partitioned runs must reproduce the
+// single-threaded tables exactly, which the smoke tests rely on.
 package experiments
 
 import (

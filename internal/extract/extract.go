@@ -4,6 +4,12 @@
 // telemetry is the simulated fleet; the extraction writes one CSV object per
 // region per week into the lake, and the ingestion side reads such an object
 // back into per-server series for the pipeline.
+//
+// Concurrency: extraction and ingestion are stateless functions over the
+// lake; distinct (region, week) objects may be processed concurrently.
+// Equivalence: extract → ingest round-trips a fleet's telemetry exactly (the
+// CSV codec is lossless for the paper's value precision), so the pipeline
+// sees the same series the simulator generated.
 package extract
 
 import (

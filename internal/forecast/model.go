@@ -6,6 +6,17 @@
 //
 // Any model can be plugged into the Seagull pipeline through the Model
 // interface (Section 2.1's modularity principle).
+//
+// Concurrency: a Model is NOT safe for concurrent use — models retain
+// scratch buffers, weights and RNG state across Train calls precisely so
+// repeated training is allocation-lean; give each goroutine its own
+// instance (the serving pool and the experiment worker arenas do).
+// Equivalence guarantees, all pinned by *_equiv_test.go: retraining a
+// retained model equals training a fresh one bit for bit; the fast paths
+// (SSA randomized SVD, FFNN minibatching) are opt-in and pinned against the
+// exact/historical loops; models advertising InferenceDeterministic produce
+// identical forecasts from identical trained state, which lets servers skip
+// retrains on byte-identical histories.
 package forecast
 
 import (

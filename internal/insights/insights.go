@@ -3,6 +3,9 @@
 // the paper's on-call engineers watch, and raises incidents for the
 // conditions the paper lists — "missing or invalid input data, errors or
 // exceptions in any step of the pipeline, and failed model deployment".
+//
+// Concurrency: the Dashboard is safe for concurrent use; recorders and
+// summarizers may run from pipeline goroutines and HTTP handlers at once.
 package insights
 
 import (

@@ -6,6 +6,16 @@
 // The paper's input files "contain server identifier, timestamp in minutes,
 // average user CPU load percentage per five minutes, default backup start
 // and end timestamps"; Row and the CSV codec implement exactly that layout.
+//
+// Beyond the weekly extracts, the lake stores named auxiliary objects (see
+// object.go) — notably the stream layer's ring snapshots — with atomic
+// replace semantics: an object write is staged and renamed into place on
+// Close, so readers never observe a torn object and a crash mid-write
+// leaves the previous version intact.
+//
+// Concurrency: a Store is safe for concurrent use as far as the underlying
+// file system is — distinct objects never interfere, and concurrent writers
+// of the same object serialize on the final rename (last Close wins whole).
 package lake
 
 import (

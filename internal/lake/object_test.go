@@ -1,0 +1,197 @@
+package lake
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.ObjectWriter("stream/rings.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello rings")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.ObjectReader("stream/rings.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if string(got) != "hello rings" {
+		t.Fatalf("read %q", got)
+	}
+	if err := s.RemoveObject("stream/rings.snap"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ObjectReader("stream/rings.snap"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after remove: err = %v, want ErrNotFound", err)
+	}
+	// Idempotent removal.
+	if err := s.RemoveObject("stream/rings.snap"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ObjectReader("no/such/object"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestObjectBadNames(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "/abs", "../escape", "a/../../b", "x.tmp"} {
+		if _, err := s.ObjectWriter(name); !errors.Is(err, ErrBadObjectName) {
+			t.Errorf("ObjectWriter(%q) err = %v, want ErrBadObjectName", name, err)
+		}
+		if _, err := s.ObjectReader(name); !errors.Is(err, ErrBadObjectName) {
+			t.Errorf("ObjectReader(%q) err = %v, want ErrBadObjectName", name, err)
+		}
+	}
+	if p := s.ObjectPath("../escape"); p != "" {
+		t.Errorf("ObjectPath escaped the root: %q", p)
+	}
+}
+
+// TestObjectAtomicReplace pins the crash-safety property the ring snapshots
+// rely on: an in-progress write never disturbs the published object, and a
+// completed Close replaces it atomically.
+func TestObjectAtomicReplace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(content string) {
+		w, err := s.ObjectWriter("snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("v1")
+
+	// Stage a second write but do not close: the published object must still
+	// read as v1.
+	w, err := s.ObjectWriter("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("v2-partial")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.ObjectReader("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != "v1" {
+		t.Fatalf("mid-write read %q, want v1", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = s.ObjectReader("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(r)
+	r.Close()
+	if string(got) != "v2-partial" {
+		t.Fatalf("after close read %q", got)
+	}
+
+	// No staging litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(s.ObjectPath("snap")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), objectTempSuffix) {
+			t.Errorf("staging file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestObjectConcurrentWriters: simultaneous writers of the same object each
+// stage to their own temp file, so the published object is always one
+// writer's complete bytes — never an interleaving.
+func TestObjectConcurrentWriters(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	contents := make([]string, writers)
+	for i := range contents {
+		contents[i] = strings.Repeat(string(rune('a'+i)), 4096)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := s.ObjectWriter("shared")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := io.WriteString(w, contents[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	r, err := s.ObjectReader("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	whole := false
+	for _, c := range contents {
+		if string(got) == c {
+			whole = true
+		}
+	}
+	if !whole {
+		t.Fatalf("published object is not any single writer's bytes (len %d)", len(got))
+	}
+}

@@ -6,6 +6,13 @@
 // The implementation favours clarity and numerical robustness over raw speed;
 // the matrices involved in Seagull's per-server models are tiny (a few
 // hundred rows at most).
+//
+// Concurrency: matrices and scratch types (RidgeScratch, SVD scratch) are
+// plain buffers with no internal locking — share nothing across goroutines.
+// Equivalence: the *Into/*Scratch fast paths are pinned against the naive
+// implementations (fastpath_test.go: exact bit-equality where the
+// computation is reordered-free, ≤1e-9 where accumulation order changes);
+// the randomized SVD is deterministic per seed.
 package linalg
 
 import (

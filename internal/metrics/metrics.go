@@ -2,6 +2,12 @@
 // for low-load prediction (Definitions 1–9) as well as the standard error
 // metrics used by the SQL auto-scale scenario (Appendix A.2): mean normalized
 // root mean squared error and mean absolute scaled error.
+//
+// Concurrency: every function is pure (no package state) and safe to call
+// concurrently; series arguments are read-only and may be zero-copy views.
+// Missing observations follow one convention everywhere: NaN slots are
+// skipped, and BucketRatioCount reports how many usable pairs a verdict
+// actually covered so thin coverage is never mistaken for accuracy.
 package metrics
 
 import (

@@ -3,6 +3,17 @@
 // partitions concurrently. The paper reports 3–4.6× speedups for accuracy
 // evaluation; Figure 12(b)'s single-threaded vs parallel comparison runs on
 // this pool.
+//
+// Concurrency contract: a Pool carries no per-run state, so one pool may be
+// shared by any number of concurrent ForEach loops; item functions run on
+// pool goroutines and must synchronize any shared writes themselves (the
+// ForEachScratch variants hand each worker private scratch for exactly that
+// reason). Item errors are collected, not cancelling — every index still
+// runs; only context cancellation (ForEachCtx) stops new claims, with
+// in-flight items finishing. Equivalence: scheduling policy and worker
+// count affect wall clock only, never which indices run or how often —
+// callers owning deterministic per-item work get deterministic aggregate
+// results at any worker count.
 package parallel
 
 import (

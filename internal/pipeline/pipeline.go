@@ -5,6 +5,14 @@
 // for every server due for backup, evaluates prediction accuracy against the
 // actuals that arrived since the previous run, stores results in the Cosmos
 // DB analog, and reports stage timings and incidents to the dashboard.
+//
+// Concurrency: a Pipeline is safe for concurrent runs over distinct
+// (region, week) pairs — runs share the substrates but write disjoint
+// documents (failure_test.go pins the isolation). Cancelling a run's ctx
+// abandons it at the next stage boundary or server partition and records it
+// as failed. Equivalence: RunWeek is deterministic per (config, stored
+// extract) — the stream layer's refresh path is pinned bit-identical to it,
+// and the Cron replays are pinned against operator-triggered runs.
 package pipeline
 
 import (

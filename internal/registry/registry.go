@@ -4,6 +4,12 @@
 // known-good version when accuracy regresses — "Seagull continually
 // re-evaluates accuracy of predictions, falls back to previously known good
 // models and triggers alerts as appropriate".
+//
+// Concurrency: the Registry is safe for concurrent use. Watch subscribes a
+// callback to deployment changes (Deploy/Fallback); callbacks run
+// synchronously under the registry lock, so they must be fast and must not
+// call back into the registry — the serving pool uses them only to bump
+// invalidation generations.
 package registry
 
 import (

@@ -7,6 +7,10 @@
 // A Runner executes registered probes (service health checks) and jobs (the
 // backup scheduler) on a cadence, accumulating availability and latency
 // statistics per probe.
+//
+// Concurrency: a Runner is safe for concurrent use; probes and jobs execute
+// on the runner's own goroutines and stats snapshots may be read at any
+// time. Stop is idempotent and waits for in-flight work.
 package runner
 
 import (

@@ -10,6 +10,12 @@
 // how many backups moved into correctly chosen LL windows, how many default
 // windows already were LL windows, and how many collisions with peak
 // customer activity were avoided for busy servers.
+//
+// Concurrency: the Scheduler and FabricStore are safe for concurrent use;
+// ScheduleWeek observes its ctx between servers. Equivalence: scheduling is
+// a pure function of the stored predictions and evaluation history, so
+// re-running a week over unchanged documents reproduces identical
+// decisions.
 package scheduler
 
 import (

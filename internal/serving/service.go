@@ -51,12 +51,16 @@ type ServiceConfig struct {
 	// Default 1<<20 (one million — ~8 MiB of values, inside the body limit).
 	MaxIngestPoints int
 	// Ingestor, when set, enables the POST /v2/ingest endpoint feeding the
-	// stream layer; Drift and Refresher additionally let an ingest call run
-	// a drift sweep and queue drifted servers for refresh. All three also
-	// surface their counters on /varz.
+	// stream layer (and live_history predicts); Drift and Refresher
+	// additionally let an ingest call run a drift sweep and queue drifted
+	// servers for refresh. All three also surface their counters on /varz.
 	Ingestor  *stream.Ingestor
 	Drift     *stream.DriftDetector
 	Refresher *stream.Refresher
+	// Sweeper, when set, surfaces the background drift sweeper's counters
+	// on /varz. The service never drives the sweeper — its loop runs in the
+	// owning process (seagull-serve, or System.StartSweeper).
+	Sweeper *stream.Sweeper
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -241,6 +245,27 @@ func (s *Service) Predict(ctx context.Context, req PredictRequestV2) (PredictRes
 }
 
 func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimits bool) (PredictResponseV2, *ServiceError) {
+	if req.LiveHistory {
+		if s.cfg.Ingestor == nil {
+			return PredictResponseV2{}, svcErr(CodeNotFound, http.StatusNotFound,
+				"live_history requires a stream ingestor attached to this service")
+		}
+		if req.ServerID == "" {
+			return PredictResponseV2{}, badRequest("live_history requires server_id")
+		}
+		if len(req.History.Values) != 0 {
+			return PredictResponseV2{}, badRequest("live_history and history are mutually exclusive")
+		}
+		// Stable copy of the live window: training is long and zero-copy
+		// views are only valid under the shard lock. Missing slots stay
+		// missing; models gap-fill exactly as they do on batch extracts.
+		snap, ok := s.cfg.Ingestor.SnapshotInto(req.ServerID, nil)
+		if !ok {
+			return PredictResponseV2{}, svcErr(CodeNotFound, http.StatusNotFound,
+				"no live telemetry for server %q", req.ServerID)
+		}
+		req.History = FromSeries(snap)
+	}
 	if serr := s.validateSeries(req.History, req.Horizon, req.WindowPoints, enforceLimits); serr != nil {
 		return PredictResponseV2{}, serr
 	}

@@ -18,6 +18,17 @@
 //	POST /v2/advise                        customer backup-window review
 //	GET  /v2/models                        deployments + pool statistics
 //	GET  /v2/predictions/{region}/{week}   stored pipeline predictions
+//	POST /v2/ingest                        live telemetry (stream layer)
+//	GET  /varz                             operational counters
+//
+// Concurrency: one Service is meant to carry a process's whole traffic; all
+// endpoints are safe for concurrent use, pool checkouts hand exclusive
+// instances, and /varz counters are atomics off the request path.
+// Equivalence: a warm-pool forecast is pinned bit-identical to a fresh
+// model's (pool_test.go), and a /v2/predict carrying live_history returns
+// exactly what the same request with the explicit live window would — pool
+// reuse and server-side history are latency optimizations, never accuracy
+// trades.
 package serving
 
 import (

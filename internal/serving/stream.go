@@ -85,12 +85,16 @@ type IngestRequest struct {
 
 // SweepResult reports the drift sweep an ingest call ran.
 type SweepResult struct {
-	Region  string   `json:"region"`
-	Week    int      `json:"week"`
-	Checked int      `json:"checked"`
-	Drifted int      `json:"drifted"`
-	Skipped int      `json:"skipped"`
-	Queued  int      `json:"queued"` // drifted servers newly queued for refresh
+	Region  string `json:"region"`
+	Week    int    `json:"week"`
+	Checked int    `json:"checked"`
+	Drifted int    `json:"drifted"`
+	Skipped int    `json:"skipped"`
+	Queued  int    `json:"queued"` // drifted servers newly queued for refresh
+	// Dropped counts drifted servers the full refresh queue rejected — the
+	// backpressure signal. A server that stays drifted is re-found by the
+	// next sweep, so a drop delays its refresh rather than losing it.
+	Dropped int      `json:"dropped,omitempty"`
 	Servers []string `json:"drifted_servers,omitempty"`
 }
 
@@ -197,7 +201,7 @@ func (s *Service) Ingest(ctx context.Context, req IngestRequest) (IngestResponse
 			sr.Servers = append(sr.Servers, sd.ServerID)
 		}
 		if s.cfg.Refresher != nil {
-			sr.Queued = s.cfg.Refresher.EnqueueReport(rep)
+			sr.Queued, sr.Dropped = s.cfg.Refresher.EnqueueReport(rep)
 		}
 		resp.Sweep = sr
 	}

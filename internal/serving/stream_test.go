@@ -213,6 +213,106 @@ func hasCode(err error, code ErrorCode) bool {
 	return ok && apiErr.Code == code
 }
 
+// TestPredictLiveHistory: a predict sourcing its history from the ingestor's
+// live window returns the same response as one carrying the identical
+// history explicitly — clients that stream telemetry need not re-upload it.
+func TestPredictLiveHistory(t *testing.T) {
+	c, _, reg, _, ing := streamServer(t)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "r"}, forecast.NamePersistentPrevDay, "")
+	ctx := context.Background()
+	epoch := ing.Epoch()
+
+	hist := make([]float64, 2*288)
+	for i := range hist {
+		hist[i] = float64(10 + i%7)
+	}
+	if _, err := c.Ingest(ctx, IngestRequest{Servers: []IngestSeries{
+		{ServerID: "srv", Start: epoch, IntervalMin: 5, Values: hist},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := c.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", ServerID: "srv",
+		LiveHistory: true, Horizon: 288, WindowPoints: 12,
+	})
+	if err != nil {
+		t.Fatalf("live-history predict: %v", err)
+	}
+	explicit, err := c.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", ServerID: "srv",
+		History: SeriesJSON{Start: epoch, IntervalMin: 5, Values: hist},
+		Horizon: 288, WindowPoints: 12,
+	})
+	if err != nil {
+		t.Fatalf("explicit predict: %v", err)
+	}
+	if len(live.Forecast.Values) != len(explicit.Forecast.Values) {
+		t.Fatalf("forecast lengths %d vs %d", len(live.Forecast.Values), len(explicit.Forecast.Values))
+	}
+	for i := range live.Forecast.Values {
+		if live.Forecast.Values[i] != explicit.Forecast.Values[i] {
+			t.Fatalf("forecast[%d] = %v vs %v", i, live.Forecast.Values[i], explicit.Forecast.Values[i])
+		}
+	}
+	if live.LLStart != explicit.LLStart || live.LLAvg != explicit.LLAvg {
+		t.Fatalf("LL window (%d, %v) vs (%d, %v)", live.LLStart, live.LLAvg, explicit.LLStart, explicit.LLAvg)
+	}
+
+	// Validation: unknown server, missing server_id, both histories at once,
+	// and a service without an ingestor.
+	if _, err := c.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", ServerID: "ghost", LiveHistory: true, Horizon: 288,
+	}); !hasCode(err, CodeNotFound) {
+		t.Errorf("unknown server: %v", err)
+	}
+	if _, err := c.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", LiveHistory: true, Horizon: 288,
+	}); !hasCode(err, CodeBadRequest) {
+		t.Errorf("missing server_id: %v", err)
+	}
+	if _, err := c.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", ServerID: "srv", LiveHistory: true,
+		History: SeriesJSON{Start: epoch, IntervalMin: 5, Values: hist}, Horizon: 288,
+	}); !hasCode(err, CodeBadRequest) {
+		t.Errorf("both histories: %v", err)
+	}
+	reg2 := registry.New(nil)
+	reg2.Deploy(registry.Target{Scenario: "backup", Region: "r"}, forecast.NamePersistentPrevDay, "")
+	cBare := NewClient(newTestHTTPServer(t, NewService(reg2, nil, ServiceConfig{})))
+	if _, err := cBare.PredictV2(ctx, PredictRequestV2{
+		Scenario: "backup", Region: "r", ServerID: "srv", LiveHistory: true, Horizon: 288,
+	}); !hasCode(err, CodeNotFound) {
+		t.Errorf("no ingestor: %v", err)
+	}
+}
+
+// TestVarzSweeper: an attached background sweeper surfaces its counters on
+// /varz.
+func TestVarzSweeper(t *testing.T) {
+	db, err := cosmos.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(nil)
+	ing := stream.NewIngestor(stream.Config{})
+	det := stream.NewDriftDetector(ing, db, stream.DriftConfig{})
+	sw := stream.NewSweeper(db, det, nil, stream.SweeperConfig{})
+	svc := NewService(reg, db, ServiceConfig{Ingestor: ing, Drift: det, Sweeper: sw})
+	c := NewClient(newTestHTTPServer(t, svc))
+
+	if err := sw.SweepOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	vz, err := c.Varz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Sweeper == nil || vz.Sweeper.Ticks != 1 {
+		t.Fatalf("varz sweeper = %+v, want one tick", vz.Sweeper)
+	}
+}
+
 // TestIngestRaw exercises the wire shape directly (field names are a
 // compatibility surface).
 func TestIngestRaw(t *testing.T) {

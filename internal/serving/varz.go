@@ -65,6 +65,7 @@ type Varz struct {
 	Ingest    *stream.Stats           `json:"ingest,omitempty"`
 	Drift     *stream.DriftStats      `json:"drift,omitempty"`
 	Refresh   *stream.RefreshStats    `json:"refresh,omitempty"`
+	Sweeper   *stream.SweeperStats    `json:"sweeper,omitempty"`
 }
 
 // varz tracks every instrumented endpoint for one service.
@@ -151,6 +152,10 @@ func (s *Service) VarzSnapshot() Varz {
 	if s.cfg.Refresher != nil {
 		st := s.cfg.Refresher.Stats()
 		out.Refresh = &st
+	}
+	if s.cfg.Sweeper != nil {
+		st := s.cfg.Sweeper.Stats()
+		out.Sweeper = &st
 	}
 	return out
 }

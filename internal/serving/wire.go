@@ -73,6 +73,13 @@ type PredictRequestV2 struct {
 	// window of that length over the forecast (Definition 7) — the quantity
 	// the backup scheduler consumes — so clients need not recompute it.
 	WindowPoints int `json:"window_points,omitempty"`
+	// LiveHistory asks the server to source the training history from the
+	// attached stream ingestor's live window for ServerID instead of a
+	// client-supplied History (the two are mutually exclusive). Clients that
+	// already stream telemetry through /v2/ingest need not re-upload it to
+	// predict, and the response is identical whether the window was fed
+	// continuously or restored from a ring snapshot after a restart.
+	LiveHistory bool `json:"live_history,omitempty"`
 }
 
 // PredictResponseV2 carries the forecast, the serving model's identity, and

@@ -9,6 +9,12 @@
 // unstable without pattern, short-lived — are mixed according to the
 // population shares the paper reports in Figure 3, and every stochastic
 // choice is driven by an explicit seed so experiments are reproducible.
+//
+// Concurrency: fleets materialize telemetry lazily behind a per-server
+// sync.Once, so concurrent readers of Server.Load are safe; mutating a
+// returned series is not (View/FillGaps/Clone copy before mutating).
+// Equivalence: lazy and eager generation are pinned to produce identical
+// series per seed, and metadata queries never force materialization.
 package simulate
 
 import (

@@ -115,12 +115,22 @@ func (f *eqFixture) feed(t *testing.T, ing *stream.Ingestor, perturbID string, f
 	}
 }
 
-// warmRefresher builds a refresher over the serving layer's warm model pool.
-func warmRefresher(t *testing.T, f *eqFixture, ing *stream.Ingestor) *stream.Refresher {
+// zeroTime marks "no perturbation window" in feed calls.
+var zeroTime time.Time
+
+// newWarmPool builds the serving layer's warm model pool bound to the
+// fixture's registry, adapted to the stream refresher's Pool interface.
+func newWarmPool(t *testing.T, f *eqFixture) stream.Pool {
 	t.Helper()
 	pool := serving.NewModelPool(serving.PoolConfig{})
 	t.Cleanup(pool.Bind(f.reg))
-	return stream.NewRefresher(ing, f.db, f.reg, serving.StreamPool(pool), stream.RefreshConfig{})
+	return serving.StreamPool(pool)
+}
+
+// warmRefresher builds a refresher over the serving layer's warm model pool.
+func warmRefresher(t *testing.T, f *eqFixture, ing *stream.Ingestor) *stream.Refresher {
+	t.Helper()
+	return stream.NewRefresher(ing, f.db, f.reg, newWarmPool(t, f), stream.RefreshConfig{})
 }
 
 // TestRefreshEquivalentToRunWeek: refreshing an undrifted fleet from live
@@ -235,8 +245,8 @@ func TestDriftTriggersPartialRefresh(t *testing.T) {
 
 	// Queue and drain: only the drifted servers retrain.
 	r := warmRefresher(t, f, hot)
-	if queued := r.EnqueueReport(rep); queued != len(drifted) {
-		t.Fatalf("queued %d, want %d", queued, len(drifted))
+	if queued, dropped := r.EnqueueReport(rep); queued != len(drifted) || dropped != 0 {
+		t.Fatalf("queued %d (dropped %d), want %d queued", queued, dropped, len(drifted))
 	}
 	if err := r.Drain(ctx); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,137 @@
+package stream_test
+
+// Pins the parallel refresher drain: fanning the CPU-bound retrains across
+// parallel.Pool workers republishes PredictionDocs bit-identical to a serial
+// drain. Jobs are deduplicated per (region, server, week) and touch disjoint
+// documents, and every retrain is deterministic, so the worker count is pure
+// throughput, never an accuracy or ordering trade.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"seagull/internal/forecast"
+	"seagull/internal/stream"
+)
+
+// drainDocs builds a fixture, queues every stored week-1 prediction for
+// refresh and drains with the given worker count, returning the republished
+// docs. Fixtures are deterministic (same fleet seed, same pipeline), so two
+// calls start from bit-identical stored state.
+func drainDocs(t *testing.T, model string, workers int) map[string]docKey {
+	t.Helper()
+	f := newEqFixture(t, model)
+	ing := stream.NewIngestor(stream.Config{Epoch: f.start, Slots: 8064})
+	f.feed(t, ing, "", zeroTime, zeroTime, 0)
+
+	pool := newWarmPool(t, f)
+	r := stream.NewRefresher(ing, f.db, f.reg, pool, stream.RefreshConfig{Workers: workers})
+	queued := 0
+	for id := range f.docs {
+		ok, err := r.Enqueue(eqRegion, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			queued++
+		}
+	}
+	if queued != len(f.docs) {
+		t.Fatalf("queued %d, want %d", queued, len(f.docs))
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Refreshed != uint64(queued) || st.Failed != 0 || st.Pending != 0 {
+		t.Fatalf("drain stats = %+v, want %d refreshed, none failed or pending", st, queued)
+	}
+
+	out := map[string]docKey{}
+	for id, doc := range f.storedDocs(t) {
+		out[id] = docKey{
+			model:     doc.Model,
+			llStart:   doc.LLStart,
+			llAvgBits: math.Float64bits(doc.LLAvg),
+			refreshes: doc.Refreshes,
+			valueBits: valueBits(doc.Values),
+		}
+	}
+	return out
+}
+
+type docKey struct {
+	model     string
+	llStart   int
+	llAvgBits uint64
+	refreshes int
+	valueBits string
+}
+
+func valueBits(vals []float64) string {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>s))
+		}
+	}
+	return string(buf)
+}
+
+func TestParallelDrainEquivalentToSerial(t *testing.T) {
+	for _, model := range []string{forecast.NamePersistentPrevDay, forecast.NameSSA} {
+		t.Run(model, func(t *testing.T) {
+			serial := drainDocs(t, model, 1)
+			parallel4 := drainDocs(t, model, 4)
+			if len(serial) != len(parallel4) {
+				t.Fatalf("doc counts differ: %d vs %d", len(serial), len(parallel4))
+			}
+			for id, want := range serial {
+				got, ok := parallel4[id]
+				if !ok {
+					t.Fatalf("parallel drain lost %s", id)
+				}
+				if got != want {
+					t.Fatalf("%s: parallel drain differs from serial:\n got %+v\nwant %+v", id, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDrainCancelAbandonsQueue: a cancelled context stops the drain without
+// failing jobs it never claimed; they remain refreshable later.
+func TestDrainCancelAbandonsQueue(t *testing.T) {
+	f := newEqFixture(t, forecast.NamePersistentPrevDay)
+	ing := stream.NewIngestor(stream.Config{Epoch: f.start, Slots: 8064})
+	f.feed(t, ing, "", zeroTime, zeroTime, 0)
+	r := stream.NewRefresher(ing, f.db, f.reg, newWarmPool(t, f), stream.RefreshConfig{Workers: 2})
+	for id := range f.docs {
+		if _, err := r.Enqueue(eqRegion, id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Drain(ctx); err != context.Canceled {
+		t.Fatalf("drain err = %v, want context.Canceled", err)
+	}
+	st := r.Stats()
+	if st.Refreshed != 0 {
+		t.Fatalf("cancelled drain refreshed %d servers", st.Refreshed)
+	}
+	// The batch was taken off the queue; a fresh enqueue+drain still works.
+	for id := range f.docs {
+		if _, err := r.Enqueue(eqRegion, id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Refreshed != uint64(len(f.docs)) {
+		t.Fatalf("post-cancel drain refreshed %d, want %d", st.Refreshed, len(f.docs))
+	}
+}

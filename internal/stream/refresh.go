@@ -13,6 +13,7 @@ import (
 	"seagull/internal/cosmos"
 	"seagull/internal/forecast"
 	"seagull/internal/metrics"
+	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
 	"seagull/internal/timeseries"
@@ -88,6 +89,14 @@ type RefreshConfig struct {
 	MinDays int
 	// QueueSize bounds the pending refresh queue; default 1024.
 	QueueSize int
+	// Workers bounds how many retrains Run and Drain execute concurrently.
+	// Default 1 (serial — the right choice on the single-CPU benchmark
+	// host); multi-core hosts raise it and retrain drifted fleets in
+	// parallel. Results are independent of the worker count: jobs touch
+	// disjoint documents (the dedup queue holds at most one job per
+	// (region, server, week)) and every retrain is deterministic, which the
+	// drain equivalence test pins.
+	Workers int
 	// Collection is the cosmos collection holding PredictionDocs. Default
 	// "predictions".
 	Collection string
@@ -108,6 +117,9 @@ func (c RefreshConfig) withDefaults() RefreshConfig {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	if c.Collection == "" {
 		c.Collection = "predictions"
@@ -201,47 +213,88 @@ func (r *Refresher) Enqueue(region, serverID string, week int) (queued bool, err
 	}
 }
 
-// EnqueueReport queues every drifted server of a sweep report and returns
-// how many were newly queued (coalesced and rejected enqueues excluded).
-func (r *Refresher) EnqueueReport(rep Report) int {
-	n := 0
+// EnqueueReport queues every drifted server of a sweep report. queued is how
+// many newly entered the queue (coalesced enqueues excluded); dropped is how
+// many a full queue rejected — the backpressure signal callers surface
+// instead of silently discarding (a server that stays drifted is re-found
+// and re-queued by the next sweep, so a drop delays its refresh rather than
+// losing it).
+func (r *Refresher) EnqueueReport(rep Report) (queued, dropped int) {
 	for _, sd := range rep.DriftedServers {
-		if queued, _ := r.Enqueue(rep.Region, sd.ServerID, rep.Week); queued {
-			n++
+		ok, err := r.Enqueue(rep.Region, sd.ServerID, rep.Week)
+		switch {
+		case ok:
+			queued++
+		case errors.Is(err, ErrQueueFull):
+			dropped++
 		}
 	}
-	return n
+	return queued, dropped
 }
 
-// Run drains the refresh queue until ctx is cancelled. Refresh failures are
-// counted, not fatal. Run returns ctx.Err; it is meant to be launched on its
-// own goroutine (seagull.System.StartRefresher does).
+// Run drains the refresh queue until ctx is cancelled, fanning retrains
+// across Workers goroutines (each with its own snapshot scratch; the warm
+// pool hands every checkout an exclusive instance, so workers never share
+// model state). Refresh failures are counted, not fatal. Run returns
+// ctx.Err; it is meant to be launched on its own goroutine
+// (seagull.System.StartRefresher does).
 func (r *Refresher) Run(ctx context.Context) error {
-	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case j := <-r.jobs:
-			r.take(j)
-			_ = r.RefreshServer(ctx, j.region, j.serverID, j.week)
-		}
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []float64
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j := <-r.jobs:
+					r.take(j)
+					_ = r.refreshCounted(ctx, j.region, j.serverID, j.week, &scratch)
+				}
+			}
+		}()
 	}
+	wg.Wait()
+	return ctx.Err()
 }
 
-// Drain synchronously processes every currently queued job — the test and
-// walkthrough hook, where a background worker would force sleeps.
+// Drain synchronously processes every job queued at the time of the call,
+// fanning the CPU-bound retrains across a bounded parallel.Pool of Workers
+// (per-worker snapshot scratch, ctx-aware: cancelling abandons jobs not yet
+// claimed while in-flight retrains finish). Jobs queued concurrently with
+// the drain stay queued for the next drain or the background Run worker.
+// The republished documents are bit-identical to a serial drain — jobs are
+// deduplicated per (region, server, week), touch disjoint documents, and
+// retrain deterministically — which the parallel-equivalence test pins.
 func (r *Refresher) Drain(ctx context.Context) error {
+	var batch []job
 	for {
 		select {
-		case <-ctx.Done():
-			return ctx.Err()
 		case j := <-r.jobs:
 			r.take(j)
-			_ = r.RefreshServer(ctx, j.region, j.serverID, j.week)
+			batch = append(batch, j)
+			continue
 		default:
-			return nil
 		}
+		break
 	}
+	if len(batch) == 0 {
+		return ctx.Err()
+	}
+	workers := r.cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	pool := parallel.NewPool(workers)
+	return parallel.ForEachScratchCtx(ctx, pool, len(batch),
+		func() *[]float64 { return new([]float64) },
+		func(i int, scratch *[]float64) error {
+			j := batch[i]
+			_ = r.refreshCounted(ctx, j.region, j.serverID, j.week, scratch)
+			return nil
+		})
 }
 
 // take clears a job's pending mark once it leaves the queue.
@@ -257,7 +310,17 @@ func (r *Refresher) take(j job) {
 // immediately before the predicted day, at least MinDays), so for identical
 // telemetry the refreshed forecast is bit-identical to a full weekly run.
 func (r *Refresher) RefreshServer(ctx context.Context, region, serverID string, week int) error {
-	err := r.refresh(ctx, region, serverID, week)
+	r.scratchMu.Lock()
+	defer r.scratchMu.Unlock()
+	return r.refreshCounted(ctx, region, serverID, week, &r.scratch)
+}
+
+// refreshCounted runs one refresh with the given snapshot scratch and folds
+// the outcome into the lifetime counters. Parallel drains hand each worker
+// its own scratch; the synchronous RefreshServer path shares one under
+// scratchMu.
+func (r *Refresher) refreshCounted(ctx context.Context, region, serverID string, week int, scratch *[]float64) error {
+	err := r.refresh(ctx, region, serverID, week, scratch)
 	switch {
 	case err == nil:
 		r.refreshed.Add(1)
@@ -269,7 +332,7 @@ func (r *Refresher) RefreshServer(ctx context.Context, region, serverID string, 
 	return err
 }
 
-func (r *Refresher) refresh(ctx context.Context, region, serverID string, week int) error {
+func (r *Refresher) refresh(ctx context.Context, region, serverID string, week int, scratch *[]float64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -297,13 +360,11 @@ func (r *Refresher) refresh(ctx context.Context, region, serverID string, week i
 	// Snapshot the live history (stable copy: training is long, and holding
 	// the shard lock would stall ingestion). The scratch buffer is retained
 	// across refreshes, so the steady state allocates nothing here.
-	r.scratchMu.Lock()
-	defer r.scratchMu.Unlock()
-	snap, ok := r.ing.SnapshotInto(serverID, r.scratch)
+	snap, ok := r.ing.SnapshotInto(serverID, *scratch)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTelemetry, serverID)
 	}
-	r.scratch = snap.Values
+	*scratch = snap.Values
 
 	// Replicate the batch pipeline's training window: whole days up to
 	// HistoryDays immediately before the predicted day, at least MinDays.

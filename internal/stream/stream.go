@@ -18,10 +18,30 @@
 //   - Refresher retrains only the drifted servers — through the serving
 //     layer's warm model pool, via the Pool interface — and republishes the
 //     refreshed PredictionDocs to cosmos. A fleet where 2% of servers
-//     drifted costs ~2% of a weekly pipeline run.
+//     drifted costs ~2% of a weekly pipeline run. Queued refreshes drain
+//     across a bounded parallel.Pool (RefreshConfig.Workers), and a full
+//     queue is surfaced as a Dropped count rather than silently discarded.
 //
-// The refresh path is pinned equivalent to the batch path: for the same
-// telemetry, a refreshed prediction is bit-identical to what a full
-// pipeline.RunWeek would store (see equiv_test.go). Drift detection is
-// therefore a pure scheduling optimization, never an accuracy trade.
+//   - Sweeper makes the loop self-driving: a ticker-driven background round
+//     discovers each region's latest summarized week from the document
+//     store and sweeps it with zero client involvement, queueing drifted
+//     servers into the Refresher.
+//
+//   - Ring snapshots (snapshot.go) make the layer durable: the live windows
+//     serialize to a lake object on drain and restore on startup, so a
+//     restart no longer loses the month of telemetry the rings hold.
+//
+// Concurrency: every component is safe for concurrent use. The ingestor
+// lock-stripes rings across shards (warm appends are allocation-free);
+// zero-copy views are only valid under WithView's shard lock, with
+// SnapshotInto as the stable-copy escape for long work like training.
+//
+// Equivalence guarantees, all pinned by tests: rolled-up ring state is
+// independent of arrival order and duplication (first write wins); a
+// snapshot→restore round trip is observationally identical to never
+// restarting (snapshot_test.go); refreshed predictions are bit-identical to
+// what a full pipeline.RunWeek would store (equiv_test.go); and a parallel
+// drain republishes exactly what a serial drain would (parallel_test.go).
+// The whole layer is a scheduling and durability optimization, never an
+// accuracy trade.
 package stream

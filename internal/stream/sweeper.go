@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/cosmos"
+)
+
+// Sweeper closes the drift loop with zero client involvement: before it, a
+// drift sweep only ran when an ingest request attached a `sweep` clause, so
+// an operatorless deployment could watch telemetry stream in forever without
+// ever noticing its predictions had gone stale. The sweeper is a
+// ticker-driven background loop that discovers, per region, the most recent
+// week the weekly pipeline summarized, sweeps that week's stored predictions
+// against the live actuals, and queues whatever drifted into the Refresher.
+//
+// Discovery reads the cosmos summaries collection (one SummaryDoc per
+// pipeline run, id "week-NNNN" partitioned by region), which makes the
+// sweeper self-configuring: regions appear as soon as their first weekly run
+// lands, and each region is judged on its own latest week — no flag lists
+// the fleet.
+
+// SweeperConfig parameterizes the background sweeper. The zero value sweeps
+// every summarized region once a minute.
+type SweeperConfig struct {
+	// Interval is the tick period. Default one minute.
+	Interval time.Duration
+	// Collection is the cosmos collection holding the pipeline's SummaryDocs,
+	// whose (region partition, week id) pairs drive discovery. Default
+	// "summaries".
+	Collection string
+}
+
+func (c SweeperConfig) withDefaults() SweeperConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Minute
+	}
+	if c.Collection == "" {
+		c.Collection = "summaries"
+	}
+	return c
+}
+
+// SweeperStats snapshots the sweeper's lifetime counters.
+type SweeperStats struct {
+	// Ticks counts completed sweep rounds (one round visits every region).
+	Ticks uint64 `json:"ticks"`
+	// Regions counts region sweeps across all rounds.
+	Regions uint64 `json:"regions"`
+	// Drifted counts drifted servers found by background sweeps.
+	Drifted uint64 `json:"drifted"`
+	// Queued counts drifted servers newly queued for refresh.
+	Queued uint64 `json:"queued"`
+	// Dropped counts drifted servers the full refresh queue rejected — the
+	// backpressure signal; they are re-found on the next tick.
+	Dropped uint64 `json:"dropped"`
+	// Errors counts failed region sweeps (kept counting, never fatal).
+	Errors uint64 `json:"errors"`
+}
+
+// Sweeper periodically sweeps the latest summarized week of every region for
+// drift and queues drifted servers into the refresher. Safe for concurrent
+// use; Run is meant to be launched on its own goroutine
+// (seagull.System.StartSweeper does).
+type Sweeper struct {
+	db  *cosmos.DB
+	det *DriftDetector
+	ref *Refresher
+	cfg SweeperConfig
+
+	ticks   atomic.Uint64
+	regions atomic.Uint64
+	drifted atomic.Uint64
+	queued  atomic.Uint64
+	dropped atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// NewSweeper wires a sweeper over the document store (for week discovery),
+// a drift detector and a refresher. ref may be nil: sweeps then only count
+// drift without queueing refreshes (a monitoring-only deployment).
+func NewSweeper(db *cosmos.DB, det *DriftDetector, ref *Refresher, cfg SweeperConfig) *Sweeper {
+	return &Sweeper{db: db, det: det, ref: ref, cfg: cfg.withDefaults()}
+}
+
+// Interval returns the configured tick period.
+func (s *Sweeper) Interval() time.Duration { return s.cfg.Interval }
+
+// latestWeek finds the most recent week with a stored summary for region;
+// ok is false when the region has none (nothing to judge yet).
+func (s *Sweeper) latestWeek(region string) (week int, ok bool) {
+	for _, id := range s.db.Collection(s.cfg.Collection).IDs(region) {
+		rest, found := strings.CutPrefix(id, "week-")
+		if !found {
+			continue
+		}
+		w, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		if !ok || w > week {
+			week, ok = w, true
+		}
+	}
+	return week, ok
+}
+
+// SweepOnce runs one background round: every region with a stored weekly
+// summary is swept at its latest summarized week, and drifted servers are
+// queued for refresh. Per-region sweep failures are counted and skipped so
+// one bad region cannot starve the rest; the first error is returned for
+// logging. Cancelling ctx stops between regions.
+func (s *Sweeper) SweepOnce(ctx context.Context) error {
+	var firstErr error
+	for _, region := range s.db.Collection(s.cfg.Collection).Partitions() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		week, ok := s.latestWeek(region)
+		if !ok {
+			continue
+		}
+		rep, err := s.det.Sweep(ctx, region, week)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			s.errs.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep %s week %d: %w", region, week, err)
+			}
+			continue
+		}
+		s.regions.Add(1)
+		s.drifted.Add(uint64(rep.Drifted))
+		if s.ref != nil {
+			queued, dropped := s.ref.EnqueueReport(rep)
+			s.queued.Add(uint64(queued))
+			s.dropped.Add(uint64(dropped))
+		}
+	}
+	s.ticks.Add(1)
+	return firstErr
+}
+
+// Run sweeps on every tick until ctx is cancelled, then returns ctx.Err().
+// Sweep errors are counted in Stats, never fatal.
+func (s *Sweeper) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			_ = s.SweepOnce(ctx)
+		}
+	}
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Sweeper) Stats() SweeperStats {
+	return SweeperStats{
+		Ticks:   s.ticks.Load(),
+		Regions: s.regions.Load(),
+		Drifted: s.drifted.Load(),
+		Queued:  s.queued.Load(),
+		Dropped: s.dropped.Load(),
+		Errors:  s.errs.Load(),
+	}
+}

@@ -6,6 +6,13 @@
 // minutes" per server (Section 2.2); the SQL auto-scale scenario uses a
 // 15-minute granularity (Appendix A). Both are represented here as a Series
 // with an explicit Interval.
+//
+// Concurrency and aliasing contract: a Series is a value wrapping a shared
+// backing array. View/Slice return zero-copy windows — read-only by
+// convention; mutating helpers (FillGaps, Clone, resampling) copy first.
+// Concurrent readers of the same backing array are safe; any writer
+// requires external synchronization. Missing observations are NaN
+// (timeseries.Missing) everywhere in the system.
 package timeseries
 
 import (

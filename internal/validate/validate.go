@@ -3,6 +3,11 @@
 // detection of schema and bound anomalies — the rules of Breck et al. the
 // paper cites — plus per-server telemetry quality checks (gaps, duplicates,
 // coverage).
+//
+// Concurrency: validation is stateless and safe to run concurrently per
+// (region, week); reports are plain values. Validation never mutates its
+// input — a validated extract trains on exactly the bytes that were
+// checked.
 package validate
 
 import (

@@ -125,6 +125,15 @@ type (
 	// Refresher retrains drifted servers from live telemetry and
 	// republishes their predictions.
 	Refresher = stream.Refresher
+	// RefreshConfig parameterizes the shared refresher (training window,
+	// queue size, drain concurrency).
+	RefreshConfig = stream.RefreshConfig
+	// Sweeper is the background drift loop: it periodically discovers each
+	// region's latest summarized week and sweeps it for drift with zero
+	// client involvement.
+	Sweeper = stream.Sweeper
+	// SweeperConfig parameterizes the background sweeper (tick interval).
+	SweeperConfig = stream.SweeperConfig
 	// AppendStatus reports what happened to one ingested point.
 	AppendStatus = stream.AppendStatus
 )
@@ -253,6 +262,15 @@ type SystemConfig struct {
 	// System.Stream). The zero value selects five-minute slots, a four-week
 	// retained window and the Unix epoch as the slot origin.
 	Stream StreamConfig
+	// Refresh parameterizes the shared drift refresher (see
+	// System.Refresher); the zero value selects the pipeline's production
+	// defaults with a serial drain. Set Workers to retrain drifted fleets
+	// concurrently on multi-core hosts.
+	Refresh RefreshConfig
+	// Sweep parameterizes the background drift sweeper (see System.Sweeper);
+	// the zero value sweeps every summarized region once a minute once
+	// StartSweeper is called.
+	Sweep SweeperConfig
 }
 
 // System wires all Seagull components over shared storage.
@@ -278,10 +296,12 @@ type System struct {
 	streamSetOnce sync.Once
 	drift         *DriftDetector
 	refresher     *Refresher
+	sweeper       *Sweeper
 	refUnbind     func()
 
-	refMu   sync.Mutex
-	refStop func()
+	refMu     sync.Mutex
+	refStop   func()
+	sweepStop func()
 }
 
 // NewSystem builds a ready-to-use system.
@@ -329,12 +349,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // DataDir returns the system's storage root.
 func (s *System) DataDir() string { return s.dataDir }
 
-// Close stops the refresher, flushes the document store and removes owned
-// temporary storage.
+// Close stops the sweeper and the refresher, flushes the document store and
+// removes owned temporary storage.
 func (s *System) Close() error {
 	s.refMu.Lock()
-	stop := s.refStop
+	stop, sweepStop := s.refStop, s.sweepStop
 	s.refMu.Unlock()
+	if sweepStop != nil {
+		sweepStop()
+	}
 	if stop != nil {
 		stop()
 	}
@@ -428,7 +451,7 @@ func (s *System) Handler() http.Handler {
 	s.serveOnce.Do(func() {
 		ing, det, ref := s.streamSet()
 		s.serve = serving.NewService(s.Registry, s.DB, ServiceConfig{
-			Ingestor: ing, Drift: det, Refresher: ref,
+			Ingestor: ing, Drift: det, Refresher: ref, Sweeper: s.sweeper,
 		})
 	})
 	return s.serve.Handler()
@@ -458,7 +481,8 @@ func (s *System) streamSet() (*Ingestor, *DriftDetector, *Refresher) {
 		s.drift = stream.NewDriftDetector(ing, s.DB, stream.DriftConfig{})
 		pool := serving.NewModelPool(serving.PoolConfig{})
 		s.refUnbind = pool.Bind(s.Registry)
-		s.refresher = stream.NewRefresher(ing, s.DB, s.Registry, serving.StreamPool(pool), stream.RefreshConfig{})
+		s.refresher = stream.NewRefresher(ing, s.DB, s.Registry, serving.StreamPool(pool), s.cfg.Refresh)
+		s.sweeper = stream.NewSweeper(s.DB, s.drift, s.refresher, s.cfg.Sweep)
 	})
 	return s.stream, s.drift, s.refresher
 }
@@ -504,6 +528,64 @@ func (s *System) StartRefresher() (stop func()) {
 		})
 	}
 	return s.refStop
+}
+
+// Sweeper returns the system's shared background drift sweeper: each round
+// discovers every region's latest summarized week from the document store,
+// sweeps it for drift against the live telemetry and queues drifted servers
+// into the shared refresher. Use SweepOnce for synchronous control, or
+// StartSweeper for the background loop.
+func (s *System) Sweeper() *Sweeper {
+	s.streamSet()
+	return s.sweeper
+}
+
+// StartSweeper launches the background drift sweeper at its configured
+// interval (SystemConfig.Sweep; default one minute) and returns a stop
+// function (also invoked by Close). Pair it with StartRefresher, which
+// drains the refresh queue the sweeper fills. Repeated calls return the same
+// stop function while the loop runs.
+func (s *System) StartSweeper() (stop func()) {
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	if s.sweepStop != nil {
+		return s.sweepStop
+	}
+	sw := s.Sweeper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = sw.Run(ctx)
+	}()
+	var once sync.Once
+	s.sweepStop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+			s.refMu.Lock()
+			s.sweepStop = nil
+			s.refMu.Unlock()
+		})
+	}
+	return s.sweepStop
+}
+
+// SaveStreamSnapshot serializes the live telemetry rings to the lake
+// (object stream/rings.snap), atomically replacing any previous snapshot —
+// the drain hook that makes the stream layer survive restarts.
+func (s *System) SaveStreamSnapshot() error {
+	return s.Stream().SaveSnapshot(s.Lake)
+}
+
+// RestoreStreamSnapshot restores the live telemetry rings from the lake's
+// snapshot object — the startup hook pairing SaveStreamSnapshot.
+// stream.ErrNoSnapshot means no snapshot is stored (first boot);
+// stream.ErrSnapshotFormat means the stored snapshot is damaged or from a
+// different ring geometry. In both cases the ingestor is untouched and the
+// stream layer cold-starts cleanly.
+func (s *System) RestoreStreamSnapshot() error {
+	return s.Stream().LoadSnapshot(s.Lake)
 }
 
 // DashboardSummary returns the aggregated pipeline-run view.

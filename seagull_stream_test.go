@@ -124,4 +124,136 @@ func TestStreamAliases(t *testing.T) {
 	var _ seagull.StreamConfig = stream.Config{}
 	var _ seagull.DriftReport = stream.Report{}
 	var _ seagull.AppendStatus = stream.Appended
+	var _ *seagull.Sweeper = stream.NewSweeper(nil, nil, nil, stream.SweeperConfig{})
+	var _ seagull.SweeperConfig = stream.SweeperConfig{}
+	var _ seagull.RefreshConfig = stream.RefreshConfig{}
+}
+
+// TestSystemSnapshotRoundTrip drives the durability seam through the facade:
+// ingest into one System, save the ring snapshot on its way down, restore it
+// in a second System over the same data dir, and observe identical live
+// windows.
+func TestSystemSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	cfg := seagull.SystemConfig{DataDir: dir, Stream: seagull.StreamConfig{Epoch: start}}
+
+	sys1, err := seagull.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		sys1.Ingest("s1", start.Add(time.Duration(i)*5*time.Minute), float64(10+i%9))
+	}
+	if err := sys1.SaveStreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := sys1.Stream().View("s1")
+	if !ok {
+		t.Fatal("no live view before shutdown")
+	}
+	wantVals := append([]float64(nil), want.Values...)
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := seagull.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if err := sys2.RestoreStreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sys2.Stream().View("s1")
+	if !ok {
+		t.Fatal("no live view after restore")
+	}
+	if !got.Start.Equal(want.Start) || got.Len() != len(wantVals) {
+		t.Fatalf("restored view (%s, %d) vs (%s, %d)", got.Start, got.Len(), want.Start, len(wantVals))
+	}
+	for i := range wantVals {
+		if got.Values[i] != wantVals[i] {
+			t.Fatalf("restored[%d] = %v, want %v", i, got.Values[i], wantVals[i])
+		}
+	}
+
+	// A fresh system over an empty dir reports the first-boot case.
+	sys3, err := seagull.NewSystem(seagull.SystemConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys3.Close()
+	if err := sys3.RestoreStreamSnapshot(); err != stream.ErrNoSnapshot {
+		t.Fatalf("restore on first boot = %v, want stream.ErrNoSnapshot", err)
+	}
+}
+
+// TestSystemSweeper drives the background sweeper through the facade:
+// StartSweeper finds the drifted server from the stored summaries with no
+// client sweep anywhere, and Close stops the loop.
+func TestSystemSweeper(t *testing.T) {
+	start := time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	sys, err := seagull.NewSystem(seagull.SystemConfig{
+		Stream: seagull.StreamConfig{Epoch: start},
+		Sweep:  seagull.SweeperConfig{Interval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	fleet := seagull.GenerateFleet(seagull.FleetConfig{Region: "auto", Servers: 6, Weeks: 2, Seed: 9})
+	if _, err := sys.LoadFleet(fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWeek(seagull.PipelineConfig{Region: "auto", Week: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+	c := seagull.NewClient(srv.URL)
+	stored, err := c.Predictions(context.Background(), "auto", 1)
+	if err != nil || len(stored.Predictions) == 0 {
+		t.Fatalf("predictions: %v", err)
+	}
+	hot := stored.Predictions[0]
+	for i := 0; i < 8*288; i++ {
+		at := hot.BackupDay.Add(time.Duration(i-7*288) * 5 * time.Minute)
+		v := 25.0
+		if i >= 7*288 {
+			v = hot.Values[i-7*288] + 45
+		}
+		sys.Ingest(hot.ServerID, at, v)
+	}
+
+	stopRef := sys.StartRefresher()
+	defer stopRef()
+	stopSweep := sys.StartSweeper()
+	defer stopSweep()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := sys.Sweeper().Stats()
+		if st.Ticks >= 1 && st.Drifted >= 1 && sys.Refresher().Stats().Refreshed >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := sys.Sweeper().Stats()
+	if st.Drifted == 0 || st.Queued == 0 || st.Errors != 0 {
+		t.Fatalf("sweeper stats = %+v, want the hot server found and queued", st)
+	}
+	// /varz carries the sweeper section through the facade handler.
+	vz, err := c.Varz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Sweeper == nil || vz.Sweeper.Ticks == 0 {
+		t.Fatalf("varz sweeper = %+v", vz.Sweeper)
+	}
+	// Idempotent start, double stop safe.
+	stop2 := sys.StartSweeper()
+	stop2()
+	stop2()
 }
