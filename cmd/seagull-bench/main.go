@@ -43,7 +43,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkFig11aTrainInfer|" +
 	"BenchmarkServePredict|BenchmarkServeBatch|" +
 	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
-	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper"
+	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper|" +
+	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay"
 
 type benchResult struct {
 	Name        string  `json:"name"`

@@ -36,7 +36,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,7 +52,6 @@ import (
 	"seagull"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
-	"seagull/internal/stream"
 )
 
 func main() {
@@ -76,8 +74,15 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
 		streamOn = flag.Bool("stream", true, "enable the online telemetry stream (POST /v2/ingest + drift refresh)")
 		snapshot = flag.Bool("snapshot", true,
-			"restore the live telemetry rings from the lake snapshot on startup and save them on drain, "+
+			"restore the live telemetry rings from the lake on startup and persist them while running, "+
 				"so the stream window survives restarts (requires -stream; pair with -data for durability)")
+		walOn = flag.Bool("wal", true,
+			"write-ahead-log live telemetry appends so a hard kill loses at most one -wal-commit "+
+				"interval of points (requires -snapshot)")
+		walCommit = flag.Duration("wal-commit", 100*time.Millisecond,
+			"WAL group-commit interval: the bounded-loss δ in restore ≥ T-δ")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second,
+			"incremental ring-snapshot interval; unchanged shards are skipped (negative = drain-only snapshots)")
 		sweepEvery = flag.Duration("sweep-interval", time.Minute,
 			"background drift sweeper tick: every interval, sweep each region's latest summarized week "+
 				"against live telemetry and queue drifted servers for refresh (0 disables; requires -stream)")
@@ -101,6 +106,9 @@ func main() {
 		Timeout:        *timeout,
 		Stream:         *streamOn,
 		Snapshot:       *snapshot,
+		WAL:            *walOn,
+		WALCommit:      *walCommit,
+		SnapshotEvery:  *snapInterval,
 		SweepInterval:  *sweepEvery,
 		RefreshWorkers: *refreshWorkers,
 		Cron:           *cronOn,
@@ -131,8 +139,16 @@ type serveConfig struct {
 	Timeout time.Duration
 	Stream  bool
 	// Snapshot restores the telemetry rings from the lake on startup and
-	// saves them on drain (stream layer only).
+	// persists them while running + on drain (stream layer only).
 	Snapshot bool
+	// WAL write-ahead-logs appends between snapshots so a hard kill loses at
+	// most WALCommit worth of telemetry (requires Snapshot).
+	WAL bool
+	// WALCommit is the WAL group-commit interval — the bounded-loss δ.
+	WALCommit time.Duration
+	// SnapshotEvery is the incremental snapshot cadence (negative disables
+	// the ticker, leaving drain-time snapshots only).
+	SnapshotEvery time.Duration
 	// SweepInterval ticks the background drift sweeper; 0 disables it.
 	SweepInterval time.Duration
 	// RefreshWorkers bounds concurrent drift retrains (0 = one per CPU).
@@ -190,6 +206,8 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	}
 
 	svcCfg := seagull.ServiceConfig{Timeout: cfg.Timeout}
+	var dur *seagull.Durability
+	var rec seagull.RecoveryStats
 	if cfg.Stream {
 		// The shared stream set: live ingest on /v2/ingest, drift sweeps,
 		// and a background refresher retraining drifted servers through a
@@ -201,19 +219,27 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		sys.StartRefresher()
 		fmt.Fprintf(out, "stream layer enabled: POST /v2/ingest (drift sweeps → background refresh, %d workers), GET /varz\n", workers)
 		if cfg.Snapshot {
-			// Restore the live window a previous run saved on drain. A
-			// missing snapshot is the normal first boot; a damaged or
-			// geometry-mismatched one is logged and cold-started past —
-			// restarts must never be blocked by stale durable state.
-			switch err := sys.RestoreStreamSnapshot(); {
-			case err == nil:
-				st := sys.Stream().Stats()
-				fmt.Fprintf(out, "stream snapshot restored: %d servers live\n", st.Servers)
-			case errors.Is(err, stream.ErrNoSnapshot):
-				fmt.Fprintln(out, "stream snapshot: none stored, cold start")
-			default:
-				fmt.Fprintf(out, "stream snapshot unusable (%v), cold start\n", err)
+			// Bounded-loss durability: replay the previous run's per-shard
+			// snapshots and WALs, then keep group-committing appends and
+			// snapshotting changed shards in the background. A missing object
+			// is the normal first boot; a damaged one is skipped, recorded in
+			// the recovery stats, and surfaced as a degraded /readyz — stale
+			// durable state must never block a restart.
+			if n, err := sys.Lake.SweepTempObjects(); err != nil {
+				fmt.Fprintf(out, "lake temp sweep failed: %v\n", err)
+			} else if n > 0 {
+				fmt.Fprintf(out, "lake temp sweep: removed %d staging file(s) left by interrupted replaces\n", n)
 			}
+			dur = sys.NewDurability(seagull.DurabilityConfig{
+				DisableWAL:    !cfg.WAL,
+				CommitEvery:   cfg.WALCommit,
+				SnapshotEvery: cfg.SnapshotEvery,
+			})
+			if rec, err = dur.Recover(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "stream recovery: %s\n", rec.String())
+			svcCfg.Durability = dur
 		}
 		if cfg.SweepInterval > 0 {
 			sys.StartSweeper()
@@ -221,6 +247,17 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		}
 	}
 	svc := sys.Service(svcCfg)
+	if rec.Degraded() {
+		// Keep serving what survived, but say so on /readyz and /varz: live
+		// windows touched by the failed objects are cold-started, so their
+		// live_history predicts may hit the insufficient_history floor.
+		svc.SetDegraded("degraded: live window cold-started: " + rec.String())
+	}
+	if dur != nil {
+		if err := dur.Start(ctx); err != nil {
+			return err
+		}
+	}
 
 	var crons []*pipeline.Cron
 	if cfg.Cron {
@@ -288,21 +325,22 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
 	defer cancel()
 	shutdownErr := server.Shutdown(shutdownCtx)
-	if cfg.Stream && cfg.Snapshot {
+	if dur != nil {
 		// On a clean drain the listener is closed and in-flight requests
-		// have finished, so the rings are quiescent and the capture is
-		// exact. On a blown drain budget the capture is merely approximate
-		// (WriteSnapshot locks shard by shard under straggling appends) —
-		// an unclean shutdown is precisely when losing the window would
-		// hurt most, so the snapshot is saved either way. The write is
-		// atomic; a crash here leaves the previous snapshot.
-		if err := sys.SaveStreamSnapshot(); err != nil {
+		// have finished, so the rings are quiescent: Close flushes the last
+		// buffered appends to the WALs, snapshots every changed shard, and
+		// truncates the logs — the next boot restores from snapshots alone.
+		// On a blown drain budget the capture is merely approximate, but an
+		// unclean shutdown is precisely when losing the window would hurt
+		// most, so the state is persisted either way; snapshot replaces are
+		// atomic, so a crash here leaves the previous generation.
+		if err := dur.Close(); err != nil {
 			if shutdownErr != nil {
-				return fmt.Errorf("shutdown: %v; stream snapshot: %w", shutdownErr, err)
+				return fmt.Errorf("shutdown: %v; stream persistence: %w", shutdownErr, err)
 			}
-			return fmt.Errorf("stream snapshot: %w", err)
+			return fmt.Errorf("stream persistence: %w", err)
 		}
-		fmt.Fprintf(out, "stream snapshot saved: %d servers\n", sys.Stream().Stats().Servers)
+		fmt.Fprintf(out, "stream state persisted: %d servers\n", sys.Stream().Stats().Servers)
 	}
 	if shutdownErr != nil {
 		return fmt.Errorf("shutdown: %w", shutdownErr)

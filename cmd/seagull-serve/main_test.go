@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -267,6 +271,7 @@ func recoveryServe(t *testing.T, dataDir string) (*seagull.Client, func()) {
 		Timeout:  30 * time.Second,
 		Stream:   true,
 		Snapshot: true,
+		WAL:      true,
 	}
 	done := make(chan error, 1)
 	go func() { done <- serve(ctx, cfg, ln, testWriter{t}) }()
@@ -381,19 +386,36 @@ func TestServeSnapshotCorruption(t *testing.T) {
 	}
 	shutdown1()
 
-	snapPath := filepath.Join(dir, "lake", "stream", "rings.snap")
-	fi, err := os.Stat(snapPath)
-	if err != nil {
-		t.Fatalf("snapshot not written on drain: %v", err)
+	snaps, err := filepath.Glob(filepath.Join(dir, "lake", "stream", "rings", "shard-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no per-shard snapshots written on drain: %v (%d)", err, len(snaps))
 	}
-	if err := os.Truncate(snapPath, fi.Size()/2); err != nil {
-		t.Fatal(err)
+	for _, snapPath := range snaps {
+		fi, err := os.Stat(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(snapPath, fi.Size()/2); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	c2, shutdown2 := recoveryServe(t, dir)
 	defer shutdown2()
 	if !c2.Ready(context.Background()) {
 		t.Fatal("server with a corrupt snapshot should still become ready")
+	}
+	// The partial restore is reported, not hidden: /varz carries the
+	// degraded reason alongside the recovery stats.
+	vz, err := c2.Varz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vz.Degraded == "" {
+		t.Fatal("corrupt snapshot restore should report a degraded state on /varz")
+	}
+	if vz.Durability == nil || vz.Durability.Recovered == nil || !vz.Durability.Recovered.Degraded() {
+		t.Fatalf("varz durability = %+v, want a degraded recovery outcome", vz.Durability)
 	}
 	// Cold start: the live window is gone, reported as not_found — not 500.
 	if _, err := livePredict(t, c2); !isAPICode(err, serving.CodeNotFound) {
@@ -431,4 +453,158 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Logf("%s", p)
 	return len(p), nil
+}
+
+// TestMain doubles as the entry point for the hard-kill child process: when
+// SEAGULL_SERVE_KILL_CHILD names a data directory, this binary runs a real
+// server against it (announcing its address on stdout) instead of the test
+// suite, so the parent test can SIGKILL an actual process mid-ingest.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("SEAGULL_SERVE_KILL_CHILD"); dir != "" {
+		runKillChild(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runKillChild is the sacrificial server: WAL commits every 25ms, snapshots
+// effectively never (1h), so recovery after the kill must come from the WAL.
+func runKillChild(dataDir string) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SEAGULL_ADDR=%s\n", ln.Addr())
+	cfg := serveConfig{
+		Deploy:        "backup/rec=pf-prev-day",
+		DataDir:       dataDir,
+		Drain:         5 * time.Second,
+		Timeout:       30 * time.Second,
+		Stream:        true,
+		Snapshot:      true,
+		WAL:           true,
+		WALCommit:     25 * time.Millisecond,
+		SnapshotEvery: time.Hour,
+	}
+	if err := serve(context.Background(), cfg, ln, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// TestServeHardKillRecovery is the tentpole's end-to-end proof: a real child
+// process is SIGKILLed — no drain, no snapshot, no deferred cleanup — after
+// its WAL committed the ingested window, and a restart over the same data
+// directory must serve live predictions bit-identical to a process that was
+// never killed.
+func TestServeHardKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	child := exec.Command(os.Args[0])
+	child.Env = append(os.Environ(), "SEAGULL_SERVE_KILL_CHILD="+dir)
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			child.Process.Kill()
+			child.Wait()
+		}
+	}()
+
+	// The child announces its ephemeral address as the first stdout line.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "SEAGULL_ADDR="); ok {
+				addrCh <- rest
+			}
+			t.Logf("child: %s", line)
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("child never announced its address")
+	}
+	c := seagull.NewClient("http://" + addr)
+	waitFor(t, func() bool { return c.Healthy() }, "child healthz")
+
+	// One deterministic window, fully ingested into the child.
+	start := time.Now().UTC().Add(-3 * 24 * time.Hour).Truncate(5 * time.Minute)
+	vals := make([]float64, 2*288)
+	for i := range vals {
+		vals[i] = 20 + float64(i%13)
+	}
+	resp, err := c.Ingest(context.Background(), serving.IngestRequest{
+		Servers: []serving.IngestSeries{{
+			ServerID: "srv-rec", Start: start, IntervalMin: 5, Values: vals,
+		}},
+	})
+	if err != nil || resp.Accepted != len(vals) {
+		t.Fatalf("ingest: %v (%+v)", err, resp)
+	}
+
+	// Wait for the WAL group commit to cover every ingested point, then pull
+	// the rug: SIGKILL, no chance to flush or snapshot.
+	waitFor(t, func() bool {
+		vz, err := c.Varz(context.Background())
+		if err != nil || vz.Durability == nil {
+			return false
+		}
+		return vz.Durability.CommitRecords >= uint64(len(vals)) && vz.Durability.Dropped == 0
+	}, "WAL commit to cover the ingested window")
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+	killed = true
+
+	// Survivor world: restart over the killed child's data directory.
+	c2, shutdown2 := recoveryServe(t, dir)
+	defer shutdown2()
+	respA, err := livePredict(t, c2)
+	if err != nil {
+		t.Fatalf("predict from WAL-recovered rings: %v", err)
+	}
+
+	// Reference world: same telemetry, never killed.
+	c3, shutdown3 := recoveryServe(t, t.TempDir())
+	defer shutdown3()
+	if _, err := c3.Ingest(context.Background(), serving.IngestRequest{
+		Servers: []serving.IngestSeries{{
+			ServerID: "srv-rec", Start: start, IntervalMin: 5, Values: vals,
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	respB, err := livePredict(t, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if respA.Model != respB.Model || respA.Version != respB.Version {
+		t.Fatalf("deployment differs: %s v%d vs %s v%d", respA.Model, respA.Version, respB.Model, respB.Version)
+	}
+	if !respA.Forecast.Start.Equal(respB.Forecast.Start) || len(respA.Forecast.Values) != len(respB.Forecast.Values) {
+		t.Fatalf("forecast shape differs: %v/%d vs %v/%d",
+			respA.Forecast.Start, len(respA.Forecast.Values), respB.Forecast.Start, len(respB.Forecast.Values))
+	}
+	for i := range respA.Forecast.Values {
+		if respA.Forecast.Values[i] != respB.Forecast.Values[i] {
+			t.Fatalf("forecast[%d] = %v vs %v: the kill is observable", i, respA.Forecast.Values[i], respB.Forecast.Values[i])
+		}
+	}
+	if respA.LLStart != respB.LLStart || respA.LLAvg != respB.LLAvg {
+		t.Fatalf("LL window (%d, %v) vs (%d, %v)", respA.LLStart, respA.LLAvg, respB.LLStart, respB.LLAvg)
+	}
 }

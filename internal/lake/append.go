@@ -1,0 +1,148 @@
+package lake
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Append-only objects: the lake surface backing write-ahead logs. Unlike
+// ObjectWriter's stage-and-rename replace, an AppendObject writes in place at
+// the end of the named object, so a crash mid-write leaves every previously
+// synced byte intact and at most one torn frame at the tail — exactly the
+// failure shape a log replayer is built to stop at.
+
+// AppendObject is an open append-only handle to a named object. Writes always
+// land at the current end of the object; Sync makes everything written so far
+// durable; Truncate rolls the object back to a known-good size (recovering
+// from a partial write, or resetting a log once its contents are covered by a
+// snapshot). Not safe for concurrent use — callers serialize access.
+type AppendObject interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+	// Truncate shrinks the object to size bytes. Subsequent writes append at
+	// the new end.
+	Truncate(size int64) error
+	// Size reports the object's current length in bytes.
+	Size() (int64, error)
+	// Close releases the handle without syncing unsynced bytes.
+	Close() error
+}
+
+// appendObject is an os.File with a Size method.
+type appendObject struct {
+	*os.File
+}
+
+func (a appendObject) Size() (int64, error) {
+	fi, err := a.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("lake: stat append object: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// ObjectAppender opens the named object for appending, creating it (and
+// parent directories) when absent. The caller must Close it.
+func (s *Store) ObjectAppender(name string) (AppendObject, error) {
+	p, err := s.objectPath(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("lake: create object dir: %w", err)
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lake: open append object: %w", err)
+	}
+	return appendObject{f}, nil
+}
+
+// isTempName reports whether base is an in-progress staging file left by
+// ObjectWriter — "<name>.tmp" followed by the random digits os.CreateTemp
+// appends. Staging files are invisible to ListObjects and reclaimed by
+// SweepTempObjects.
+func isTempName(base string) bool {
+	i := strings.LastIndex(base, objectTempSuffix)
+	if i < 0 {
+		return false
+	}
+	for _, r := range base[i+len(objectTempSuffix):] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ListObjects returns the names of stored objects with the given
+// slash-separated prefix, sorted. In-progress staging files are never listed
+// — a half-written object does not exist yet. A prefix matching nothing
+// (including a nonexistent directory) returns an empty list, not an error.
+func (s *Store) ListObjects(prefix string) ([]string, error) {
+	// Only walk the deepest directory the prefix pins down, not the whole
+	// lake — the extract partitions can dwarf the object namespace.
+	dir := s.root
+	if i := strings.LastIndex(prefix, "/"); i >= 0 {
+		dir = filepath.Join(s.root, filepath.FromSlash(prefix[:i]))
+	}
+	var out []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || isTempName(d.Name()) {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		if name := filepath.ToSlash(rel); strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lake: list objects: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SweepTempObjects removes staging files orphaned by a crash between
+// temp-write and rename, returning how many were reclaimed. Run it on boot,
+// before any writers are live: a staging file belonging to an in-flight write
+// would be swept too.
+func (s *Store) SweepTempObjects() (int, error) {
+	removed := 0
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || !isTempName(d.Name()) {
+			return nil
+		}
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		removed++
+		return nil
+	})
+	if err != nil {
+		return removed, fmt.Errorf("lake: sweep temp objects: %w", err)
+	}
+	return removed, nil
+}

@@ -1,0 +1,298 @@
+package lake
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendObjectRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.ObjectAppender("stream/wal/shard-0000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("-tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.Size(); err != nil || n != 9 {
+		t.Fatalf("Size = %d, %v; want 9", n, err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen appends after the existing bytes.
+	a, err = s.ObjectAppender("stream/wal/shard-0000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate rolls back to a known-good size; the next write appends there.
+	if err := a.Truncate(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := s.ObjectReader("stream/wal/shard-0000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != "head-tail!" {
+		t.Fatalf("read %q, want %q", got, "head-tail!")
+	}
+}
+
+func TestListObjects(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"stream/wal/shard-0001.wal", "stream/wal/shard-0000.wal", "stream/rings/shard-0000.snap", "other/x"} {
+		w, err := s.ObjectWriter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An abandoned staged write must not be listed.
+	if _, err := s.ObjectWriter("stream/wal/shard-0002.wal"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.ListObjects("stream/wal/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"stream/wal/shard-0000.wal", "stream/wal/shard-0001.wal"}
+	if len(got) != len(want) {
+		t.Fatalf("ListObjects = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ListObjects = %v, want %v", got, want)
+		}
+	}
+
+	// Nonexistent prefix: empty, no error.
+	if got, err := s.ListObjects("no/such/prefix/"); err != nil || len(got) != 0 {
+		t.Fatalf("ListObjects(missing) = %v, %v; want empty", got, err)
+	}
+}
+
+// TestObjectReplaceCrashCleanup pins the replace semantics under a crash
+// between temp-write and rename: the previous version stays live, the stale
+// staging file is invisible to every read path and reclaimed on the next
+// boot's sweep.
+func TestObjectReplaceCrashCleanup(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.ObjectWriter("stream/rings/shard-0000.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "v1-complete"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" mid-replace: stage a new version, never Close.
+	w, err = s.ObjectWriter("stream/rings/shard-0000.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "v2-par"); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Dir(s.ObjectPath("stream/rings/shard-0000.snap"))
+	temps := func() []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, e := range entries {
+			if isTempName(e.Name()) {
+				out = append(out, e.Name())
+			}
+		}
+		return out
+	}
+	if got := temps(); len(got) != 1 {
+		t.Fatalf("staging files on disk = %v, want exactly 1", got)
+	}
+
+	// The stale temp is never mistaken for a live object.
+	if got, err := s.ListObjects("stream/rings/"); err != nil || len(got) != 1 || got[0] != "stream/rings/shard-0000.snap" {
+		t.Fatalf("ListObjects = %v, %v; want just the published snapshot", got, err)
+	}
+	if _, err := s.ObjectReader("stream/rings/shard-0000.snap" + objectTempSuffix + "123"); !errors.Is(err, ErrBadObjectName) {
+		t.Fatalf("reading a temp name: err = %v, want ErrBadObjectName", err)
+	}
+
+	// The previous version is intact.
+	r, err := s.ObjectReader("stream/rings/shard-0000.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != "v1-complete" {
+		t.Fatalf("read %q, want the pre-crash version", got)
+	}
+
+	// Next boot: the sweep reclaims the orphan, the object survives.
+	n, err := s.SweepTempObjects()
+	if err != nil || n != 1 {
+		t.Fatalf("SweepTempObjects = %d, %v; want 1", n, err)
+	}
+	if got := temps(); len(got) != 0 {
+		t.Fatalf("staging files after sweep = %v, want none", got)
+	}
+	r, err = s.ObjectReader("stream/rings/shard-0000.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(r)
+	r.Close()
+	if string(got) != "v1-complete" {
+		t.Fatalf("after sweep read %q, want the pre-crash version", got)
+	}
+}
+
+func TestFaultStoreTornAppend(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(s)
+	fs.Arm(FaultRule{Name: "wal", Op: FaultAppend, Offset: 5})
+
+	a, err := fs.ObjectAppender("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %d, %v; want 5 bytes then ErrInjected", n, err)
+	}
+	// Latched: the disk is still full.
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("after firing: err = %v, want ErrInjected", err)
+	}
+	a.Close()
+
+	fs.Disarm("wal", FaultAppend)
+	a, err = fs.ObjectAppender("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	r, err := s.ObjectReader("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != "01234ok" {
+		t.Fatalf("on disk %q, want exactly the pre-fault prefix plus the retry", got)
+	}
+}
+
+func TestFaultStoreShortAndCorruptRead(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.ObjectWriter("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "0123456789")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewFaultStore(s)
+	fs.Arm(FaultRule{Name: "obj", Op: FaultRead, Offset: 4, Err: io.ErrUnexpectedEOF})
+	r, err := fs.ObjectReader("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	r.Close()
+	if string(got) != "0123" || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short read = %q, %v; want 4 bytes then ErrUnexpectedEOF", got, err)
+	}
+
+	fs.Reset()
+	fs.Arm(FaultRule{Name: "obj", Op: FaultRead, Offset: 7, Corrupt: true})
+	r, err = fs.ObjectReader("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[7] == '7' || !strings.HasPrefix(string(got), "0123456") {
+		t.Fatalf("corrupt read = %q, want byte 7 flipped and the rest intact", got)
+	}
+
+	// A staged replace that faults mid-write must abort, keeping the old
+	// version.
+	fs.Reset()
+	fs.Arm(FaultRule{Name: "obj", Op: FaultWrite, Offset: 2})
+	fw, err := fs.ObjectWriter("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(fw, "NEWCONTENT"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted replace write err = %v, want ErrInjected", err)
+	}
+	if err := fw.Close(); err == nil {
+		t.Fatal("Close after faulted write succeeded; want failure")
+	}
+	r2, err := s.ObjectReader("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(r2)
+	r2.Close()
+	if string(got) != "0123456789" {
+		t.Fatalf("after faulted replace: %q, want the old version intact", got)
+	}
+}

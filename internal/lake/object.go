@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"strings"
 )
@@ -30,7 +31,10 @@ const objectTempSuffix = ".tmp"
 // slash-separated relative paths; absolute paths, empty names, parent
 // references and the staging suffix are rejected.
 func (s *Store) objectPath(name string) (string, error) {
-	if name == "" || strings.HasPrefix(name, "/") || strings.HasSuffix(name, objectTempSuffix) {
+	// isTempName also rejects the bare ".tmp" suffix, plus the suffixed forms
+	// os.CreateTemp produces — a staging file must never be addressable as a
+	// live object, or a crashed half-write could be read back as real data.
+	if name == "" || strings.HasPrefix(name, "/") || isTempName(path.Base(name)) {
 		return "", fmt.Errorf("%w: %q", ErrBadObjectName, name)
 	}
 	clean := filepath.Clean(filepath.FromSlash(name))

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"seagull/internal/timeseries"
@@ -20,6 +21,9 @@ type APIError struct {
 	Status  int
 	Code    ErrorCode
 	Message string
+	// RetryAfter is the server's Retry-After hint, when the response carried
+	// one (0 otherwise). The retry loop prefers it over its own backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -39,9 +43,16 @@ type RetryConfig struct {
 	// BaseDelay is the first backoff; each retry doubles it up to MaxDelay,
 	// and the actual sleep is uniformly jittered over [delay/2, delay) so
 	// synchronized clients do not re-converge on the recovering server.
+	// A 503 carrying a Retry-After header overrides the computed backoff —
+	// the server knows its own drain schedule better than the client does.
 	// Defaults: 50ms base, 1s max.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// MaxElapsed is the total retry budget, measured from the first attempt:
+	// when the next backoff would overrun it, the loop gives up immediately
+	// instead of sleeping, so callers can bound worst-case latency. 0 means
+	// no budget (retries bounded by MaxAttempts and ctx alone).
+	MaxElapsed time.Duration
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -81,6 +92,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	rc := c.Retry.withDefaults()
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		err := c.doOnce(ctx, method, path, data, out)
@@ -94,6 +106,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		// Uniform jitter over [delay/2, delay).
 		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		// A server-provided Retry-After outranks the computed backoff: it is
+		// the drain schedule, not a guess.
+		if apiErr, ok := err.(*APIError); ok && apiErr.RetryAfter > 0 {
+			delay = apiErr.RetryAfter
+		}
+		if rc.MaxElapsed > 0 && time.Since(start)+delay > rc.MaxElapsed {
+			// The budget would expire mid-backoff; failing now keeps the
+			// caller's worst-case latency bounded by MaxElapsed.
+			return fmt.Errorf("serving: retry budget %v exhausted after %d attempts: %w",
+				rc.MaxElapsed, attempt+1, lastErr)
+		}
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -145,12 +168,33 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 // decodeAPIError reads a failed response into an *APIError, preferring the
 // v2 envelope and degrading to the raw body.
 func decodeAPIError(resp *http.Response) error {
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var env errorEnvelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
 	}
-	return &APIError{Status: resp.StatusCode, Code: CodeInternal, Message: string(bytes.TrimSpace(data))}
+	return &APIError{Status: resp.StatusCode, Code: CodeInternal, Message: string(bytes.TrimSpace(data)), RetryAfter: retryAfter}
+}
+
+// parseRetryAfter decodes a Retry-After header: delta-seconds or an HTTP
+// date. Absent, malformed or already-elapsed values yield 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // --- v2 methods ---

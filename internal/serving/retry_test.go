@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -140,5 +141,83 @@ func TestClientRetryAgainstReadyzDrain(t *testing.T) {
 	svc.SetReady(true)
 	if !c.Ready(context.Background()) {
 		t.Fatal("ready service reported draining")
+	}
+}
+
+// TestClientHonorsRetryAfter: a 503 carrying a Retry-After header overrides
+// the client's own (tiny) backoff — the server's drain schedule wins.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorEnvelope{Error: ErrorBody{Code: CodeInternal, Message: "draining"}})
+			return
+		}
+		writeJSON(w, http.StatusOK, ModelsResponseV2{})
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	start := time.Now()
+	if _, err := c.ModelsV2(context.Background()); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry waited only %v; Retry-After: 1 should have stretched the backoff to ~1s", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestClientRetryBudgetExhaustion: when the next backoff would overrun
+// MaxElapsed, the client fails immediately instead of sleeping — bounding the
+// caller's worst-case latency mid-backoff rather than at the next attempt.
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	srv, calls := flappingServer(t, 1<<30, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	// A 10s base delay against a 50ms budget: the very first backoff blows
+	// the budget, so the loop must give up after one attempt without sleeping.
+	c.Retry = RetryConfig{MaxAttempts: 10, BaseDelay: 10 * time.Second, MaxElapsed: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.ModelsV2(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want budget-exhaustion error, got success")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want a retry-budget message", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 *APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (budget dies before the first sleep)", got)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("exhaustion took %v; the client must not sleep past the budget", elapsed)
+	}
+}
+
+// TestClientRetryBudgetMidBackoff: a budget wide enough for a couple of
+// attempts still cuts the loop off before MaxAttempts.
+func TestClientRetryBudgetMidBackoff(t *testing.T) {
+	srv, calls := flappingServer(t, 1<<30, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	c.Retry = RetryConfig{MaxAttempts: 100, BaseDelay: 30 * time.Millisecond, MaxDelay: 30 * time.Millisecond, MaxElapsed: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := c.ModelsV2(context.Background())
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want a retry-budget message", err)
+	}
+	if got := calls.Load(); got < 2 || got >= 100 {
+		t.Fatalf("server saw %d requests, want a few attempts then budget exhaustion", got)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("exhaustion took %v, want well under the un-budgeted backoff total", elapsed)
 	}
 }

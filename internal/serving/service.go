@@ -61,6 +61,16 @@ type ServiceConfig struct {
 	// on /varz. The service never drives the sweeper — its loop runs in the
 	// owning process (seagull-serve, or System.StartSweeper).
 	Sweeper *stream.Sweeper
+	// Durability, when set, surfaces the stream layer's WAL and snapshot
+	// counters on /varz. The service never drives it — its tickers run in
+	// the owning process.
+	Durability *stream.Durability
+	// MinLivePoints is the floor a server's live window must reach before a
+	// live_history predict will forecast from it; thinner windows fail with
+	// insufficient_history rather than silently serving a worse forecast
+	// (the cold-start symptom after a failed restore). 0 means one day of
+	// points at the ingestor's interval; negative disables the floor.
+	MinLivePoints int
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -95,10 +105,11 @@ type Service struct {
 	cfg     ServiceConfig
 	pool    *ModelPool
 	workers *parallel.Pool
-	mux     *http.ServeMux
-	varz    *varz
-	ready   atomic.Bool
-	unbind  func() // detaches the pool's registry watcher
+	mux      *http.ServeMux
+	varz     *varz
+	ready    atomic.Bool
+	degraded atomic.Pointer[string] // non-nil: serving, but restore was partial
+	unbind   func() // detaches the pool's registry watcher
 }
 
 // NewService wires a service over a registry and an optional document store
@@ -163,6 +174,27 @@ func (s *Service) Pool() *ModelPool { return s.pool }
 // stop routing new traffic.
 func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
 
+// SetDegraded marks the service as serving in a degraded state (e.g. the
+// live window cold-started because its snapshot or WAL failed to restore).
+// /readyz keeps answering 200 — the process can serve — but reports the
+// status and reason honestly instead of pretending full health; /varz
+// carries the same string. Empty clears the mark.
+func (s *Service) SetDegraded(reason string) {
+	if reason == "" {
+		s.degraded.Store(nil)
+		return
+	}
+	s.degraded.Store(&reason)
+}
+
+// Degraded returns the degraded reason, or "" when fully healthy.
+func (s *Service) Degraded() string {
+	if r := s.degraded.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
 // Close detaches the service from its registry so a discarded service (and
 // its warm pool) can be collected while the registry lives on. The service
 // keeps answering requests after Close, but its pool no longer learns about
@@ -197,6 +229,19 @@ func (s *Service) validateSeries(history SeriesJSON, horizon, windowPoints int, 
 		return badRequest("window_points %d must be within the horizon %d", windowPoints, horizon)
 	}
 	return nil
+}
+
+// minLivePoints resolves the live_history window floor: the configured value,
+// or one day of observations at the ingestor's interval by default.
+func (s *Service) minLivePoints() int {
+	switch {
+	case s.cfg.MinLivePoints > 0:
+		return s.cfg.MinLivePoints
+	case s.cfg.MinLivePoints < 0 || s.cfg.Ingestor == nil:
+		return 0
+	default:
+		return int(24 * time.Hour / s.cfg.Ingestor.Interval())
+	}
 }
 
 // active resolves the deployment slot serving (scenario, region).
@@ -263,6 +308,11 @@ func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimi
 		if !ok {
 			return PredictResponseV2{}, svcErr(CodeNotFound, http.StatusNotFound,
 				"no live telemetry for server %q", req.ServerID)
+		}
+		if min := s.minLivePoints(); min > 0 && snap.Len() < min {
+			return PredictResponseV2{}, svcErr(CodeInsufficientHistory, http.StatusUnprocessableEntity,
+				"live window for %q spans %d observations, below the %d-observation floor (cold-started window?)",
+				req.ServerID, snap.Len(), min)
 		}
 		req.History = FromSeries(snap)
 	}
@@ -490,6 +540,10 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if reason := s.Degraded(); reason != "" {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "reason": reason})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

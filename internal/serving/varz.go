@@ -66,6 +66,11 @@ type Varz struct {
 	Drift     *stream.DriftStats      `json:"drift,omitempty"`
 	Refresh   *stream.RefreshStats    `json:"refresh,omitempty"`
 	Sweeper   *stream.SweeperStats    `json:"sweeper,omitempty"`
+	// Durability reports WAL commits, incremental snapshots and the boot
+	// recovery outcome; Degraded carries the reason when restore was partial
+	// (mirrors /readyz).
+	Durability *stream.DurabilityStats `json:"durability,omitempty"`
+	Degraded   string                  `json:"degraded,omitempty"`
 }
 
 // varz tracks every instrumented endpoint for one service.
@@ -157,6 +162,11 @@ func (s *Service) VarzSnapshot() Varz {
 		st := s.cfg.Sweeper.Stats()
 		out.Sweeper = &st
 	}
+	if s.cfg.Durability != nil {
+		st := s.cfg.Durability.Stats()
+		out.Durability = &st
+	}
+	out.Degraded = s.Degraded()
 	return out
 }
 

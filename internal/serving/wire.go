@@ -27,6 +27,11 @@ const (
 	CodeCanceled    ErrorCode = "canceled"          // caller went away mid-request
 	CodeDeadline    ErrorCode = "deadline_exceeded" // request exceeded its deadline
 	CodeInternal    ErrorCode = "internal"          // unexpected server-side failure
+	// CodeInsufficientHistory: a live_history predict found the server's
+	// window thinner than the configured floor — typically right after a
+	// cold start (failed restore), when silently forecasting from a sliver
+	// of telemetry would be worse than failing loudly.
+	CodeInsufficientHistory ErrorCode = "insufficient_history"
 )
 
 // ErrorBody is the structured payload inside a v2 error envelope, and the

@@ -212,6 +212,15 @@ func (r *serverRing) view(slots int, epoch time.Time, interval time.Duration) (t
 	return timeseries.New(epoch.Add(time.Duration(lo)*interval), interval, vals), true
 }
 
+// walEntry is one accepted point pending WAL group commit: the minimum
+// needed to replay the ring-level put. Value type, no pointers — buffering
+// one is a copy into a preallocated slice, not an allocation.
+type walEntry struct {
+	id   string
+	slot int64
+	val  float64
+}
+
 // shard is one lock stripe of server rings. Counters are guarded by mu.
 type shard struct {
 	mu         sync.RWMutex
@@ -221,6 +230,23 @@ type shard struct {
 	tooOld     uint64
 	tooNew     uint64
 	badValues  uint64
+
+	// gen counts ring mutations (appends and replays) in this shard; the
+	// incremental snapshotter skips shards whose gen hasn't moved since
+	// their last snapshot, so unchanged shards cost nothing.
+	gen uint64
+
+	// WAL hook, armed by Durability. Accepted points are buffered in pend
+	// under mu (append into preallocated capacity — the hot path stays
+	// 0 allocs/op) and flushed to the log by the group committer, which
+	// swaps the slice out rather than copying it. When the buffer fills
+	// between commits the overflow is counted, not blocked on: ingest
+	// latency outranks completeness of the last δ of uncommitted points,
+	// which the bounded-loss guarantee already writes off.
+	walOn      bool
+	pend       []walEntry
+	walDropped uint64
+	walKick    chan struct{}
 }
 
 // Ingestor accepts out-of-order per-server load points and rolls them up
@@ -308,6 +334,22 @@ func (g *Ingestor) Append(serverID string, t time.Time, v float64) AppendStatus 
 	switch st {
 	case Appended:
 		sh.appended++
+		sh.gen++
+		if sh.walOn {
+			if len(sh.pend) < cap(sh.pend) {
+				sh.pend = append(sh.pend, walEntry{id: serverID, slot: slot, val: v})
+				if len(sh.pend) == cap(sh.pend)/2 {
+					// Nudge the committer before the buffer fills; dropping
+					// the nudge is fine — the commit ticker is the backstop.
+					select {
+					case sh.walKick <- struct{}{}:
+					default:
+					}
+				}
+			} else {
+				sh.walDropped++
+			}
+		}
 	case Duplicate:
 		sh.duplicates++
 	case TooOld:
@@ -315,6 +357,90 @@ func (g *Ingestor) Append(serverID string, t time.Time, v float64) AppendStatus 
 	}
 	sh.mu.Unlock()
 	return st
+}
+
+// replayPut applies one recovered WAL record directly at the ring level. The
+// wall-clock bound is skipped — a replayed point was already accepted once,
+// and judging it against the current clock would drop records near the
+// MaxFuture horizon — but every ring-level verdict still applies, so a record
+// whose slot is covered by a newer snapshot lands as Duplicate (first write
+// wins) and replay is idempotent. Replayed points are not re-buffered for the
+// WAL (they are already in it) and do not move the process-lifetime ingestion
+// counters, which describe this process, not the data.
+func (g *Ingestor) replayPut(serverID string, slot int64, v float64) AppendStatus {
+	if math.IsNaN(v) || math.IsInf(v, 0) || slot < 0 {
+		return BadValue
+	}
+	sh := g.shardOf(serverID)
+	sh.mu.Lock()
+	r := sh.rings[serverID]
+	if r == nil {
+		r = newRing(slot, g.cfg.Slots)
+		sh.rings[serverID] = r
+	}
+	st := r.put(slot, v, g.cfg.Slots)
+	if st == Appended {
+		sh.gen++
+	}
+	sh.mu.Unlock()
+	return st
+}
+
+// attachWAL arms per-shard pending buffers of the given capacity. kick is
+// nudged (non-blocking) when a buffer reaches half full. Arm before
+// concurrent appends begin.
+func (g *Ingestor) attachWAL(buffer int, kick chan struct{}) {
+	for i := range g.sh {
+		sh := &g.sh[i]
+		sh.mu.Lock()
+		sh.walOn = true
+		sh.walKick = kick
+		if cap(sh.pend) < buffer {
+			sh.pend = make([]walEntry, 0, buffer)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// takePending swaps shard i's pending WAL entries out for spare (reset to
+// length zero, grown to at least minCap so the shard never receives an
+// undersized buffer), returning the buffered entries. The committer hands
+// the previous batch back as the next spare, so steady-state commits
+// allocate nothing.
+func (g *Ingestor) takePending(i int, spare []walEntry, minCap int) []walEntry {
+	if cap(spare) < minCap {
+		spare = make([]walEntry, 0, minCap)
+	}
+	sh := &g.sh[i]
+	sh.mu.Lock()
+	pend := sh.pend
+	sh.pend = spare[:0]
+	sh.mu.Unlock()
+	return pend
+}
+
+// requeuePending puts entries back at the front of shard i's pending buffer
+// after a failed WAL flush, so they are retried on the next commit. May
+// exceed the configured buffer capacity (correctness over the bound on the
+// error path).
+func (g *Ingestor) requeuePending(i int, entries []walEntry) {
+	sh := &g.sh[i]
+	sh.mu.Lock()
+	sh.pend = append(entries, sh.pend...)
+	sh.mu.Unlock()
+}
+
+// walOverflow sums points dropped because a shard's pending buffer was full
+// between commits.
+func (g *Ingestor) walOverflow() uint64 {
+	var n uint64
+	for i := range g.sh {
+		sh := &g.sh[i]
+		sh.mu.RLock()
+		n += sh.walDropped
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // AppendSummary tallies the outcomes of a batch append.

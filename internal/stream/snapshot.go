@@ -58,6 +58,33 @@ var (
 // snapshotEnd marks the end of the per-server records.
 const snapshotEnd = ^uint32(0)
 
+// ShardSnapshotPrefix is the lake prefix incremental per-shard snapshots live
+// under; shardSnapshotObject names one shard's file. Each file is a complete,
+// self-validating snapshot stream (same format as SnapshotObject) holding
+// just that shard's servers, so RestoreSnapshot reads both kinds and a
+// damaged shard file degrades only that shard.
+const ShardSnapshotPrefix = "stream/rings/"
+
+func shardSnapshotObject(shard int) string {
+	return fmt.Sprintf("%sshard-%04d.snap", ShardSnapshotPrefix, shard)
+}
+
+// appendShardSnapshot serializes one shard's rings into buf as a complete
+// snapshot stream — magic, geometry header, per-server records, end sentinel,
+// trailing CRC. The caller holds the shard's lock.
+func appendShardSnapshot(buf []byte, cfg *Config, sh *shard) []byte {
+	base := len(buf)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cfg.Interval))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cfg.Epoch.UnixNano()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cfg.Slots))
+	for id, r := range sh.rings {
+		buf = appendRingRecord(buf, id, r, cfg.Slots)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotEnd)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[base:]))
+}
+
 // crcWriter updates a running CRC-32 with everything written through it.
 type crcWriter struct {
 	w   io.Writer

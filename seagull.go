@@ -136,6 +136,17 @@ type (
 	SweeperConfig = stream.SweeperConfig
 	// AppendStatus reports what happened to one ingested point.
 	AppendStatus = stream.AppendStatus
+	// Durability is the bounded-loss persistence manager for the stream
+	// layer: a group-committed per-shard WAL plus periodic incremental ring
+	// snapshots, replayed on boot so a hard kill loses at most one commit
+	// interval of telemetry.
+	Durability = stream.Durability
+	// DurabilityConfig parameterizes the durability manager (WAL commit
+	// interval δ, snapshot cadence, buffer sizing).
+	DurabilityConfig = stream.DurabilityConfig
+	// RecoveryStats describes one boot-time recovery pass (snapshot shards
+	// restored, WAL records replayed, per-file failures).
+	RecoveryStats = stream.RecoveryStats
 )
 
 // NewClient returns a typed client for a serving endpoint base URL.
@@ -576,6 +587,15 @@ func (s *System) StartSweeper() (stop func()) {
 // the drain hook that makes the stream layer survive restarts.
 func (s *System) SaveStreamSnapshot() error {
 	return s.Stream().SaveSnapshot(s.Lake)
+}
+
+// NewDurability builds a durability manager binding the system's stream
+// ingestor to its lake: call Recover() before serving, then Start(ctx) to
+// run WAL group commits and incremental snapshots in the background, and
+// Close() on drain. Supersedes the Save/RestoreStreamSnapshot pair for
+// deployments that need bounded loss under hard kills.
+func (s *System) NewDurability(cfg DurabilityConfig) *Durability {
+	return stream.NewDurability(s.Stream(), s.Lake, cfg)
 }
 
 // RestoreStreamSnapshot restores the live telemetry rings from the lake's
