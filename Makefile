@@ -19,12 +19,12 @@ bench:
 
 # Full check + machine-readable snapshot (see cmd/seagull-bench).
 bench-json:
-	go run ./cmd/seagull-bench -out BENCH_6.json
+	go run ./cmd/seagull-bench -out BENCH_7.json
 
 # Diff a fresh run against the committed snapshot; fails on >10% allocs/op
 # regression (the CI gate).
 bench-compare:
-	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_6.json
+	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_7.json
 
 # Markdown hygiene: relative links in *.md must resolve (also runs in CI).
 docs-check:

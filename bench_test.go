@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"seagull"
+	"seagull/internal/admission"
 	"seagull/internal/cosmos"
 	"seagull/internal/experiments"
 	"seagull/internal/forecast"
@@ -647,6 +648,81 @@ func TestBenchCoverage(t *testing.T) {
 		t.Errorf("experiment count %d != covered %d", len(experiments.All()), len(covered))
 	}
 	_ = fmt.Sprint() // keep fmt imported alongside future debug output
+}
+
+// --- Admission benchmarks: accept fast path and saturated shed path ---
+
+// BenchmarkAdmissionAccept measures the uncontended admit/release round-trip
+// every served request pays once admission control is on. The acceptance bar
+// is 0 allocs/op: the happy path must not tax the warm predict pipeline.
+func BenchmarkAdmissionAccept(b *testing.B) {
+	l := admission.NewLimiter(admission.Config{MaxInflight: 64, Target: time.Second})
+	ep := l.Endpoint("bench", admission.Predict, time.Second)
+	ctx := context.Background()
+	if tk, res := ep.Acquire(ctx, false); res.Verdict != admission.Admitted {
+		b.Fatalf("prime acquire: %v", res.Verdict)
+	} else {
+		tk.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, res := ep.Acquire(ctx, false)
+		if res.Verdict != admission.Admitted {
+			b.Fatalf("acquire %d: %v", i, res.Verdict)
+		}
+		tk.Release()
+	}
+}
+
+// BenchmarkAdmissionShed measures the overload path: limit occupied, queue
+// full, every arrival rejected with a computed Retry-After. Shedding must be
+// far cheaper than serving — it is the work the server does precisely when it
+// has no headroom.
+func BenchmarkAdmissionShed(b *testing.B) {
+	l := admission.NewLimiter(admission.Config{MaxInflight: 1, QueueCap: 1, Target: time.Second})
+	ep := l.Endpoint("bench", admission.Predict, time.Second)
+	blocker, res := ep.Acquire(context.Background(), false)
+	if res.Verdict != admission.Admitted {
+		b.Fatalf("blocker acquire: %v", res.Verdict)
+	}
+	defer blocker.Release()
+	qctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if tk, qres := ep.Acquire(qctx, false); qres.Verdict == admission.Admitted {
+			tk.Release()
+		}
+	}()
+	defer func() { cancel(); <-done }()
+	for deadline := time.Now().Add(2 * time.Second); l.Stats().InQueue < 1; {
+		if time.Now().After(deadline) {
+			b.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx := context.Background()
+	// Prime the one-time lazy shed bookkeeping so a 1x CI pass measures the
+	// steady state (mirrors the WAL benchmark's CommitNow prime).
+	if _, sres := ep.Acquire(ctx, false); sres.Verdict != admission.Shed {
+		b.Fatalf("prime acquire: %v, want shed", sres.Verdict)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sres := ep.Acquire(ctx, false)
+		if sres.Verdict != admission.Shed {
+			b.Fatalf("acquire %d: %v, want shed", i, sres.Verdict)
+		}
+		if sres.RetryAfter <= 0 {
+			b.Fatal("shed without Retry-After")
+		}
+	}
+	// The deferred teardown (cancel + grant of the queued waiter) would
+	// otherwise be attributed to the final timed region.
+	b.StopTimer()
 }
 
 // --- Durability benchmarks: WAL hot-path cost and boot replay throughput ---

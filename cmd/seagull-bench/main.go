@@ -44,7 +44,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkServePredict|BenchmarkServeBatch|" +
 	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
 	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper|" +
-	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay"
+	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay|" +
+	"BenchmarkAdmissionAccept|BenchmarkAdmissionShed"
 
 type benchResult struct {
 	Name        string  `json:"name"`

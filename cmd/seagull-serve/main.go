@@ -28,6 +28,13 @@
 // deployed backup region as each dataset week elapses, so deployments
 // refresh without an operator.
 //
+// Every endpoint runs behind adaptive admission control (-max-inflight,
+// -latency-target): an AIMD limiter bounds in-flight requests, prioritized
+// shedding answers overload with 503/429 + Retry-After (predict > ingest >
+// background; liveness endpoints exempt), and -brownout degrades saturated
+// /v2/predict traffic to the persistent forecast instead of refusing it.
+// See README.md ("Overload behavior").
+//
 // On SIGTERM the server flips /readyz to draining, stops accepting new
 // connections, waits up to -drain for in-flight requests, snapshots the
 // live telemetry rings to the lake (-snapshot, on by default; restored on
@@ -71,7 +78,16 @@ func main() {
 		grace = flag.Duration("grace", 0,
 			"delay between flipping /readyz to draining and closing the listener, so load "+
 				"balancers observe the drain before connections are refused (set to your probe interval)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request serving deadline")
+		maxInflight = flag.Int("max-inflight", 0,
+			"adaptive admission control: ceiling on concurrently served requests "+
+				"(0 = default 256; negative disables admission entirely)")
+		latencyTarget = flag.Duration("latency-target", 0,
+			"admission latency target for predict traffic (ingest 2x, background 4x); the "+
+				"limiter backs off when served latency exceeds it (0 = default 500ms)")
+		brownout = flag.Bool("brownout", false,
+			"serve saturated /v2/predict traffic from the persistent-forecast fallback "+
+				"(flagged degraded:true) instead of shedding it")
 		streamOn = flag.Bool("stream", true, "enable the online telemetry stream (POST /v2/ingest + drift refresh)")
 		snapshot = flag.Bool("snapshot", true,
 			"restore the live telemetry rings from the lake on startup and persist them while running, "+
@@ -104,6 +120,9 @@ func main() {
 		Drain:          *drain,
 		Grace:          *grace,
 		Timeout:        *timeout,
+		MaxInflight:    *maxInflight,
+		LatencyTarget:  *latencyTarget,
+		Brownout:       *brownout,
 		Stream:         *streamOn,
 		Snapshot:       *snapshot,
 		WAL:            *walOn,
@@ -137,7 +156,15 @@ type serveConfig struct {
 	Drain   time.Duration
 	Grace   time.Duration
 	Timeout time.Duration
-	Stream  bool
+	// MaxInflight caps concurrently served requests under the adaptive
+	// admission limiter (0 = service default; negative disables admission).
+	MaxInflight int
+	// LatencyTarget is the admission AIMD target for predict traffic.
+	LatencyTarget time.Duration
+	// Brownout degrades saturated /v2/predict to the persistent forecast
+	// instead of shedding.
+	Brownout bool
+	Stream   bool
 	// Snapshot restores the telemetry rings from the lake on startup and
 	// persists them while running + on drain (stream layer only).
 	Snapshot bool
@@ -205,7 +232,13 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		fmt.Fprintf(out, "demo pipeline: region=%s week=1 predicted=%d\n", region, res.Predicted)
 	}
 
-	svcCfg := seagull.ServiceConfig{Timeout: cfg.Timeout}
+	svcCfg := seagull.ServiceConfig{
+		Timeout:       cfg.Timeout,
+		MaxInflight:   cfg.MaxInflight,
+		LatencyTarget: cfg.LatencyTarget,
+		Brownout:      cfg.Brownout,
+		DrainGrace:    cfg.Grace,
+	}
 	var dur *seagull.Durability
 	var rec seagull.RecoveryStats
 	if cfg.Stream {
@@ -247,6 +280,21 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		}
 	}
 	svc := sys.Service(svcCfg)
+	if cfg.MaxInflight >= 0 {
+		maxIn, target := cfg.MaxInflight, cfg.LatencyTarget
+		if maxIn == 0 {
+			maxIn = 256 // serving default
+		}
+		if target == 0 {
+			target = 500 * time.Millisecond // serving default
+		}
+		mode := "shed"
+		if cfg.Brownout {
+			mode = "brownout"
+		}
+		fmt.Fprintf(out, "admission control: max-inflight=%d latency-target=%s saturated-predicts=%s\n",
+			maxIn, target, mode)
+	}
 	if rec.Degraded() {
 		// Keep serving what survived, but say so on /readyz and /varz: live
 		// windows touched by the failed objects are cold-started, so their

@@ -1,0 +1,212 @@
+package admission
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The soak test models a CPU-bound server: simulated service time grows
+// linearly with admitted concurrency (svcUnit per in-flight request), so
+// running "hotter" makes every request slower — exactly the regime the
+// AIMD limiter exists for. A goroutine storm at 10× the baseline client
+// count must not collapse accepted-request latency or goodput, every shed
+// must carry Retry-After, and after a squeeze phase (service slowdown)
+// drags the limit down, it must re-open within 5 seconds.
+//
+// All load is closed-loop (clients wait for their own completions), which
+// keeps the test deterministic across machines: margins are 2x or wider.
+
+type soakStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration // accepted requests only
+	accepted  uint64
+	sheds     uint64
+	badRetry  uint64 // sheds missing a Retry-After hint
+}
+
+func (s *soakStats) record(lat time.Duration) {
+	s.mu.Lock()
+	s.latencies = append(s.latencies, lat)
+	s.accepted++
+	s.mu.Unlock()
+}
+
+func (s *soakStats) shed(res Result) {
+	s.mu.Lock()
+	s.sheds++
+	if res.RetryAfter <= 0 {
+		s.badRetry++
+	}
+	s.mu.Unlock()
+}
+
+func (s *soakStats) p99() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.latencies))
+	copy(sorted, s.latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func (s *soakStats) snapshot() (accepted, sheds, badRetry uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted, s.sheds, s.badRetry
+}
+
+// soakClient loops acquire → simulated work → release until stop closes.
+// svcUnit is read atomically so the squeeze phase can slow the "server"
+// mid-run. think adds idle time between requests (baseline clients only).
+func soakClient(l *Limiter, ep *Endpoint, st *soakStats, svcUnit *atomic.Int64, think time.Duration, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		start := time.Now()
+		tk, res := ep.Acquire(context.Background(), false)
+		switch res.Verdict {
+		case Admitted:
+			// Service time scales with how many requests were let in:
+			// contention made concrete.
+			n := l.InFlight()
+			if n < 1 {
+				n = 1
+			}
+			time.Sleep(time.Duration(n) * time.Duration(svcUnit.Load()))
+			tk.Release()
+			st.record(time.Since(start))
+		default:
+			st.shed(res)
+			time.Sleep(2 * time.Millisecond) // abusive client, but not a spin loop
+		}
+		if think > 0 {
+			time.Sleep(think)
+		}
+	}
+}
+
+func TestSoakStormKeepsLatencyAndGoodput(t *testing.T) {
+	const (
+		maxInflight = 16
+		queueCap    = 8
+		target      = 60 * time.Millisecond
+		baseClients = 4
+		stormFactor = 10 // 10x the baseline client population
+	)
+	baseDur, stormDur, squeezeDur := 700*time.Millisecond, 1500*time.Millisecond, 700*time.Millisecond
+	if testing.Short() {
+		baseDur, stormDur, squeezeDur = 300*time.Millisecond, 600*time.Millisecond, 400*time.Millisecond
+	}
+
+	l := NewLimiter(Config{
+		MaxInflight: maxInflight,
+		QueueCap:    queueCap,
+		Target:      target,
+	})
+	ep := l.Endpoint("predict", Predict, target)
+
+	var svcUnit atomic.Int64
+	svcUnit.Store(int64(time.Millisecond)) // svc = 1ms x in-flight
+
+	// Phase 1: baseline. A few polite clients, comfortably under capacity.
+	base := &soakStats{}
+	stopBase := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < baseClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			soakClient(l, ep, base, &svcUnit, 2*time.Millisecond, stopBase)
+		}()
+	}
+	time.Sleep(baseDur)
+	baseAccepted, _, _ := base.snapshot()
+	baseRate := float64(baseAccepted) / baseDur.Seconds()
+	if baseRate == 0 {
+		t.Fatal("baseline produced no completions")
+	}
+
+	// Phase 2: storm. 10x the client population piles on with zero think
+	// time; baseline clients keep running underneath.
+	storm := &soakStats{}
+	stopStorm := make(chan struct{})
+	for i := 0; i < baseClients*stormFactor; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			soakClient(l, ep, storm, &svcUnit, 0, stopStorm)
+		}()
+	}
+	stormStart := time.Now()
+	time.Sleep(stormDur)
+	stormElapsed := time.Since(stormStart)
+	stormAcceptedMid, stormSheds, _ := storm.snapshot()
+	baseAcceptedMid, _, _ := base.snapshot()
+
+	// Accepted-request p99 must hold under the latency target even at 10x.
+	if p99 := storm.p99(); p99 > target {
+		t.Errorf("storm accepted p99 = %v, want <= %v", p99, target)
+	}
+	// Goodput (all accepted completions/s) must stay >= 80% of baseline.
+	stormRate := float64(stormAcceptedMid+baseAcceptedMid-baseAccepted) / stormElapsed.Seconds()
+	if stormRate < 0.8*baseRate {
+		t.Errorf("storm goodput = %.0f/s, want >= 80%% of baseline %.0f/s", stormRate, baseRate)
+	}
+	// The storm must actually have shed (otherwise this test proves nothing).
+	if stormSheds == 0 {
+		t.Error("storm shed nothing — load did not exceed capacity")
+	}
+
+	// Phase 3: squeeze. The simulated server slows 4x (e.g. a co-located
+	// retrain storm); over-target completions must drag the limit down.
+	svcUnit.Store(int64(4 * time.Millisecond))
+	time.Sleep(squeezeDur)
+	squeezed := l.Limit()
+	if squeezed > 0.8*maxInflight {
+		t.Errorf("limit = %.1f after squeeze, want < %.1f (AIMD must back off)", squeezed, 0.8*maxInflight)
+	}
+
+	// Phase 4: recovery. Storm ends, service speed restores; the limit
+	// must re-open to >= 90%% of max within 5s.
+	svcUnit.Store(int64(time.Millisecond))
+	close(stopStorm)
+	recoverDeadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(recoverDeadline) {
+		if l.Limit() >= 0.9*maxInflight {
+			recovered = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !recovered {
+		t.Errorf("limit = %.1f did not recover to %.1f within 5s of storm end (from %.1f)",
+			l.Limit(), 0.9*maxInflight, squeezed)
+	}
+	close(stopBase)
+	wg.Wait()
+
+	// Every shed across all phases must have carried a Retry-After hint.
+	_, totalSheds, badRetry := storm.snapshot()
+	_, baseSheds, baseBad := base.snapshot()
+	if badRetry+baseBad > 0 {
+		t.Errorf("%d of %d sheds carried no Retry-After", badRetry+baseBad, totalSheds+baseSheds)
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", l.InFlight())
+	}
+}

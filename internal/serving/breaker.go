@@ -1,0 +1,132 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when the client-side circuit breaker
+// rejects a call without sending it: the endpoint has produced enough
+// consecutive retryable failures that hammering it further only deepens the
+// overload the server is shedding. Callers branch with errors.Is.
+var ErrCircuitOpen = errors.New("serving: circuit breaker open")
+
+// BreakerConfig parameterizes the client-side circuit breaker. The zero
+// value disables it (NewClient's default), preserving the plain retry
+// behavior; set Threshold to enable.
+//
+// The breaker closes the loop the server's admission layer opens: a shed
+// response (503/429) carries Retry-After, and an open breaker keeps the
+// client off the endpoint for that long instead of re-queueing jittered
+// retries into the storm. One breaker tracks each request path.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive retryable failures (transport
+	// errors, 503, 429) on one path that opens its circuit. 0 disables the
+	// breaker; 1 opens on any failure.
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before letting a
+	// single half-open probe through. A server Retry-After on the opening
+	// failure overrides it — the server knows its own recovery schedule.
+	// Default 1s.
+	Cooldown time.Duration
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one path's circuit. closed → (threshold consecutive retryable
+// failures) → open → (cooldown elapses) → half-open: exactly one probe flies
+// while other calls keep failing fast; the probe's success closes the
+// circuit, its failure reopens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+// allow decides whether a call may be sent now. It returns nil to proceed
+// (possibly as the half-open probe) or an ErrCircuitOpen-wrapped error to
+// fail fast.
+func (b *breaker) allow(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return fmt.Errorf("%w for another %v", ErrCircuitOpen, b.openUntil.Sub(now).Round(time.Millisecond))
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("%w: recovery probe in flight", ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// onSuccess records a successful (or definitively-answered) call: a server
+// that returns a real answer is healthy, so the circuit closes and the
+// consecutive-failure streak resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records a retryable failure and reports whether the circuit is
+// now open. A failed half-open probe reopens immediately; a closed circuit
+// opens once the streak reaches threshold. retryAfter, when positive,
+// overrides cooldown as the open duration.
+func (b *breaker) onFailure(threshold int, cooldown, retryAfter time.Duration, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.state == breakerHalfOpen && b.probing
+	b.probing = false
+	b.failures++
+	if !wasProbe && b.failures < threshold {
+		return false
+	}
+	b.state = breakerOpen
+	d := cooldown
+	if retryAfter > 0 {
+		d = retryAfter
+	}
+	b.openUntil = now.Add(d)
+	b.failures = 0
+	return true
+}
+
+// breakerFor returns (creating once) the breaker tracking path, or nil when
+// the breaker is disabled.
+func (c *Client) breakerFor(path string) *breaker {
+	if c.Breaker.Threshold <= 0 {
+		return nil
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	if c.brks == nil {
+		c.brks = map[string]*breaker{}
+	}
+	b := c.brks[path]
+	if b == nil {
+		b = &breaker{}
+		c.brks[path] = b
+	}
+	return b
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"seagull/internal/timeseries"
@@ -70,10 +71,20 @@ type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	// Retry, when MaxAttempts ≥ 2, retries requests that failed with a
-	// transport error or a 503 (the drain/restart signals) with jittered
-	// exponential backoff. The readiness probe itself never retries — its
-	// job is to observe draining, not to wait it out.
+	// transport error, a 503 or a 429 (the drain/restart and overload
+	// signals) with jittered exponential backoff. The readiness probe
+	// itself never retries — its job is to observe draining, not to wait
+	// it out.
 	Retry RetryConfig
+	// Breaker, when Threshold > 0, adds a per-path circuit breaker: after
+	// that many consecutive retryable failures the path fails fast (wrapped
+	// ErrCircuitOpen) instead of hammering an overloaded or down endpoint,
+	// then recovers through a single half-open probe after the cooldown (or
+	// the server's Retry-After). Zero value: disabled.
+	Breaker BreakerConfig
+
+	brkMu sync.Mutex
+	brks  map[string]*breaker
 }
 
 // NewClient returns a client for baseURL (no trailing slash required).
@@ -92,11 +103,43 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	rc := c.Retry.withDefaults()
+	brk := c.breakerFor(path)
+	cooldown := c.Breaker.Cooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if brk != nil {
+			if berr := brk.allow(time.Now()); berr != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (last failure: %v)", berr, lastErr)
+				}
+				return berr
+			}
+		}
 		err := c.doOnce(ctx, method, path, data, out)
-		if err == nil || !retryable(err) || attempt+1 >= rc.MaxAttempts {
+		if err == nil || !retryable(err) {
+			if brk != nil {
+				// A definitive non-retryable answer (e.g. 404) also proves
+				// the server is up; both close the circuit.
+				brk.onSuccess()
+			}
+			return err
+		}
+		if brk != nil {
+			var ra time.Duration
+			if apiErr, ok := err.(*APIError); ok {
+				ra = apiErr.RetryAfter
+			}
+			if brk.onFailure(c.Breaker.Threshold, cooldown, ra, time.Now()) {
+				// The circuit just opened: stop hammering this endpoint even
+				// if the attempt budget has room.
+				return fmt.Errorf("%w after consecutive failures: %v", ErrCircuitOpen, err)
+			}
+		}
+		if attempt+1 >= rc.MaxAttempts {
 			return err
 		}
 		lastErr = err
@@ -128,12 +171,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// retryable reports whether an attempt's failure is a drain/restart signal
-// worth retrying: transport errors (connection refused/reset mid-restart)
-// and 503 responses. Structured API errors other than 503 are definitive.
+// retryable reports whether an attempt's failure is a drain/restart or
+// overload signal worth retrying: transport errors (connection
+// refused/reset mid-restart), 503 (draining or shed) and 429 (paced ingest
+// shed — the server's Retry-After tells the loop when). Other structured
+// API errors are definitive.
 func retryable(err error) bool {
 	if apiErr, ok := err.(*APIError); ok {
-		return apiErr.Status == http.StatusServiceUnavailable
+		return apiErr.Status == http.StatusServiceUnavailable ||
+			apiErr.Status == http.StatusTooManyRequests
 	}
 	return true // transport-level failure
 }
@@ -235,7 +281,9 @@ func (c *Client) Predictions(ctx context.Context, region string, week int) (Pred
 }
 
 // Ingest posts a telemetry batch to the stream layer. Safe to re-send on
-// failure: appends are idempotent (replays count as duplicates).
+// failure: appends are idempotent (replays count as duplicates). A 429 from
+// admission control (ingest shed under overload) is retried under the same
+// backoff budget as a drain 503, honoring the server's Retry-After pacing.
 func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResponse, error) {
 	var out IngestResponse
 	err := c.do(ctx, http.MethodPost, "/v2/ingest", req, &out)

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seagull/internal/admission"
 	"seagull/internal/cosmos"
 	"seagull/internal/metrics"
 	"seagull/internal/parallel"
@@ -71,6 +72,23 @@ type ServiceConfig struct {
 	// (the cold-start symptom after a failed restore). 0 means one day of
 	// points at the ingestor's interval; negative disables the floor.
 	MinLivePoints int
+	// MaxInflight bounds concurrently-executing requests across every
+	// admission-controlled endpoint (all of /v1 and /v2; liveness endpoints
+	// are exempt). The adaptive limiter starts here and walks the effective
+	// limit down whenever observed latency exceeds the per-class target.
+	// 0 → default 256; negative disables admission control entirely.
+	MaxInflight int
+	// LatencyTarget is the predict-class latency target the AIMD limiter
+	// defends (ingest gets 2x, background 4x). Default 500ms.
+	LatencyTarget time.Duration
+	// Brownout lets /v2/predict degrade to the persistent previous-day
+	// forecast (flagged degraded:true) when the limiter saturates, instead
+	// of queueing or shedding — availability traded against accuracy.
+	Brownout bool
+	// DrainGrace is the drain duration advertised as Retry-After on a
+	// draining /readyz, so balancers and clients back off for exactly the
+	// grace window instead of guessing. Default 5s.
+	DrainGrace time.Duration
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -92,6 +110,15 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.MaxIngestPoints == 0 {
 		c.MaxIngestPoints = 1 << 20
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 500 * time.Millisecond
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
 	return c
 }
 
@@ -100,16 +127,17 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 // model pool, plus the v1 endpoints as a compatibility shim. Safe for
 // concurrent use; one Service is meant to serve a process's whole traffic.
 type Service struct {
-	reg     *registry.Registry
-	db      *cosmos.DB // optional; nil disables /v2/predictions
-	cfg     ServiceConfig
-	pool    *ModelPool
-	workers *parallel.Pool
+	reg      *registry.Registry
+	db       *cosmos.DB // optional; nil disables /v2/predictions
+	cfg      ServiceConfig
+	pool     *ModelPool
+	workers  *parallel.Pool
+	limiter  *admission.Limiter // nil: admission control disabled
 	mux      *http.ServeMux
 	varz     *varz
 	ready    atomic.Bool
 	degraded atomic.Pointer[string] // non-nil: serving, but restore was partial
-	unbind   func() // detaches the pool's registry watcher
+	unbind   func()                 // detaches the pool's registry watcher
 }
 
 // NewService wires a service over a registry and an optional document store
@@ -137,25 +165,49 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 	s.unbind = s.pool.Bind(reg)
 	s.ready.Store(true)
 
+	// One shared adaptive limiter guards the whole traffic surface; the
+	// refresher's sustained-backpressure predicate doubles as an external
+	// brownout-entry signal (a saturated refresh queue means the CPUs are
+	// already behind on retraining).
+	if cfg.MaxInflight > 0 {
+		var saturated func() bool
+		if cfg.Refresher != nil {
+			saturated = cfg.Refresher.Saturated
+		}
+		s.limiter = admission.NewLimiter(admission.Config{
+			MaxInflight: cfg.MaxInflight,
+			Target:      cfg.LatencyTarget,
+			Brownout:    cfg.Brownout,
+			Saturated:   saturated,
+		})
+	}
+
 	// Every route is instrumented under its route pattern, so /varz reports
 	// per-endpoint latency histograms, error counts and in-flight gauges.
+	// Traffic-bearing routes additionally pass admission control under a
+	// priority class; liveness routes (healthz/readyz/varz) never queue.
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	admit := func(pattern string, class admission.Class, h http.HandlerFunc) {
+		handle(pattern, s.admitted(pattern, class, h, nil))
 	}
 	handle("GET /healthz", s.handleHealth)
 	handle("GET /readyz", s.handleReady)
 	handle("GET /varz", s.handleVarz)
 	// v1 compatibility shim (see serving.go for the wire types).
-	handle("GET /v1/models", s.handleModelsV1)
-	handle("POST /v1/predict", s.handlePredictV1)
-	// v2 protocol.
-	handle("POST /v2/predict", s.handlePredictV2)
-	handle("POST /v2/predict/batch", s.handleBatchV2)
-	handle("POST /v2/advise", s.handleAdviseV2)
-	handle("POST /v2/ingest", s.handleIngestV2)
-	handle("GET /v2/models", s.handleModelsV2)
-	handle("GET /v2/predictions/{region}/{week}", s.handlePredictionsV2)
+	admit("GET /v1/models", admission.Background, s.handleModelsV1)
+	admit("POST /v1/predict", admission.Predict, s.handlePredictV1)
+	// v2 protocol. /v2/predict is the one brownout-capable route: under
+	// saturation it degrades to the persistent forecast instead of shedding.
+	handle("POST /v2/predict",
+		s.admitted("POST /v2/predict", admission.Predict, s.handlePredictV2, s.handlePredictDegradedV2))
+	admit("POST /v2/predict/batch", admission.Predict, s.handleBatchV2)
+	admit("POST /v2/advise", admission.Background, s.handleAdviseV2)
+	admit("POST /v2/ingest", admission.Ingest, s.handleIngestV2)
+	admit("GET /v2/models", admission.Background, s.handleModelsV2)
+	admit("GET /v2/predictions/{region}/{week}", admission.Background, s.handlePredictionsV2)
 	s.mux = mux
 	return s
 }
@@ -289,32 +341,43 @@ func (s *Service) Predict(ctx context.Context, req PredictRequestV2) (PredictRes
 	return s.predict(ctx, req, true)
 }
 
+// resolveLiveHistory sources a live_history request's training history from
+// the attached ingestor's live window (no-op when the request carries its
+// own history). Shared by the full predict path and the brownout fallback.
+func (s *Service) resolveLiveHistory(req *PredictRequestV2) *ServiceError {
+	if !req.LiveHistory {
+		return nil
+	}
+	if s.cfg.Ingestor == nil {
+		return svcErr(CodeNotFound, http.StatusNotFound,
+			"live_history requires a stream ingestor attached to this service")
+	}
+	if req.ServerID == "" {
+		return badRequest("live_history requires server_id")
+	}
+	if len(req.History.Values) != 0 {
+		return badRequest("live_history and history are mutually exclusive")
+	}
+	// Stable copy of the live window: training is long and zero-copy
+	// views are only valid under the shard lock. Missing slots stay
+	// missing; models gap-fill exactly as they do on batch extracts.
+	snap, ok := s.cfg.Ingestor.SnapshotInto(req.ServerID, nil)
+	if !ok {
+		return svcErr(CodeNotFound, http.StatusNotFound,
+			"no live telemetry for server %q", req.ServerID)
+	}
+	if min := s.minLivePoints(); min > 0 && snap.Len() < min {
+		return svcErr(CodeInsufficientHistory, http.StatusUnprocessableEntity,
+			"live window for %q spans %d observations, below the %d-observation floor (cold-started window?)",
+			req.ServerID, snap.Len(), min)
+	}
+	req.History = FromSeries(snap)
+	return nil
+}
+
 func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimits bool) (PredictResponseV2, *ServiceError) {
-	if req.LiveHistory {
-		if s.cfg.Ingestor == nil {
-			return PredictResponseV2{}, svcErr(CodeNotFound, http.StatusNotFound,
-				"live_history requires a stream ingestor attached to this service")
-		}
-		if req.ServerID == "" {
-			return PredictResponseV2{}, badRequest("live_history requires server_id")
-		}
-		if len(req.History.Values) != 0 {
-			return PredictResponseV2{}, badRequest("live_history and history are mutually exclusive")
-		}
-		// Stable copy of the live window: training is long and zero-copy
-		// views are only valid under the shard lock. Missing slots stay
-		// missing; models gap-fill exactly as they do on batch extracts.
-		snap, ok := s.cfg.Ingestor.SnapshotInto(req.ServerID, nil)
-		if !ok {
-			return PredictResponseV2{}, svcErr(CodeNotFound, http.StatusNotFound,
-				"no live telemetry for server %q", req.ServerID)
-		}
-		if min := s.minLivePoints(); min > 0 && snap.Len() < min {
-			return PredictResponseV2{}, svcErr(CodeInsufficientHistory, http.StatusUnprocessableEntity,
-				"live window for %q spans %d observations, below the %d-observation floor (cold-started window?)",
-				req.ServerID, snap.Len(), min)
-		}
-		req.History = FromSeries(snap)
+	if serr := s.resolveLiveHistory(&req); serr != nil {
+		return PredictResponseV2{}, serr
 	}
 	if serr := s.validateSeries(req.History, req.Horizon, req.WindowPoints, enforceLimits); serr != nil {
 		return PredictResponseV2{}, serr
@@ -539,6 +602,9 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
+		// Advertise the drain window so balancers and the client back off
+		// for exactly as long as the drain lasts, not a guessed jitter.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.DrainGrace)))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seagull/internal/admission"
 	"seagull/internal/stream"
 )
 
@@ -70,7 +71,10 @@ type Varz struct {
 	// recovery outcome; Degraded carries the reason when restore was partial
 	// (mirrors /readyz).
 	Durability *stream.DurabilityStats `json:"durability,omitempty"`
-	Degraded   string                  `json:"degraded,omitempty"`
+	// Admission reports the adaptive limiter: current limit, in-flight,
+	// queue depth, shed/eviction/brownout counters and per-endpoint detail.
+	Admission *admission.Stats `json:"admission,omitempty"`
+	Degraded  string           `json:"degraded,omitempty"`
 }
 
 // varz tracks every instrumented endpoint for one service.
@@ -165,6 +169,10 @@ func (s *Service) VarzSnapshot() Varz {
 	if s.cfg.Durability != nil {
 		st := s.cfg.Durability.Stats()
 		out.Durability = &st
+	}
+	if s.limiter != nil {
+		st := s.limiter.Stats()
+		out.Admission = &st
 	}
 	out.Degraded = s.Degraded()
 	return out

@@ -27,6 +27,10 @@ const (
 	CodeCanceled    ErrorCode = "canceled"          // caller went away mid-request
 	CodeDeadline    ErrorCode = "deadline_exceeded" // request exceeded its deadline
 	CodeInternal    ErrorCode = "internal"          // unexpected server-side failure
+	// CodeOverloaded: admission control shed the request (503, or 429 for
+	// ingest). The response carries Retry-After with the limiter's computed
+	// backoff; retrying before it elapses only deepens the overload.
+	CodeOverloaded ErrorCode = "overloaded"
 	// CodeInsufficientHistory: a live_history predict found the server's
 	// window thinner than the configured floor — typically right after a
 	// cold start (failed restore), when silently forecasting from a sliver
@@ -96,6 +100,10 @@ type PredictResponseV2 struct {
 	Forecast SeriesJSON `json:"forecast"`
 	// Pooled reports whether a warm model instance served the request.
 	Pooled bool `json:"pooled"`
+	// Degraded marks a brownout response: the limiter was saturated and the
+	// forecast came from the cheap persistent previous-day model instead of
+	// the deployed one (Model names it). Accuracy traded for availability.
+	Degraded bool `json:"degraded,omitempty"`
 	// LLStart/LLAvg describe the lowest-load window when WindowPoints was
 	// requested; LLStart is -1 otherwise.
 	LLStart int     `json:"ll_start"`

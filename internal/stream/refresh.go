@@ -100,6 +100,12 @@ type RefreshConfig struct {
 	// Collection is the cosmos collection holding PredictionDocs. Default
 	// "predictions".
 	Collection string
+	// SaturationDrops and SaturationWindow define the sustained-backpressure
+	// predicate Saturated(): the queue is saturated while the last
+	// SaturationDrops rejected enqueues all happened within SaturationWindow.
+	// Defaults: 3 drops in 5s. One isolated drop never reads as saturation.
+	SaturationDrops  int
+	SaturationWindow time.Duration
 }
 
 func (c RefreshConfig) withDefaults() RefreshConfig {
@@ -123,6 +129,12 @@ func (c RefreshConfig) withDefaults() RefreshConfig {
 	}
 	if c.Collection == "" {
 		c.Collection = "predictions"
+	}
+	if c.SaturationDrops <= 0 {
+		c.SaturationDrops = 3
+	}
+	if c.SaturationWindow <= 0 {
+		c.SaturationWindow = 5 * time.Second
 	}
 	return c
 }
@@ -168,6 +180,13 @@ type Refresher struct {
 	skipped   atomic.Uint64
 	failed    atomic.Uint64
 
+	// dropTimes is a ring of the last SaturationDrops rejection times,
+	// feeding the Saturated predicate. Drops are rare (queue-full only), so
+	// a small mutex-guarded ring costs nothing on the enqueue happy path.
+	dropMu    sync.Mutex
+	dropTimes []time.Time
+	dropIdx   int
+
 	scratchMu sync.Mutex
 	scratch   []float64
 }
@@ -209,8 +228,43 @@ func (r *Refresher) Enqueue(region, serverID string, week int) (queued bool, err
 	default:
 		r.mu.Unlock()
 		r.dropped.Add(1)
+		r.recordDrop(time.Now())
 		return false, ErrQueueFull
 	}
+}
+
+// recordDrop folds one queue-full rejection into the saturation ring.
+func (r *Refresher) recordDrop(now time.Time) {
+	r.dropMu.Lock()
+	if len(r.dropTimes) < r.cfg.SaturationDrops {
+		r.dropTimes = append(r.dropTimes, now)
+	} else {
+		r.dropTimes[r.dropIdx] = now
+		r.dropIdx = (r.dropIdx + 1) % len(r.dropTimes)
+	}
+	r.dropMu.Unlock()
+}
+
+// Saturated reports sustained refresh-queue backpressure: the last
+// SaturationDrops rejected enqueues all landed within SaturationWindow of
+// now. Consumers use it to yield — the background sweeper pauses its rounds
+// (re-finding drifted servers it cannot queue only churns the detector), and
+// the serving layer treats it as a brownout-entry signal. A single isolated
+// drop never reads as saturation, and the predicate clears on its own once
+// the window slides past the last burst.
+func (r *Refresher) Saturated() bool {
+	r.dropMu.Lock()
+	defer r.dropMu.Unlock()
+	if len(r.dropTimes) < r.cfg.SaturationDrops {
+		return false
+	}
+	cutoff := time.Now().Add(-r.cfg.SaturationWindow)
+	for _, t := range r.dropTimes {
+		if t.Before(cutoff) {
+			return false
+		}
+	}
+	return true
 }
 
 // EnqueueReport queues every drifted server of a sweep report. queued is how

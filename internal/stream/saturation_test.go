@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seagull/internal/cosmos"
+)
+
+// saturate fills a refresher's queue and then forces n rejected enqueues
+// (distinct jobs, so none coalesce).
+func saturate(t *testing.T, r *Refresher, n int) {
+	t.Helper()
+	if ok, err := r.Enqueue("region", "filler", 1); !ok || err != nil {
+		t.Fatalf("filler enqueue: ok=%v err=%v", ok, err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.Enqueue("region", "srv", 100+i); err != ErrQueueFull {
+			t.Fatalf("enqueue %d: err=%v, want ErrQueueFull", i, err)
+		}
+	}
+}
+
+func TestRefresherSaturatedNeedsSustainedDrops(t *testing.T) {
+	r := NewRefresher(nil, nil, nil, nil, RefreshConfig{
+		QueueSize: 1, SaturationDrops: 3, SaturationWindow: time.Minute,
+	})
+	if r.Saturated() {
+		t.Fatal("fresh refresher reads saturated")
+	}
+	// Two drops: below the sustained threshold.
+	saturate(t, r, 2)
+	if r.Saturated() {
+		t.Fatal("saturated after 2 drops, threshold is 3")
+	}
+	// Third drop completes the window.
+	if _, err := r.Enqueue("region", "srv", 999); err != ErrQueueFull {
+		t.Fatalf("enqueue: %v, want ErrQueueFull", err)
+	}
+	if !r.Saturated() {
+		t.Fatal("not saturated after 3 drops within the window")
+	}
+	if got := r.Stats().Dropped; got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestRefresherSaturationClearsWithWindow(t *testing.T) {
+	r := NewRefresher(nil, nil, nil, nil, RefreshConfig{
+		QueueSize: 1, SaturationDrops: 2, SaturationWindow: 50 * time.Millisecond,
+	})
+	saturate(t, r, 2)
+	if !r.Saturated() {
+		t.Fatal("not saturated after a drop burst")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Saturated() {
+		if time.Now().After(deadline) {
+			t.Fatal("saturation never cleared after the window slid past")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSweeperPausesWhileRefresherSaturated(t *testing.T) {
+	db, err := cosmos.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewRefresher(nil, db, nil, nil, RefreshConfig{
+		QueueSize: 1, SaturationDrops: 2, SaturationWindow: time.Minute,
+	})
+	sw := NewSweeper(db, nil, ref, SweeperConfig{})
+
+	// Unsaturated: the round runs (no summaries → zero regions, no error).
+	if err := sw.SweepOnce(context.Background()); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if st := sw.Stats(); st.Ticks != 1 || st.Paused != 0 {
+		t.Fatalf("stats = %+v, want 1 tick, 0 paused", st)
+	}
+
+	// Saturated: rounds are skipped and counted.
+	saturate(t, ref, 2)
+	for i := 0; i < 3; i++ {
+		if err := sw.SweepOnce(context.Background()); err != nil {
+			t.Fatalf("paused sweep: %v", err)
+		}
+	}
+	st := sw.Stats()
+	if st.Paused != 3 {
+		t.Fatalf("Paused = %d, want 3", st.Paused)
+	}
+	if st.Ticks != 1 {
+		t.Fatalf("Ticks = %d, want 1 (paused rounds are not ticks)", st.Ticks)
+	}
+}

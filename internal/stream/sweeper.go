@@ -59,6 +59,10 @@ type SweeperStats struct {
 	// Dropped counts drifted servers the full refresh queue rejected — the
 	// backpressure signal; they are re-found on the next tick.
 	Dropped uint64 `json:"dropped"`
+	// Paused counts rounds skipped because the refresher reported sustained
+	// Dropped backpressure (Refresher.Saturated) — sweeping while the queue
+	// rejects everything only re-finds servers it cannot queue.
+	Paused uint64 `json:"paused"`
 	// Errors counts failed region sweeps (kept counting, never fatal).
 	Errors uint64 `json:"errors"`
 }
@@ -78,6 +82,7 @@ type Sweeper struct {
 	drifted atomic.Uint64
 	queued  atomic.Uint64
 	dropped atomic.Uint64
+	paused  atomic.Uint64
 	errs    atomic.Uint64
 }
 
@@ -116,6 +121,13 @@ func (s *Sweeper) latestWeek(region string) (week int, ok bool) {
 // one bad region cannot starve the rest; the first error is returned for
 // logging. Cancelling ctx stops between regions.
 func (s *Sweeper) SweepOnce(ctx context.Context) error {
+	// Under sustained refresh-queue backpressure a sweep cannot queue what it
+	// finds; pause the round and let the queue drain. Drifted servers stay
+	// drifted and are re-found by the first unpaused round.
+	if s.ref != nil && s.ref.Saturated() {
+		s.paused.Add(1)
+		return nil
+	}
 	var firstErr error
 	for _, region := range s.db.Collection(s.cfg.Collection).Partitions() {
 		if err := ctx.Err(); err != nil {
@@ -171,6 +183,7 @@ func (s *Sweeper) Stats() SweeperStats {
 		Drifted: s.drifted.Load(),
 		Queued:  s.queued.Load(),
 		Dropped: s.dropped.Load(),
+		Paused:  s.paused.Load(),
 		Errors:  s.errs.Load(),
 	}
 }
