@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet bench bench-json race
+.PHONY: build test vet bench bench-json bench-compare race simulate-smoke docs-check
 
 build:
 	go build ./...
@@ -19,12 +19,17 @@ bench:
 
 # Full check + machine-readable snapshot (see cmd/seagull-bench).
 bench-json:
-	go run ./cmd/seagull-bench -out BENCH_7.json
+	go run ./cmd/seagull-bench -out BENCH_8.json
 
 # Diff a fresh run against the committed snapshot; fails on >10% allocs/op
 # regression (the CI gate).
 bench-compare:
-	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_7.json
+	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_8.json
+
+# Time-compressed simulation smoke: six simulated hours with a burst storm
+# and a drift injection, artifacts under /tmp/seagull-sim (also runs in CI).
+simulate-smoke:
+	go run ./cmd/seagull-simulate -scenario smoke -out /tmp/seagull-sim -quiet
 
 # Markdown hygiene: relative links in *.md must resolve (also runs in CI).
 docs-check:

@@ -26,6 +26,7 @@ import (
 	"seagull/internal/registry"
 	"seagull/internal/serving"
 	"seagull/internal/simulate"
+	"seagull/internal/simworkload"
 	"seagull/internal/stream"
 	"seagull/internal/timeseries"
 )
@@ -819,4 +820,29 @@ func BenchmarkStreamWALReplay(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkSimulateScenario is the headline figure for the time-compressed
+// simulation harness: a two-hour smoke scenario — pipeline warmup, live
+// ingest, drift sweeps, refresh, WAL and real loopback predicts on a
+// simulated clock — reported as simulated hours per wall second.
+func BenchmarkSimulateScenario(b *testing.B) {
+	sc, ok := simworkload.Builtin("smoke")
+	if !ok {
+		b.Fatal("smoke scenario missing")
+	}
+	const simHours = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := simworkload.Run(context.Background(), sc, simworkload.Options{Hours: simHours})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Report.Ingest.Appended == 0 || out.Report.Predicts.Issued == 0 {
+			b.Fatalf("harness idle: %+v", out.Report)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(simHours*float64(b.N)/b.Elapsed().Seconds(), "sim_hours/s")
 }

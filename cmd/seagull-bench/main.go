@@ -45,7 +45,7 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
 	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper|" +
 	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay|" +
-	"BenchmarkAdmissionAccept|BenchmarkAdmissionShed"
+	"BenchmarkAdmissionAccept|BenchmarkAdmissionShed|BenchmarkSimulateScenario"
 
 type benchResult struct {
 	Name        string  `json:"name"`

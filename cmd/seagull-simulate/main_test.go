@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"seagull/internal/simworkload"
+)
+
+// TestSimulateArtifactsDeterministic: two runs of the same scenario and seed
+// write byte-identical timeline CSVs, and the SLO report parses back with
+// the deterministic fields intact.
+func TestSimulateArtifactsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	sc, ok := simworkload.Builtin("smoke")
+	if !ok {
+		t.Fatal("smoke scenario missing")
+	}
+	opts := simworkload.Options{Hours: 3}
+
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		out, err := simworkload.Run(context.Background(), sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeArtifacts(dir, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	csv1, err := os.ReadFile(filepath.Join(dirs[0], "timeline.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv2, err := os.ReadFile(filepath.Join(dirs[1], "timeline.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatalf("timeline.csv differs across identical runs:\n--- run 1\n%s\n--- run 2\n%s", csv1, csv2)
+	}
+	if !strings.HasPrefix(string(csv1), "sim_hours,") {
+		t.Fatalf("timeline.csv missing header: %q", string(csv1[:40]))
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dirs[0], "slo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep simworkload.SLOReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "smoke" || rep.SimHours != 3 || rep.Ingest.Appended == 0 {
+		t.Fatalf("slo.json content wrong: %+v", rep)
+	}
+}
+
+// TestSimulateShutdownLeaksNothing: cancelling a run mid-scenario tears the
+// whole system down — loopback HTTP server, serving pool binding, durability
+// — without leaving goroutines behind.
+func TestSimulateShutdownLeaksNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	sc, ok := simworkload.Builtin("smoke")
+	if !ok {
+		t.Fatal("smoke scenario missing")
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := simworkload.Options{
+		Hours: 6,
+		Logf: func(format string, args ...any) {
+			if strings.HasPrefix(format, "sim ") {
+				cancel() // first progress line: the replay loop is live
+			}
+		},
+	}
+	if _, err := simworkload.Run(ctx, sc, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+
+	// HTTP client/server goroutines unwind asynchronously; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after shutdown: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -49,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"seagull/internal/simclock"
 )
 
 // Class is a request's priority class. Lower values are more important:
@@ -147,6 +149,9 @@ type Config struct {
 	// Saturated, when non-nil, is an external backpressure hook folded into
 	// the brownout signal (the stream refresher's sustained-drop predicate).
 	Saturated func() bool
+	// Clock supplies the cooldown/shed-window timestamps; nil means the
+	// wall clock. Simulations inject a compressed clock.
+	Clock simclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +236,7 @@ type Limiter struct {
 // NewLimiter builds a limiter from cfg.
 func NewLimiter(cfg Config) *Limiter {
 	cfg = cfg.withDefaults()
+	cfg.Clock = simclock.Or(cfg.Clock)
 	return &Limiter{
 		cfg:       cfg,
 		limit:     float64(cfg.InitialLimit),
@@ -296,7 +302,7 @@ func (l *Limiter) Brownout() bool {
 	if !l.cfg.Brownout {
 		return false
 	}
-	now := time.Now()
+	now := l.cfg.Clock.Now()
 	l.mu.Lock()
 	sat := l.saturatedLocked(now)
 	l.mu.Unlock()
@@ -512,7 +518,7 @@ type Result struct {
 // while queued; ctx cancellation, eviction and deadline expiry unblock it.
 func (ep *Endpoint) Acquire(ctx context.Context, allowDegrade bool) (Ticket, Result) {
 	l := ep.l
-	now := time.Now()
+	now := l.cfg.Clock.Now()
 	deadline, hasDeadline := ctx.Deadline()
 
 	l.mu.Lock()
@@ -587,7 +593,7 @@ func (ep *Endpoint) Acquire(ctx context.Context, allowDegrade bool) (Ticket, Res
 	}
 	switch w.state {
 	case granted:
-		grantedAt := time.Now()
+		grantedAt := l.cfg.Clock.Now()
 		ep.admitted.Add(1)
 		return Ticket{ep: ep, start: w.enq, grant: grantedAt}, Result{Verdict: Admitted}
 	default: // shedded — counters were folded in at the shed site
@@ -611,8 +617,8 @@ func (t Ticket) Release() {
 	if t.ep == nil {
 		return
 	}
-	now := time.Now()
 	l := t.ep.l
+	now := l.cfg.Clock.Now()
 	l.observe(t.ep, int64(now.Sub(t.start)), int64(now.Sub(t.grant)), now)
 	l.mu.Lock()
 	l.inFlight--

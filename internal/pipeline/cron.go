@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"seagull/internal/simclock"
 )
 
 // The Pipeline Scheduler of Section 2.2: "a run of the AML pipeline is
@@ -27,17 +29,19 @@ type CronConfig struct {
 	// Base is the pipeline configuration template; Region/Week are filled in
 	// per run.
 	Base Config
-	// Now returns the current (possibly simulated) time; nil means wall time.
-	Now func() time.Time
-	// Sleep waits for d (possibly accelerated); nil means time.Sleep.
-	Sleep func(d time.Duration)
+	// Clock paces the schedule; nil means the wall clock. Simulations inject
+	// a simclock.Simulated (typically with AutoAdvanceSleeps) to compress
+	// weeks into microseconds.
+	Clock simclock.Clock
 }
 
 // Cron runs the weekly schedule. Each week's runs trigger once that week has
 // fully elapsed (the run needs the week's complete telemetry).
 type Cron struct {
-	p   *Pipeline
-	cfg CronConfig
+	p      *Pipeline
+	cfg    CronConfig
+	ctx    context.Context // cancelled by Stop to interrupt clock sleeps
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	stopped bool
@@ -48,13 +52,9 @@ type Cron struct {
 
 // NewCron returns a cron over the pipeline. It does not start it.
 func NewCron(p *Pipeline, cfg CronConfig) *Cron {
-	if cfg.Now == nil {
-		cfg.Now = time.Now
-	}
-	if cfg.Sleep == nil {
-		cfg.Sleep = time.Sleep
-	}
-	return &Cron{p: p, cfg: cfg, done: make(chan struct{})}
+	cfg.Clock = simclock.Or(cfg.Clock)
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Cron{p: p, cfg: cfg, ctx: ctx, cancel: cancel, done: make(chan struct{})}
 }
 
 // Start launches the schedule in a goroutine and returns immediately.
@@ -72,7 +72,7 @@ func (c *Cron) loop() {
 			if c.isStopped() {
 				return
 			}
-			now := c.cfg.Now()
+			now := c.cfg.Clock.Now()
 			if !now.Before(boundary) {
 				break
 			}
@@ -80,7 +80,8 @@ func (c *Cron) loop() {
 			if wait > time.Second {
 				wait = time.Second // re-check stop flag periodically
 			}
-			c.cfg.Sleep(wait)
+			// A cancelled sleep (Stop) falls through to the stop check above.
+			_ = c.cfg.Clock.Sleep(c.ctx, wait)
 		}
 		for _, region := range c.cfg.Regions {
 			if c.isStopped() {
@@ -106,11 +107,13 @@ func (c *Cron) isStopped() bool {
 	return c.stopped
 }
 
-// Stop aborts the schedule; in-flight runs complete.
+// Stop aborts the schedule, waking any in-progress clock wait; in-flight
+// runs complete.
 func (c *Cron) Stop() {
 	c.mu.Lock()
 	c.stopped = true
 	c.mu.Unlock()
+	c.cancel()
 }
 
 // Wait blocks until the schedule completes (or is stopped) and returns all
@@ -135,30 +138,3 @@ func (c *Cron) Results() []*Result {
 	defer c.mu.Unlock()
 	return append([]*Result(nil), c.results...)
 }
-
-// FakeClock is a controllable clock for cron tests and simulations: Sleep
-// advances the clock instead of blocking.
-type FakeClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-// NewFakeClock starts a fake clock at t.
-func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
-
-// Now returns the current fake time.
-func (f *FakeClock) Now() time.Time {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.now
-}
-
-// Sleep advances the fake time by d without blocking.
-func (f *FakeClock) Sleep(d time.Duration) {
-	f.mu.Lock()
-	f.now = f.now.Add(d)
-	f.mu.Unlock()
-}
-
-// Advance moves the clock forward by d.
-func (f *FakeClock) Advance(d time.Duration) { f.Sleep(d) }

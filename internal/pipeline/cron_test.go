@@ -10,6 +10,7 @@ import (
 	"seagull/internal/insights"
 	"seagull/internal/lake"
 	"seagull/internal/registry"
+	"seagull/internal/simclock"
 	"seagull/internal/simulate"
 )
 
@@ -32,13 +33,13 @@ func cronFixture(t *testing.T) (*Pipeline, time.Time) {
 
 func TestCronRunsEveryWeekPerRegion(t *testing.T) {
 	p, start := cronFixture(t)
-	clock := NewFakeClock(start)
+	clock := simclock.NewSimulated(start)
+	clock.AutoAdvanceSleeps() // the cron's own sleeps drive the clock
 	c := NewCron(p, CronConfig{
 		Regions:   []string{"cron"},
 		Start:     start,
 		FirstWeek: 0, LastWeek: 2,
-		Now:   clock.Now,
-		Sleep: clock.Sleep,
+		Clock: clock,
 	})
 	c.Start()
 	results, err := c.Wait()
@@ -53,7 +54,7 @@ func TestCronRunsEveryWeekPerRegion(t *testing.T) {
 			t.Errorf("run %d = week %d region %s", i, r.Week, r.Region)
 		}
 	}
-	// The fake clock must have advanced past the final week boundary.
+	// The simulated clock must have advanced past the final week boundary.
 	if clock.Now().Before(start.Add(3 * 7 * 24 * time.Hour)) {
 		t.Errorf("clock ended at %v", clock.Now())
 	}
@@ -61,26 +62,18 @@ func TestCronRunsEveryWeekPerRegion(t *testing.T) {
 
 func TestCronStop(t *testing.T) {
 	p, start := cronFixture(t)
-	clock := NewFakeClock(start)
-	blocker := make(chan struct{})
+	// Non-auto clock: the cron parks in Sleep waiting for week 0's boundary,
+	// and Stop must wake it without anyone advancing the clock.
+	clock := simclock.NewSimulated(start)
 	c := NewCron(p, CronConfig{
 		Regions:   []string{"cron"},
 		Start:     start,
 		FirstWeek: 0, LastWeek: 2,
-		Now: clock.Now,
-		Sleep: func(d time.Duration) {
-			// First sleep parks until the test calls Stop.
-			select {
-			case <-blocker:
-			default:
-				<-blocker
-			}
-			clock.Sleep(d)
-		},
+		Clock: clock,
 	})
 	c.Start()
+	clock.BlockUntil(1) // cron is parked in its first boundary wait
 	c.Stop()
-	close(blocker)
 	results, err := c.Wait()
 	if !errors.Is(err, ErrCronStopped) {
 		t.Fatalf("err = %v, want ErrCronStopped (results %d)", err, len(results))
@@ -89,13 +82,13 @@ func TestCronStop(t *testing.T) {
 
 func TestCronMissingRegionPropagatesError(t *testing.T) {
 	p, start := cronFixture(t)
-	clock := NewFakeClock(start)
+	clock := simclock.NewSimulated(start)
+	clock.AutoAdvanceSleeps()
 	c := NewCron(p, CronConfig{
 		Regions:   []string{"ghost"},
 		Start:     start,
 		FirstWeek: 0, LastWeek: 0,
-		Now:   clock.Now,
-		Sleep: clock.Sleep,
+		Clock: clock,
 	})
 	c.Start()
 	_, err := c.Wait()
@@ -105,21 +98,5 @@ func TestCronMissingRegionPropagatesError(t *testing.T) {
 	// The failed run still appears in the results snapshot.
 	if len(c.Results()) != 1 {
 		t.Errorf("results = %d", len(c.Results()))
-	}
-}
-
-func TestFakeClock(t *testing.T) {
-	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
-	f := NewFakeClock(t0)
-	if !f.Now().Equal(t0) {
-		t.Error("initial time wrong")
-	}
-	f.Advance(time.Hour)
-	if !f.Now().Equal(t0.Add(time.Hour)) {
-		t.Error("Advance wrong")
-	}
-	f.Sleep(time.Minute)
-	if !f.Now().Equal(t0.Add(time.Hour + time.Minute)) {
-		t.Error("Sleep should advance")
 	}
 }

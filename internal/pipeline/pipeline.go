@@ -30,6 +30,7 @@ import (
 	"seagull/internal/metrics"
 	"seagull/internal/parallel"
 	"seagull/internal/registry"
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 	"seagull/internal/validate"
 )
@@ -175,9 +176,9 @@ type Pipeline struct {
 	DB       *cosmos.DB
 	Registry *registry.Registry
 	Dash     *insights.Dashboard
-	// Clock is injectable for simulated time; nil means wall clock (timings
-	// always use the wall clock — they measure real work).
-	Clock func() time.Time
+	// Clock stamps run records with (possibly simulated) time; stage timings
+	// always use the wall clock — they measure real work.
+	Clock simclock.Clock
 }
 
 // New returns a pipeline over the given substrates. dash may be nil (a
@@ -186,7 +187,7 @@ func New(store *lake.Store, db *cosmos.DB, reg *registry.Registry, dash *insight
 	if dash == nil {
 		dash = insights.New(nil)
 	}
-	return &Pipeline{Store: store, DB: db, Registry: reg, Dash: dash, Clock: time.Now}
+	return &Pipeline{Store: store, DB: db, Registry: reg, Dash: dash, Clock: simclock.Wall}
 }
 
 // RunWeek executes the full weekly pipeline for one region. Cancelling ctx
@@ -204,7 +205,7 @@ func (p *Pipeline) RunWeek(ctx context.Context, cfg Config) (*Result, error) {
 		p.Dash.Raise(insights.SevError, cfg.Region, stage, "%v", err)
 		res.Total = time.Since(runStart)
 		p.Dash.RecordRun(insights.RunRecord{
-			Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock(),
+			Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock.Now(),
 			Total: res.Total, Stages: res.StageTimings,
 			Rows: res.Rows, Servers: res.Servers, Succeeded: false, Error: err.Error(),
 		})
@@ -296,7 +297,7 @@ func (p *Pipeline) RunWeek(ctx context.Context, cfg Config) (*Result, error) {
 
 	res.Total = time.Since(runStart)
 	p.Dash.RecordRun(insights.RunRecord{
-		Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock(),
+		Region: cfg.Region, Week: cfg.Week, StartedAt: p.Clock.Now(),
 		Total: res.Total, Stages: res.StageTimings,
 		Rows: res.Rows, Servers: res.Servers, Succeeded: true,
 	})

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"seagull/internal/simclock"
 )
 
 // Common errors.
@@ -61,18 +63,15 @@ func (t Target) String() string { return t.Scenario + "/" + t.Region }
 type Registry struct {
 	mu        sync.RWMutex
 	targets   map[Target][]*Version // version history, oldest first
-	clock     func() time.Time
+	clock     simclock.Clock
 	watchers  map[int]func(Target)
 	nextWatch int
 }
 
 // New returns an empty registry. clock may be nil for wall time; tests and
 // the simulated pipeline inject their own.
-func New(clock func() time.Time) *Registry {
-	if clock == nil {
-		clock = time.Now
-	}
-	return &Registry{targets: map[Target][]*Version{}, clock: clock}
+func New(clock simclock.Clock) *Registry {
+	return &Registry{targets: map[Target][]*Version{}, clock: simclock.Or(clock)}
 }
 
 // Watch registers fn to be called whenever a target's active version changes
@@ -124,7 +123,7 @@ func (r *Registry) Deploy(target Target, modelName, notes string) int {
 	v := &Version{
 		Number:    len(hist) + 1,
 		ModelName: modelName,
-		Deployed:  r.clock(),
+		Deployed:  r.clock.Now(),
 		Status:    StatusActive,
 		Accuracy:  -1,
 		Notes:     notes,

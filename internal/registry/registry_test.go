@@ -4,14 +4,21 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"seagull/internal/simclock"
 )
 
-func fixedClock() func() time.Time {
-	t := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
-	return func() time.Time {
-		t = t.Add(time.Hour)
-		return t
-	}
+// fixedClock is a simulated clock that self-advances an hour per Now call,
+// so successive deployments get distinct, deterministic timestamps.
+func fixedClock() simclock.Clock {
+	return &steppingClock{Simulated: simclock.NewSimulated(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))}
+}
+
+type steppingClock struct{ *simclock.Simulated }
+
+func (c *steppingClock) Now() time.Time {
+	c.Advance(time.Hour)
+	return c.Simulated.Now()
 }
 
 var target = Target{Scenario: "backup", Region: "westus"}

@@ -28,6 +28,7 @@ import (
 	"seagull/internal/cosmos"
 	"seagull/internal/metrics"
 	"seagull/internal/pipeline"
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 )
 
@@ -105,12 +106,12 @@ type Scheduler struct {
 	Fabric  *FabricStore
 	Metrics metrics.Config
 	// Clock stamps fabric properties; nil means wall clock.
-	Clock func() time.Time
+	Clock simclock.Clock
 }
 
 // New returns a scheduler over the given document store and property store.
 func New(db *cosmos.DB, fabric *FabricStore, cfg metrics.Config) *Scheduler {
-	return &Scheduler{DB: db, Fabric: fabric, Metrics: cfg, Clock: time.Now}
+	return &Scheduler{DB: db, Fabric: fabric, Metrics: cfg, Clock: simclock.Wall}
 }
 
 // ScheduleWeek chooses backup windows for every server with a stored
@@ -159,7 +160,7 @@ func (s *Scheduler) ScheduleWeek(ctx context.Context, region string, week int) (
 			ServerID: d.ServerID,
 			Start:    d.Start,
 			Source:   d.Source,
-			SetAt:    s.Clock(),
+			SetAt:    s.Clock.Now(),
 		})
 		return nil
 	})

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"seagull/internal/simclock"
 )
 
 func TestBreakerOpensFailsFastAndRecloses(t *testing.T) {
@@ -29,6 +31,9 @@ func TestBreakerOpensFailsFastAndRecloses(t *testing.T) {
 	c := NewClient(srv.URL)
 	c.Retry = RetryConfig{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
 	c.Breaker = BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond}
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	clock.AutoAdvanceSleeps() // backoff waits advance simulated time instantly
+	c.Clock = clock
 	ctx := context.Background()
 
 	// Three consecutive failures (call 1: two attempts; call 2: opens on its
@@ -55,10 +60,10 @@ func TestBreakerOpensFailsFastAndRecloses(t *testing.T) {
 		t.Fatalf("open circuit leaked %d requests to the server", got-sent)
 	}
 
-	// Cooldown elapses; the server has recovered. The half-open probe flies,
-	// succeeds and closes the circuit for everyone.
+	// Cooldown elapses on the simulated clock; the server has recovered. The
+	// half-open probe flies, succeeds and closes the circuit for everyone.
 	healthy.Store(true)
-	time.Sleep(60 * time.Millisecond)
+	clock.Advance(60 * time.Millisecond)
 	if _, err := c.ModelsV2(ctx); err != nil {
 		t.Fatalf("half-open probe failed: %v", err)
 	}
@@ -71,12 +76,14 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	srv, calls := flappingServer(t, 1<<30, http.StatusServiceUnavailable)
 	c := NewClient(srv.URL)
 	c.Breaker = BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond}
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	c.Clock = clock
 	ctx := context.Background()
 
 	if _, err := c.ModelsV2(ctx); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v, want open on first failure (threshold 1)", err)
 	}
-	time.Sleep(40 * time.Millisecond)
+	clock.Advance(40 * time.Millisecond)
 	// The probe fails against the still-down server: reopen immediately.
 	if _, err := c.ModelsV2(ctx); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("probe err = %v, want circuit-open", err)
@@ -102,11 +109,13 @@ func TestBreakerRetryAfterSetsOpenDuration(t *testing.T) {
 	c := NewClient(srv.URL)
 	// Tiny cooldown; the server's Retry-After: 1 must override it.
 	c.Breaker = BreakerConfig{Threshold: 1, Cooldown: time.Millisecond}
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	c.Clock = clock
 	ctx := context.Background()
 	if _, err := c.ModelsV2(ctx); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v, want circuit-open", err)
 	}
-	time.Sleep(20 * time.Millisecond) // far past Cooldown, well inside Retry-After
+	clock.Advance(20 * time.Millisecond) // far past Cooldown, well inside Retry-After
 	if _, err := c.ModelsV2(ctx); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v, want still-open (Retry-After outranks Cooldown)", err)
 	}
@@ -238,7 +247,10 @@ func TestClientIngestRetries429(t *testing.T) {
 
 	c := NewClient(srv.URL)
 	c.Retry = RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
-	start := time.Now()
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	clock.AutoAdvanceSleeps() // the Retry-After wait advances simulated time
+	c.Clock = clock
+	start := clock.Now()
 	resp, err := c.Ingest(context.Background(), IngestRequest{
 		Points: []IngestPoint{{ServerID: "s", TimeUnix: 0, Value: 1}},
 	})
@@ -248,8 +260,9 @@ func TestClientIngestRetries429(t *testing.T) {
 	if resp.Accepted != 1 || calls.Load() != 2 {
 		t.Fatalf("accepted=%d calls=%d, want 1 accepted over 2 calls", resp.Accepted, calls.Load())
 	}
-	// The server's Retry-After paced the retry (~1s), not the 1ms backoff.
-	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+	// The server's Retry-After paced the retry (~1s of simulated time), not
+	// the 1ms backoff — and no real second was slept.
+	if elapsed := clock.Now().Sub(start); elapsed < 900*time.Millisecond {
 		t.Fatalf("retry waited only %v; Retry-After: 1 must pace the 429 retry", elapsed)
 	}
 }
@@ -260,6 +273,9 @@ func TestClientIngestRespectsBudgetOn429(t *testing.T) {
 	srv, calls := flappingServer(t, 1<<30, http.StatusTooManyRequests)
 	c := NewClient(srv.URL)
 	c.Retry = RetryConfig{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, MaxElapsed: 60 * time.Millisecond}
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	clock.AutoAdvanceSleeps()
+	c.Clock = clock
 	_, err := c.Ingest(context.Background(), IngestRequest{
 		Points: []IngestPoint{{ServerID: "s", TimeUnix: 0, Value: 1}},
 	})

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 )
 
@@ -82,6 +83,9 @@ type Client struct {
 	// then recovers through a single half-open probe after the cooldown (or
 	// the server's Retry-After). Zero value: disabled.
 	Breaker BreakerConfig
+	// Clock paces retries and breaker cooldowns; nil means the wall clock.
+	// Simulated-clock tests advance it instead of sleeping for real.
+	Clock simclock.Clock
 
 	brkMu sync.Mutex
 	brks  map[string]*breaker
@@ -103,16 +107,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	rc := c.Retry.withDefaults()
+	clock := simclock.Or(c.Clock)
 	brk := c.breakerFor(path)
 	cooldown := c.Breaker.Cooldown
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
-	start := time.Now()
+	start := clock.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if brk != nil {
-			if berr := brk.allow(time.Now()); berr != nil {
+			if berr := brk.allow(clock.Now()); berr != nil {
 				if lastErr != nil {
 					return fmt.Errorf("%w (last failure: %v)", berr, lastErr)
 				}
@@ -133,7 +138,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if apiErr, ok := err.(*APIError); ok {
 				ra = apiErr.RetryAfter
 			}
-			if brk.onFailure(c.Breaker.Threshold, cooldown, ra, time.Now()) {
+			if brk.onFailure(c.Breaker.Threshold, cooldown, ra, clock.Now()) {
 				// The circuit just opened: stop hammering this endpoint even
 				// if the attempt budget has room.
 				return fmt.Errorf("%w after consecutive failures: %v", ErrCircuitOpen, err)
@@ -154,19 +159,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if apiErr, ok := err.(*APIError); ok && apiErr.RetryAfter > 0 {
 			delay = apiErr.RetryAfter
 		}
-		if rc.MaxElapsed > 0 && time.Since(start)+delay > rc.MaxElapsed {
+		if rc.MaxElapsed > 0 && clock.Now().Sub(start)+delay > rc.MaxElapsed {
 			// The budget would expire mid-backoff; failing now keeps the
 			// caller's worst-case latency bounded by MaxElapsed.
 			return fmt.Errorf("serving: retry budget %v exhausted after %d attempts: %w",
 				rc.MaxElapsed, attempt+1, lastErr)
 		}
-		t := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		if err := clock.Sleep(ctx, delay); err != nil {
 			return fmt.Errorf("serving: retry abandoned after %d attempts: %w (last: %v)",
-				attempt+1, ctx.Err(), lastErr)
-		case <-t.C:
+				attempt+1, err, lastErr)
 		}
 	}
 }

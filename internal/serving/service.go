@@ -20,6 +20,7 @@ import (
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
 	"seagull/internal/scheduler"
+	"seagull/internal/simclock"
 	"seagull/internal/stream"
 )
 
@@ -89,6 +90,9 @@ type ServiceConfig struct {
 	// draining /readyz, so balancers and clients back off for exactly the
 	// grace window instead of guessing. Default 5s.
 	DrainGrace time.Duration
+	// Clock supplies varz uptime/latency timestamps, batch deadlines and the
+	// admission limiter's cooldown clock; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -154,13 +158,14 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 		}
 		cfg.Pool.MaxIdle = max(4, workers)
 	}
+	cfg.Clock = simclock.Or(cfg.Clock)
 	s := &Service{
 		reg:     reg,
 		db:      db,
 		cfg:     cfg,
 		pool:    NewModelPool(cfg.Pool),
 		workers: parallel.NewPool(cfg.Workers).WithSchedule(parallel.ScheduleGuided),
-		varz:    newVarz(),
+		varz:    newVarz(cfg.Clock),
 	}
 	s.unbind = s.pool.Bind(reg)
 	s.ready.Store(true)
@@ -179,6 +184,7 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 			Target:      cfg.LatencyTarget,
 			Brownout:    cfg.Brownout,
 			Saturated:   saturated,
+			Clock:       cfg.Clock,
 		})
 	}
 
@@ -420,7 +426,7 @@ func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResp
 	if len(req.Servers) == 0 {
 		return BatchResponse{}, badRequest("batch must contain at least one server")
 	}
-	batchStart := time.Now()
+	batchStart := s.cfg.Clock.Now()
 	if len(req.Servers) > s.cfg.MaxBatch {
 		return BatchResponse{}, svcErr(CodeTooLarge, http.StatusRequestEntityTooLarge,
 			"batch of %d servers exceeds the limit of %d", len(req.Servers), s.cfg.MaxBatch)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"seagull/internal/admission"
+	"seagull/internal/simclock"
 	"seagull/internal/stream"
 )
 
@@ -80,12 +81,14 @@ type Varz struct {
 // varz tracks every instrumented endpoint for one service.
 type varz struct {
 	mu        sync.Mutex
+	clock     simclock.Clock
 	started   time.Time
 	endpoints map[string]*endpointVars
 }
 
-func newVarz() *varz {
-	return &varz{started: time.Now(), endpoints: map[string]*endpointVars{}}
+func newVarz(clock simclock.Clock) *varz {
+	clock = simclock.Or(clock)
+	return &varz{clock: clock, started: clock.Now(), endpoints: map[string]*endpointVars{}}
 }
 
 // endpoint returns (creating once) the counters for name. Endpoints are
@@ -121,16 +124,17 @@ func (s *Service) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		ev.inFlight.Add(1)
 		defer ev.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
+		clock := s.varz.clock
+		start := clock.Now()
 		h(sw, r)
-		ev.observe(time.Since(start), sw.status)
+		ev.observe(clock.Now().Sub(start), sw.status)
 	}
 }
 
 // VarzSnapshot assembles the current /varz document.
 func (s *Service) VarzSnapshot() Varz {
 	out := Varz{
-		UptimeSec: time.Since(s.varz.started).Seconds(),
+		UptimeSec: simclock.Since(s.varz.clock, s.varz.started).Seconds(),
 		Pool:      s.pool.Stats(),
 		Endpoints: map[string]EndpointVarz{},
 	}

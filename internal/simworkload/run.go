@@ -1,0 +1,812 @@
+package simworkload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seagull/internal/cosmos"
+	"seagull/internal/extract"
+	"seagull/internal/lake"
+	"seagull/internal/parallel"
+	"seagull/internal/pipeline"
+	"seagull/internal/registry"
+	"seagull/internal/serving"
+	"seagull/internal/simclock"
+	"seagull/internal/simulate"
+	"seagull/internal/stream"
+)
+
+const week = 7 * 24 * time.Hour
+
+// Options parameterizes a harness run, orthogonally to the Scenario: the
+// scenario says what happens in simulated time; the options say how the run
+// executes on the host.
+type Options struct {
+	// Dir is the data directory for the lake (extracts, WAL, snapshots).
+	// Empty means a temporary directory removed when the run ends.
+	Dir string
+	// Hours overrides the scenario's live-replay length when positive.
+	Hours float64
+	// Seed overrides the scenario seed when non-zero.
+	Seed int64
+	// Scale paces the driver loop at that many simulated seconds per wall
+	// second (100 = a day every ~14 minutes); 0 runs unthrottled — as fast
+	// as the host executes, the usual choice.
+	Scale float64
+	// Schedule selects the ingest fan-out's work-stealing discipline — the
+	// guided-vs-chunked ablation hook.
+	Schedule parallel.Schedule
+	// IngestWorkers and PredictWorkers bound the per-slot fan-outs.
+	// Defaults 4 and 8.
+	IngestWorkers  int
+	PredictWorkers int
+	// RowEvery is the timeline sampling cadence in simulated time. Default
+	// one hour.
+	RowEvery time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.IngestWorkers <= 0 {
+		o.IngestWorkers = 4
+	}
+	if o.PredictWorkers <= 0 {
+		o.PredictWorkers = 8
+	}
+	if o.RowEvery <= 0 {
+		o.RowEvery = time.Hour
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Outcome is everything a run produces.
+type Outcome struct {
+	Scenario Scenario
+	Rows     []Row
+	// CSV is the rendered timeline — bit-identical per (scenario, seed).
+	CSV    []byte
+	Report SLOReport
+}
+
+// regionRun is one region's replay state.
+type regionRun struct {
+	spec    RegionSpec
+	fleet   *simulate.Fleet
+	servers []*simulate.Server
+	// targets are the long-lived servers predict traffic is drawn from
+	// (short-lived servers may have no live history or stored prediction).
+	targets []*simulate.Server
+	carry   float64 // fractional predict-count accumulator
+}
+
+// harness owns one run's wired system.
+type harness struct {
+	sc    Scenario
+	opts  Options
+	clock *simclock.Simulated
+
+	fleetStart  time.Time
+	replayStart time.Time
+	slot        time.Duration
+	ppd         int
+	genWeeks    int
+
+	store *lake.Store
+	db    *cosmos.DB
+	reg   *registry.Registry
+	pipe  *pipeline.Pipeline
+	ing   *stream.Ingestor
+	det   *stream.DriftDetector
+	ref   *stream.Refresher
+	sw    *stream.Sweeper
+	dur   *stream.Durability
+
+	// shadow is the counterfactual baseline: the same telemetry stream
+	// without event perturbations. Drift-lag measurement counts a server as
+	// detected only when the live sweep flags it and the shadow sweep does
+	// not, which separates injected drift from the model's natural drift.
+	shadow *stream.Ingestor
+	sdet   *stream.DriftDetector
+
+	client  *serving.Client
+	regions []*regionRun
+	rng     *rand.Rand
+	closers []func()
+
+	ingPool  *parallel.Pool
+	predPool *parallel.Pool
+
+	issued     uint64 // deterministic dispatch count
+	okN        atomic.Uint64
+	degradedN  atomic.Uint64
+	shedN      atomic.Uint64
+	failedN    atomic.Uint64
+	latMu      sync.Mutex
+	latMS      []float64
+	lastDepth  int
+	maxDepth   int
+	judgedWeek int
+	drifts     []*driftTrack
+}
+
+// driftTrack measures one injected drift event's detection lag: the first
+// sweep at or after the event where an affected server that was clean on the
+// last pre-event sweep shows up drifted.
+type driftTrack struct {
+	ev         Event
+	affected   map[string]bool
+	detectedAt float64 // replay hours; -1 while undetected
+}
+
+type appendJob struct {
+	id string
+	t  time.Time
+	// live is the fully event-perturbed value; base is the same value
+	// without drift injections — the shadow baseline. ok is false when an
+	// event silences the delivery (maintenance, failover) on both streams.
+	live float64
+	base float64
+	ok   bool
+}
+
+type predictJob struct {
+	region string
+	id     string
+}
+
+// Run executes one scenario against a fully wired system — batch warmup
+// through the weekly pipeline, then a slot-by-slot live replay on a
+// simulated clock: telemetry ingest (perturbed by the scenario's events) fans
+// out concurrently with real predict requests over a loopback HTTP listener,
+// while drift sweeps, refresh drains, WAL group commits, snapshots and
+// week-boundary pipeline runs fire at their simulated cadences.
+//
+// Everything the simulated clock paces is deterministic per (scenario,
+// seed) and lands in the timeline; everything the wall clock measures
+// (latencies, sheds, brownouts) lands in the SLO report. Cancelling ctx
+// stops the run at the next slot boundary and returns ctx.Err() after
+// tearing the system down.
+func Run(ctx context.Context, sc Scenario, opts Options) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults()
+	opts = opts.withDefaults()
+	if opts.Hours > 0 {
+		sc.Hours = opts.Hours
+	}
+	if opts.Seed != 0 {
+		sc.Seed = opts.Seed
+	}
+
+	dir := opts.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "seagull-sim-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	h := &harness{sc: sc, opts: opts, slot: sc.slotDur()}
+	h.ppd = int(24 * time.Hour / h.slot)
+	liveWeeks := int(math.Ceil(sc.Hours / (7 * 24)))
+	if liveWeeks < 1 {
+		liveWeeks = 1
+	}
+	h.genWeeks = sc.HistoryWeeks - 1 + liveWeeks
+
+	if err := h.build(dir, liveWeeks); err != nil {
+		return nil, err
+	}
+	defer h.close()
+
+	wallStart := time.Now()
+	if err := h.warmup(ctx); err != nil {
+		return nil, err
+	}
+	if err := h.prefeed(); err != nil {
+		return nil, err
+	}
+	opts.Logf("warmup done: %d weeks trained across %d regions, live window prefed (%.2fs wall)",
+		sc.HistoryWeeks, len(sc.Regions), time.Since(wallStart).Seconds())
+
+	srvClose, err := h.serve()
+	if err != nil {
+		return nil, err
+	}
+	defer srvClose()
+
+	rows, err := h.replay(ctx, wallStart)
+	out := &Outcome{Scenario: sc, Rows: rows, CSV: TimelineCSV(rows)}
+	out.Report = h.report(time.Since(wallStart))
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// build wires the substrates on the simulated clock (everything except the
+// serving layer, whose latencies are real work measured on the wall clock).
+func (h *harness) build(dir string, liveWeeks int) error {
+	store, err := lake.Open(filepath.Join(dir, "lake"))
+	if err != nil {
+		return err
+	}
+	db, err := cosmos.Open("")
+	if err != nil {
+		return err
+	}
+	h.store, h.db = store, db
+
+	for i, spec := range h.sc.Regions {
+		fleet := simulate.GenerateFleet(simulate.Config{
+			Region:   spec.Name,
+			Servers:  spec.Servers,
+			Weeks:    h.genWeeks,
+			Interval: h.slot,
+			Seed:     h.sc.Seed + int64(i),
+		})
+		r := &regionRun{spec: spec, fleet: fleet, servers: fleet.Servers}
+		for _, srv := range fleet.Servers {
+			if !srv.ShortLived {
+				r.targets = append(r.targets, srv)
+			}
+		}
+		h.regions = append(h.regions, r)
+	}
+	h.fleetStart = h.regions[0].fleet.Config.Start
+	h.replayStart = h.fleetStart.Add(time.Duration(h.sc.HistoryWeeks-1) * week)
+	h.clock = simclock.NewSimulated(h.replayStart)
+	h.judgedWeek = h.sc.HistoryWeeks - 1
+
+	h.reg = registry.New(h.clock)
+	h.pipe = pipeline.New(store, db, h.reg, nil)
+	h.pipe.Clock = h.clock
+
+	ppw := int(week / h.slot)
+	h.ing = stream.NewIngestor(stream.Config{
+		Interval: h.slot,
+		Epoch:    h.fleetStart,
+		Slots:    (liveWeeks + 2) * ppw,
+		Clock:    h.clock,
+	})
+	h.det = stream.NewDriftDetector(h.ing, db, stream.DriftConfig{})
+	h.shadow = stream.NewIngestor(stream.Config{
+		Interval: h.slot,
+		Epoch:    h.fleetStart,
+		Slots:    (liveWeeks + 2) * ppw,
+		Clock:    h.clock,
+	})
+	h.sdet = stream.NewDriftDetector(h.shadow, db, stream.DriftConfig{})
+	pool := serving.NewModelPool(serving.PoolConfig{})
+	unbind := pool.Bind(h.reg)
+	h.ref = stream.NewRefresher(h.ing, db, h.reg, serving.StreamPool(pool), stream.RefreshConfig{
+		Workers: 2,
+		Clock:   h.clock,
+	})
+	h.sw = stream.NewSweeper(db, h.det, h.ref, stream.SweeperConfig{
+		Interval: time.Duration(h.sc.SweepEveryMinutes) * time.Minute,
+		Clock:    h.clock,
+	})
+	h.dur = stream.NewDurability(h.ing, store, stream.DurabilityConfig{
+		CommitEvery:   time.Duration(h.sc.CommitEveryMinutes) * time.Minute,
+		SnapshotEvery: time.Duration(h.sc.SnapshotEveryMinutes) * time.Minute,
+		Clock:         h.clock,
+	})
+	h.closers = append(h.closers, unbind)
+
+	h.rng = rand.New(rand.NewSource(h.sc.Seed*911_383 + 101))
+	h.ingPool = parallel.NewPool(h.opts.IngestWorkers).WithSchedule(h.opts.Schedule)
+	h.predPool = parallel.NewPool(h.opts.PredictWorkers)
+
+	for _, ev := range h.sc.Events {
+		if ev.Type != EventDrift {
+			continue
+		}
+		t := &driftTrack{ev: ev, affected: map[string]bool{}, detectedAt: -1}
+		for _, r := range h.regions {
+			if !eventHits(ev, r.spec.Name) {
+				continue
+			}
+			n := affectedCount(ev, len(r.servers))
+			for _, srv := range r.servers[:n] {
+				t.affected[srv.ID] = true
+			}
+		}
+		h.drifts = append(h.drifts, t)
+	}
+	return nil
+}
+
+// warmup extracts every generated week to the lake and runs the weekly
+// pipeline for the history weeks, leaving each region with stored
+// predictions and summaries for week HistoryWeeks-1 — the week the live
+// replay re-enters.
+func (h *harness) warmup(ctx context.Context) error {
+	for _, r := range h.regions {
+		if _, err := extract.ExtractAll(h.store, r.fleet); err != nil {
+			return err
+		}
+		for w := 0; w < h.sc.HistoryWeeks; w++ {
+			if _, err := h.pipe.RunWeek(ctx, pipeline.Config{
+				Region:    r.spec.Name,
+				Week:      w,
+				ModelName: h.sc.Model,
+				Interval:  h.slot,
+			}); err != nil {
+				return fmt.Errorf("simworkload: warmup %s week %d: %w", r.spec.Name, w, err)
+			}
+		}
+	}
+	// Arm durability only now: warmup telemetry flows through the lake, not
+	// the live ring. The WAL covers everything the ring holds — the prefeed
+	// week and the live replay — so crash recovery restores the full live
+	// window.
+	if _, err := h.dur.Recover(); err != nil {
+		return err
+	}
+	return h.dur.Open()
+}
+
+// prefeed streams the week before the replay into the live ring, so live
+// predicts and refreshes start with a full training window instead of
+// cold-starting.
+func (h *harness) prefeed() error {
+	for _, r := range h.regions {
+		loads, err := extract.Ingest(h.store, r.spec.Name, h.sc.HistoryWeeks-2, h.slot)
+		if err != nil {
+			return err
+		}
+		for _, sl := range loads {
+			if _, err := h.ing.AppendSeries(sl.ServerID, sl.Load.Start, sl.Load.Values); err != nil {
+				return err
+			}
+			if _, err := h.shadow.AppendSeries(sl.ServerID, sl.Load.Start, sl.Load.Values); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// serve starts the serving layer on a loopback listener and points the
+// harness client at it. The returned function tears both down.
+func (h *harness) serve() (func(), error) {
+	svc := serving.NewService(h.reg, h.db, serving.ServiceConfig{
+		Ingestor:    h.ing,
+		Drift:       h.det,
+		Refresher:   h.ref,
+		Sweeper:     h.sw,
+		Durability:  h.dur,
+		MaxInflight: h.sc.MaxInflight,
+		Brownout:    h.sc.Brownout,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = hsrv.Serve(ln) }()
+	h.client = serving.NewClient("http://" + ln.Addr().String())
+	return func() {
+		_ = hsrv.Close()
+		svc.Close()
+	}, nil
+}
+
+func (h *harness) close() {
+	if h.dur != nil {
+		_ = h.dur.Close()
+	}
+	for i := len(h.closers) - 1; i >= 0; i-- {
+		h.closers[i]()
+	}
+}
+
+// replay drives the live span slot by slot: advance the simulated clock,
+// fan out the slot's telemetry and predict traffic concurrently, then fire
+// whatever simulated cadences the slot boundary crossed.
+func (h *harness) replay(ctx context.Context, wallStart time.Time) ([]Row, error) {
+	totalSlots := int(math.Ceil(sc2h(h.sc.Hours) / float64(h.slot)))
+	slotMin := h.sc.SlotMinutes
+	weekMin := int(week / time.Minute)
+	rowEveryMin := int(h.opts.RowEvery / time.Minute)
+	if rowEveryMin < slotMin {
+		rowEveryMin = slotMin
+	}
+
+	rows := []Row{h.sample(0)}
+	for s := 0; s < totalSlots; s++ {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		slotStart := h.replayStart.Add(time.Duration(s) * h.slot)
+		slotEnd := slotStart.Add(h.slot)
+		h.clock.AdvanceTo(slotEnd)
+		hour := float64(s) * h.slot.Hours()
+		endHour := hour + h.slot.Hours()
+
+		appends := h.slotAppends(slotStart, hour)
+		predicts := h.slotPredicts(slotStart, hour)
+		h.issued += uint64(len(predicts))
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = h.predPool.ForEach(len(predicts), func(i int) error {
+				h.doPredict(ctx, predicts[i])
+				return nil
+			})
+		}()
+		_ = h.ingPool.ForEach(len(appends), func(i int) error {
+			a := appends[i]
+			if a.ok {
+				h.ing.Append(a.id, a.t, a.live)
+				h.shadow.Append(a.id, a.t, a.base)
+			}
+			return nil
+		})
+		wg.Wait()
+
+		elapsedMin := (s + 1) * slotMin
+		if elapsedMin%h.sc.CommitEveryMinutes == 0 {
+			_ = h.dur.CommitNow()
+		}
+		if h.sc.SnapshotEveryMinutes > 0 && elapsedMin%h.sc.SnapshotEveryMinutes == 0 {
+			_, _ = h.dur.SnapshotNow()
+		}
+		if elapsedMin%h.sc.SweepEveryMinutes == 0 {
+			_ = h.sw.SweepOnce(ctx)
+			depth := h.ref.Stats().Pending
+			h.lastDepth = depth
+			if depth > h.maxDepth {
+				h.maxDepth = depth
+			}
+			h.measureDrift(ctx, endHour)
+			if err := h.ref.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				return rows, err
+			}
+		}
+		if elapsedMin%weekMin == 0 {
+			completed := h.sc.HistoryWeeks - 2 + elapsedMin/weekMin
+			if completed >= h.sc.HistoryWeeks && completed < h.genWeeks {
+				for _, r := range h.regions {
+					if _, err := h.pipe.RunWeek(ctx, pipeline.Config{
+						Region:    r.spec.Name,
+						Week:      completed,
+						ModelName: h.sc.Model,
+						Interval:  h.slot,
+					}); err != nil {
+						return rows, fmt.Errorf("simworkload: week %d boundary run: %w", completed, err)
+					}
+				}
+				h.judgedWeek = completed
+				h.opts.Logf("sim %.0fh: week %d pipeline run complete", endHour, completed)
+			}
+		}
+		if elapsedMin%rowEveryMin == 0 {
+			rows = append(rows, h.sample(endHour))
+			h.opts.Logf("sim %.0fh / %.0fh (%.1fs wall)", endHour, h.sc.Hours, time.Since(wallStart).Seconds())
+		}
+
+		if h.opts.Scale > 0 {
+			wallTarget := time.Duration(float64(time.Duration(s+1)*h.slot) / h.opts.Scale)
+			if lead := wallTarget - time.Since(wallStart); lead > 0 {
+				time.Sleep(lead)
+			}
+		}
+	}
+	last := float64(totalSlots) * h.slot.Hours()
+	if n := len(rows); n == 0 || rows[n-1].SimHours != last {
+		rows = append(rows, h.sample(last))
+	}
+	return rows, nil
+}
+
+// slotAppends builds the slot's telemetry deliveries: each server's
+// generated load value at slotStart, transformed by the active events. Each
+// delivery carries a second value with every perturbation except drift
+// injections — the shadow stream — so drift-lag measurement can difference
+// out everything the scenario does besides the injection under test.
+func (h *harness) slotAppends(slotStart time.Time, hour float64) []appendJob {
+	var jobs []appendJob
+	for _, r := range h.regions {
+		silentAll := false
+		loadMult := 1.0
+		for _, ev := range h.sc.Events {
+			if !ev.active(hour) {
+				continue
+			}
+			if ev.Type == EventFailover {
+				if ev.Region == r.spec.Name {
+					silentAll = true
+				} else {
+					loadMult *= ev.Magnitude
+				}
+			}
+		}
+		for pos, srv := range r.servers {
+			idx, ok := srv.Load().IndexOf(slotStart)
+			if !ok {
+				continue
+			}
+			v := srv.Load().Values[idx]
+			if v != v { // missing (NaN) telemetry point
+				continue
+			}
+			skip := silentAll
+			val := v * loadMult
+			base := val
+			for _, ev := range h.sc.Events {
+				if !ev.active(hour) || !eventHits(ev, r.spec.Name) {
+					continue
+				}
+				if pos >= affectedCount(ev, len(r.servers)) {
+					continue
+				}
+				switch ev.Type {
+				case EventMaintenance:
+					skip = true
+				case EventBurstStorm:
+					val *= ev.Magnitude
+					base *= ev.Magnitude
+				case EventDrift:
+					val += ev.Magnitude
+				}
+			}
+			jobs = append(jobs, appendJob{
+				id: srv.ID, t: slotStart,
+				live: clampLoad(val), base: clampLoad(base), ok: !skip,
+			})
+		}
+	}
+	return jobs
+}
+
+// slotPredicts draws the slot's predict traffic: the scenario's base rate
+// shaped by time of day and weekday, scaled per region by active events, and
+// spread over deterministic seeded target picks.
+func (h *harness) slotPredicts(slotStart time.Time, hour float64) []predictJob {
+	total := 0
+	for _, r := range h.regions {
+		total += len(r.targets)
+	}
+	if total == 0 {
+		return nil
+	}
+	shape := trafficShape(slotStart)
+	var jobs []predictJob
+	for _, r := range h.regions {
+		mult := 1.0
+		for _, ev := range h.sc.Events {
+			if !ev.active(hour) {
+				continue
+			}
+			switch ev.Type {
+			case EventBurstStorm:
+				if eventHits(ev, r.spec.Name) {
+					mult *= ev.Magnitude
+				}
+			case EventFailover:
+				if ev.Region == r.spec.Name {
+					mult = 0
+				} else {
+					mult *= ev.Magnitude
+				}
+			}
+		}
+		share := float64(len(r.targets)) / float64(total)
+		r.carry += float64(h.sc.PredictsPerHour) * share * shape * mult * h.slot.Hours()
+		n := int(r.carry)
+		r.carry -= float64(n)
+		for i := 0; i < n; i++ {
+			srv := r.targets[h.rng.Intn(len(r.targets))]
+			jobs = append(jobs, predictJob{region: r.spec.Name, id: srv.ID})
+		}
+	}
+	return jobs
+}
+
+// doPredict issues one live-history predict over the loopback listener and
+// records its wall latency and outcome.
+func (h *harness) doPredict(ctx context.Context, job predictJob) {
+	start := time.Now()
+	resp, err := h.client.PredictV2(ctx, serving.PredictRequestV2{
+		Scenario:    pipeline.Scenario,
+		Region:      job.region,
+		ServerID:    job.id,
+		LiveHistory: true,
+		Horizon:     h.ppd,
+	})
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	h.latMu.Lock()
+	h.latMS = append(h.latMS, ms)
+	h.latMu.Unlock()
+	switch {
+	case err == nil && resp.Degraded:
+		h.degradedN.Add(1)
+	case err == nil:
+		h.okN.Add(1)
+	case isOverloaded(err):
+		h.shedN.Add(1)
+	default:
+		h.failedN.Add(1)
+	}
+}
+
+// measureDrift advances the drift-lag trackers. From each drift event's
+// start onward, it sweeps the live detector and the shadow (unperturbed)
+// detector over the event's regions; detection is the first sweep where an
+// affected server is drifted live but clean in the counterfactual — natural
+// model drift flags both streams and cancels out. Measurement sweeps share
+// the production detector but bypass the refresher, so they never perturb
+// the production loop's queue.
+func (h *harness) measureDrift(ctx context.Context, hour float64) {
+	for _, t := range h.drifts {
+		if t.detectedAt >= 0 || hour < t.ev.AtHour {
+			continue
+		}
+		live := map[string]bool{}
+		base := map[string]bool{}
+		for _, r := range h.regions {
+			if !eventHits(t.ev, r.spec.Name) {
+				continue
+			}
+			lrep, err := h.det.Sweep(ctx, r.spec.Name, h.judgedWeek)
+			if err != nil {
+				continue
+			}
+			srep, err := h.sdet.Sweep(ctx, r.spec.Name, h.judgedWeek)
+			if err != nil {
+				continue
+			}
+			for _, sd := range lrep.DriftedServers {
+				live[sd.ServerID] = true
+			}
+			for _, sd := range srep.DriftedServers {
+				base[sd.ServerID] = true
+			}
+		}
+		for id := range live {
+			if t.affected[id] && !base[id] {
+				t.detectedAt = hour - t.ev.AtHour
+				break
+			}
+		}
+	}
+}
+
+// sample snapshots the deterministic counters into a timeline row.
+func (h *harness) sample(simHours float64) Row {
+	ist := h.ing.Stats()
+	sst := h.sw.Stats()
+	rst := h.ref.Stats()
+	dst := h.dur.Stats()
+	return Row{
+		SimHours:       simHours,
+		Appended:       ist.Appended,
+		Duplicates:     ist.Duplicates,
+		TooOld:         ist.TooOld,
+		TooNew:         ist.TooNew,
+		Sweeps:         sst.Ticks,
+		Drifted:        sst.Drifted,
+		Queued:         sst.Queued,
+		Refreshed:      rst.Refreshed,
+		RefSkipped:     rst.Skipped,
+		RefDropped:     rst.Dropped,
+		QueueDepth:     h.lastDepth,
+		WALCommits:     dst.Commits,
+		WALRecords:     dst.CommitRecords,
+		Snapshots:      dst.Snapshots,
+		PredictsIssued: h.issued,
+	}
+}
+
+// report assembles the SLO report after the replay.
+func (h *harness) report(wall time.Duration) SLOReport {
+	rep := SLOReport{
+		Scenario:      h.sc.Name,
+		Seed:          h.sc.Seed,
+		SimHours:      h.sc.Hours,
+		WallSeconds:   wall.Seconds(),
+		MaxQueueDepth: h.maxDepth,
+		Ingest:        h.ing.Stats(),
+		Sweeper:       h.sw.Stats(),
+		Refresh:       h.ref.Stats(),
+		Durability:    h.dur.Stats(),
+	}
+	if rep.WallSeconds > 0 {
+		rep.Compression = rep.SimHours * 3600 / rep.WallSeconds
+	}
+	rep.Predicts = PredictSLO{
+		Issued:   h.issued,
+		OK:       h.okN.Load(),
+		Degraded: h.degradedN.Load(),
+		Shed:     h.shedN.Load(),
+		Failed:   h.failedN.Load(),
+	}
+	h.latMu.Lock()
+	summarizeLatencies(&rep.Predicts, h.latMS)
+	h.latMu.Unlock()
+	for _, t := range h.drifts {
+		rep.DriftLag = append(rep.DriftLag, DriftLag{
+			Region: t.ev.Region, AtHour: t.ev.AtHour, LagHours: t.detectedAt,
+		})
+	}
+	return rep
+}
+
+// clampLoad bounds a perturbed value to the telemetry's 0–100 load scale.
+func clampLoad(v float64) float64 {
+	if v > 100 {
+		return 100
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// eventHits reports whether the event's region filter covers region.
+func eventHits(e Event, region string) bool {
+	return e.Region == "" || e.Region == region
+}
+
+// affectedCount returns how many of a region's n servers the event touches:
+// the deterministic leading ceil(Fraction·n).
+func affectedCount(e Event, n int) int {
+	f := e.Fraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	c := int(math.Ceil(f * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// trafficShape is the diurnal/weekly predict-rate factor: a sinusoid peaking
+// mid-afternoon (trough ~0.65 at 03:00) with quieter weekends.
+func trafficShape(t time.Time) float64 {
+	hod := float64(t.Hour()) + float64(t.Minute())/60
+	f := 1 + 0.35*math.Sin(2*math.Pi*(hod-9)/24)
+	if wd := t.Weekday(); wd == time.Saturday || wd == time.Sunday {
+		f *= 0.75
+	}
+	return f
+}
+
+// isOverloaded reports whether err is an admission-control shed.
+func isOverloaded(err error) bool {
+	var api *serving.APIError
+	if errors.As(err, &api) {
+		return api.Status == http.StatusServiceUnavailable || api.Status == http.StatusTooManyRequests
+	}
+	return false
+}
+
+// sc2h converts scenario hours to a duration's float64 nanoseconds — kept as
+// a helper so slot math stays in one place.
+func sc2h(hours float64) float64 { return hours * float64(time.Hour) }

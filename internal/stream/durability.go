@@ -13,6 +13,7 @@ import (
 
 	"seagull/internal/lake"
 	"seagull/internal/parallel"
+	"seagull/internal/simclock"
 )
 
 // Durability bounds what a hard kill can cost: a WAL group commit every δ
@@ -60,6 +61,9 @@ type DurabilityConfig struct {
 	// BufferEntries caps each shard's pending buffer between commits; points
 	// beyond it are dropped and counted, never blocked on. Default 4096.
 	BufferEntries int
+	// Clock paces the group-commit and snapshot tickers; nil means the wall
+	// clock.
+	Clock simclock.Clock
 }
 
 func (c DurabilityConfig) withDefaults() DurabilityConfig {
@@ -72,6 +76,7 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	if c.BufferEntries <= 0 {
 		c.BufferEntries = 4096
 	}
+	c.Clock = simclock.Or(c.Clock)
 	return c
 }
 
@@ -338,19 +343,19 @@ func (d *Durability) Start(ctx context.Context) error {
 
 func (d *Durability) maintain(ctx context.Context) {
 	defer d.loopWG.Done()
-	commit := time.NewTicker(d.cfg.CommitEvery)
+	commit := d.cfg.Clock.NewTicker(d.cfg.CommitEvery)
 	defer commit.Stop()
 	var snap <-chan time.Time
 	if d.cfg.SnapshotEvery > 0 {
-		t := time.NewTicker(d.cfg.SnapshotEvery)
+		t := d.cfg.Clock.NewTicker(d.cfg.SnapshotEvery)
 		defer t.Stop()
-		snap = t.C
+		snap = t.C()
 	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-commit.C:
+		case <-commit.C():
 			d.CommitNow()
 		case <-d.kick:
 			d.CommitNow()

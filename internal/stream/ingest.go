@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 )
 
@@ -41,9 +42,9 @@ type Config struct {
 	// point into a too-old drop. Default one hour (generous clock skew);
 	// negative disables the bound.
 	MaxFuture time.Duration
-	// Now is the wall clock MaxFuture is judged against; nil means
-	// time.Now. Tests inject their own.
-	Now func() time.Time
+	// Clock is the time source MaxFuture is judged against; nil means the
+	// wall clock. Tests and simulations inject their own.
+	Clock simclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -62,9 +63,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxFuture == 0 {
 		c.MaxFuture = time.Hour
 	}
-	if c.Now == nil {
-		c.Now = time.Now
-	}
+	c.Clock = simclock.Or(c.Clock)
 	return c
 }
 
@@ -311,7 +310,7 @@ func (g *Ingestor) Append(serverID string, t time.Time, v float64) AppendStatus 
 		sh.mu.Unlock()
 		return BadValue
 	}
-	if g.cfg.MaxFuture >= 0 && t.Sub(g.cfg.Now()) > g.cfg.MaxFuture {
+	if g.cfg.MaxFuture >= 0 && t.Sub(g.cfg.Clock.Now()) > g.cfg.MaxFuture {
 		sh.mu.Lock()
 		sh.tooNew++
 		sh.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 )
 
@@ -148,7 +149,7 @@ func TestAppendWindowEviction(t *testing.T) {
 func TestAppendTooNew(t *testing.T) {
 	now := testEpoch.Add(7 * 24 * time.Hour)
 	cfg := testConfig(500)
-	cfg.Now = func() time.Time { return now }
+	cfg.Clock = simclock.NewSimulated(now)
 	g := NewIngestor(cfg)
 
 	for i := 0; i < 100; i++ {

@@ -16,6 +16,7 @@ import (
 	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
+	"seagull/internal/simclock"
 	"seagull/internal/timeseries"
 )
 
@@ -106,6 +107,9 @@ type RefreshConfig struct {
 	// Defaults: 3 drops in 5s. One isolated drop never reads as saturation.
 	SaturationDrops  int
 	SaturationWindow time.Duration
+	// Clock timestamps drops for the saturation window; nil means the wall
+	// clock.
+	Clock simclock.Clock
 }
 
 func (c RefreshConfig) withDefaults() RefreshConfig {
@@ -136,6 +140,7 @@ func (c RefreshConfig) withDefaults() RefreshConfig {
 	if c.SaturationWindow <= 0 {
 		c.SaturationWindow = 5 * time.Second
 	}
+	c.Clock = simclock.Or(c.Clock)
 	return c
 }
 
@@ -228,7 +233,7 @@ func (r *Refresher) Enqueue(region, serverID string, week int) (queued bool, err
 	default:
 		r.mu.Unlock()
 		r.dropped.Add(1)
-		r.recordDrop(time.Now())
+		r.recordDrop(r.cfg.Clock.Now())
 		return false, ErrQueueFull
 	}
 }
@@ -258,7 +263,7 @@ func (r *Refresher) Saturated() bool {
 	if len(r.dropTimes) < r.cfg.SaturationDrops {
 		return false
 	}
-	cutoff := time.Now().Add(-r.cfg.SaturationWindow)
+	cutoff := r.cfg.Clock.Now().Add(-r.cfg.SaturationWindow)
 	for _, t := range r.dropTimes {
 		if t.Before(cutoff) {
 			return false

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seagull/internal/cosmos"
+	"seagull/internal/simclock"
 )
 
 // Sweeper closes the drift loop with zero client involvement: before it, a
@@ -34,6 +35,8 @@ type SweeperConfig struct {
 	// whose (region partition, week id) pairs drive discovery. Default
 	// "summaries".
 	Collection string
+	// Clock paces Run's ticker; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 func (c SweeperConfig) withDefaults() SweeperConfig {
@@ -43,6 +46,7 @@ func (c SweeperConfig) withDefaults() SweeperConfig {
 	if c.Collection == "" {
 		c.Collection = "summaries"
 	}
+	c.Clock = simclock.Or(c.Clock)
 	return c
 }
 
@@ -163,13 +167,13 @@ func (s *Sweeper) SweepOnce(ctx context.Context) error {
 // Run sweeps on every tick until ctx is cancelled, then returns ctx.Err().
 // Sweep errors are counted in Stats, never fatal.
 func (s *Sweeper) Run(ctx context.Context) error {
-	ticker := time.NewTicker(s.cfg.Interval)
+	ticker := s.cfg.Clock.NewTicker(s.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-ticker.C():
 			_ = s.SweepOnce(ctx)
 		}
 	}

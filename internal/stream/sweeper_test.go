@@ -2,11 +2,13 @@ package stream_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
 	"seagull/internal/forecast"
 	"seagull/internal/pipeline"
+	"seagull/internal/simclock"
 	"seagull/internal/stream"
 )
 
@@ -115,20 +117,28 @@ func TestSweeperDiscoversLatestWeek(t *testing.T) {
 	}
 }
 
-// TestSweeperRunStops: Run ticks in the background and stops on cancel.
+// TestSweeperRunStops: Run ticks on its clock's ticker in the background and
+// stops on cancel. The simulated clock makes the test deterministic: each
+// Advance crosses exactly one interval, and no real time is slept.
 func TestSweeperRunStops(t *testing.T) {
 	f := newEqFixture(t, forecast.NamePersistentPrevDay)
 	ing := stream.NewIngestor(stream.Config{Epoch: f.start, Slots: 8064})
 	f.feed(t, ing, "", zeroTime, zeroTime, 0)
 	det := stream.NewDriftDetector(ing, f.db, stream.DriftConfig{})
-	sw := stream.NewSweeper(f.db, det, nil, stream.SweeperConfig{Interval: 5 * time.Millisecond})
+	clock := simclock.NewSimulated(f.start)
+	sw := stream.NewSweeper(f.db, det, nil, stream.SweeperConfig{Interval: time.Minute, Clock: clock})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- sw.Run(ctx) }()
-	deadline := time.Now().Add(5 * time.Second)
-	for sw.Stats().Ticks < 2 && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
+	clock.BlockUntil(1) // Run's ticker is registered
+	for tick := uint64(1); tick <= 2; tick++ {
+		clock.Advance(time.Minute)
+		// The tick is delivered asynchronously; wait for the sweep to land.
+		deadline := time.Now().Add(5 * time.Second)
+		for sw.Stats().Ticks < tick && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
 	}
 	cancel()
 	select {
