@@ -22,6 +22,7 @@ import (
 	"seagull/internal/lake"
 	"seagull/internal/linalg"
 	"seagull/internal/metrics"
+	"seagull/internal/obs"
 	"seagull/internal/parallel"
 	"seagull/internal/registry"
 	"seagull/internal/serving"
@@ -404,6 +405,64 @@ func BenchmarkServeBatch(b *testing.B) {
 			b.Fatalf("%d batch items failed", resp.Failed)
 		}
 	}
+}
+
+// BenchmarkTracedPredict is BenchmarkServePredictSSA with tracing enabled:
+// the trace rides a pre-bound TraceRef (one context allocation total, zero
+// per iteration), so the delta against the untraced benchmark is the true
+// cost of span recording on the warm path. The CI alloc gate pins this at the
+// same 3 allocs/op budget as the untraced predict — tracing must be free
+// enough to leave on in production.
+func BenchmarkTracedPredict(b *testing.B) {
+	reg := registry.New(nil)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, forecast.NameSSA, "bench")
+	tracer := obs.NewTracer(obs.TracerConfig{})
+	svc := serving.NewService(reg, nil, serving.ServiceConfig{Workers: 1, Tracer: tracer})
+	req := serving.PredictRequestV2{
+		Scenario: "backup", Region: "bench",
+		History: serving.FromSeries(benchHistory(7)), Horizon: 288, WindowPoints: 12,
+	}
+	ref := &obs.TraceRef{}
+	ctx := obs.ContextWithTraceRef(context.Background(), ref)
+	if _, serr := svc.Predict(ctx, req); serr != nil {
+		b.Fatal(serr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start("bench", "bench") // fixed ID: minting one costs an alloc
+		ref.Set(tr)
+		if _, serr := svc.Predict(ctx, req); serr != nil {
+			b.Fatal(serr)
+		}
+		tracer.Finish(tr, 200)
+	}
+}
+
+// BenchmarkMetricsRender measures one full /metrics scrape render into a
+// reused buffer — the scrape-side cost a Prometheus poller imposes.
+func BenchmarkMetricsRender(b *testing.B) {
+	reg := registry.New(nil)
+	reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, forecast.NameSSA, "bench")
+	tracer := obs.NewTracer(obs.TracerConfig{})
+	svc := serving.NewService(reg, nil, serving.ServiceConfig{Workers: 1, Tracer: tracer})
+	req := serving.PredictRequestV2{
+		Scenario: "backup", Region: "bench",
+		History: serving.FromSeries(benchHistory(7)), Horizon: 288, WindowPoints: 12,
+	}
+	if _, serr := svc.Predict(context.Background(), req); serr != nil {
+		b.Fatal(serr)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := svc.WriteMetrics(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "bytes/scrape")
 }
 
 // --- Stream-layer benchmarks: ingest hot path, drift sweep, warm refresh ---

@@ -42,6 +42,7 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkFleetGenerationEager|BenchmarkFleetMaterialize|" +
 	"BenchmarkFig11aTrainInfer|" +
 	"BenchmarkServePredict|BenchmarkServeBatch|" +
+	"BenchmarkTracedPredict|BenchmarkMetricsRender|" +
 	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
 	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper|" +
 	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay|" +

@@ -49,6 +49,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -57,6 +58,7 @@ import (
 	"time"
 
 	"seagull"
+	"seagull/internal/obs"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
 )
@@ -109,6 +111,14 @@ func main() {
 			"dataset epoch (RFC3339): week N covers [epoch+N·week, epoch+(N+1)·week)")
 		cronFirst = flag.Int("cron-first", 1, "first week the cron processes")
 		cronLast  = flag.Int("cron-last", 1, "last week the cron processes (inclusive)")
+		logFormat = flag.String("log", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowReq   = flag.Duration("slow-request", time.Second,
+			"log any request slower than this with its full span breakdown (0 disables the slow log; "+
+				"tracing and GET /debug/traces stay on)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints "+
+				"bypass admission control)")
 	)
 	flag.Parse()
 
@@ -134,6 +144,10 @@ func main() {
 		CronEpoch:      *cronEpoch,
 		CronFirst:      *cronFirst,
 		CronLast:       *cronLast,
+		LogFormat:      *logFormat,
+		LogLevel:       *logLevel,
+		SlowRequest:    *slowReq,
+		Pprof:          *pprofOn,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -180,10 +194,18 @@ type serveConfig struct {
 	SweepInterval time.Duration
 	// RefreshWorkers bounds concurrent drift retrains (0 = one per CPU).
 	RefreshWorkers int
-	Cron           bool
-	CronEpoch      string
-	CronFirst      int
-	CronLast       int
+	Cron      bool
+	CronEpoch string
+	CronFirst int
+	CronLast  int
+	// LogFormat/LogLevel configure the structured logger ("" = text/info).
+	LogFormat string
+	LogLevel  string
+	// SlowRequest is the threshold above which a finished request logs its
+	// full span breakdown (0 disables the slow log, not tracing).
+	SlowRequest time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
 }
 
 // serve builds the system, wires the service over ln and blocks until ctx is
@@ -195,6 +217,17 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		// which would silently delete the "durable" store on shutdown.
 		return fmt.Errorf("-persist requires -data: a temporary data directory is removed on shutdown")
 	}
+	logger, err := obs.NewLogger(out, cfg.LogFormat, cfg.LogLevel)
+	if err != nil {
+		return err
+	}
+	// One tracer serves the whole process: HTTP requests, background sweeps
+	// and drift refreshes all record into the same ring, so /debug/traces
+	// shows the serving and stream sides of one overload event together.
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: cfg.SlowRequest,
+		Logger:        logger,
+	})
 	workers := cfg.RefreshWorkers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -202,8 +235,8 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	sys, err := seagull.NewSystem(seagull.SystemConfig{
 		DataDir: cfg.DataDir,
 		Persist: cfg.Persist,
-		Refresh: seagull.RefreshConfig{Workers: workers},
-		Sweep:   seagull.SweeperConfig{Interval: cfg.SweepInterval},
+		Refresh: seagull.RefreshConfig{Workers: workers, Tracer: tracer, Logger: logger},
+		Sweep:   seagull.SweeperConfig{Interval: cfg.SweepInterval, Tracer: tracer, Logger: logger},
 	})
 	if err != nil {
 		return err
@@ -216,7 +249,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	}
 	for _, d := range slots {
 		v := sys.Registry.Deploy(registry.Target{Scenario: d.scenario, Region: d.region}, d.model, "seagull-serve")
-		fmt.Fprintf(out, "deployed %s v%d at %s/%s\n", d.model, v, d.scenario, d.region)
+		logger.Info("deployed", "model", d.model, "version", v, "scenario", d.scenario, "region", d.region)
 	}
 
 	if cfg.Demo && len(slots) > 0 {
@@ -229,7 +262,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "demo pipeline: region=%s week=1 predicted=%d\n", region, res.Predicted)
+		logger.Info("demo pipeline complete", "region", region, "week", 1, "predicted", res.Predicted)
 	}
 
 	svcCfg := seagull.ServiceConfig{
@@ -238,6 +271,8 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		LatencyTarget: cfg.LatencyTarget,
 		Brownout:      cfg.Brownout,
 		DrainGrace:    cfg.Grace,
+		Tracer:        tracer,
+		Logger:        logger,
 	}
 	var dur *seagull.Durability
 	var rec seagull.RecoveryStats
@@ -250,7 +285,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		svcCfg.Refresher = sys.Refresher()
 		svcCfg.Sweeper = sys.Sweeper()
 		sys.StartRefresher()
-		fmt.Fprintf(out, "stream layer enabled: POST /v2/ingest (drift sweeps → background refresh, %d workers), GET /varz\n", workers)
+		logger.Info("stream layer enabled", "ingest", "POST /v2/ingest", "refresh_workers", workers)
 		if cfg.Snapshot {
 			// Bounded-loss durability: replay the previous run's per-shard
 			// snapshots and WALs, then keep group-committing appends and
@@ -259,9 +294,9 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 			// the recovery stats, and surfaced as a degraded /readyz — stale
 			// durable state must never block a restart.
 			if n, err := sys.Lake.SweepTempObjects(); err != nil {
-				fmt.Fprintf(out, "lake temp sweep failed: %v\n", err)
+				logger.Warn("lake temp sweep failed", "error", err)
 			} else if n > 0 {
-				fmt.Fprintf(out, "lake temp sweep: removed %d staging file(s) left by interrupted replaces\n", n)
+				logger.Info("lake temp sweep removed staging files", "count", n)
 			}
 			dur = sys.NewDurability(seagull.DurabilityConfig{
 				DisableWAL:    !cfg.WAL,
@@ -271,12 +306,16 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 			if rec, err = dur.Recover(); err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "stream recovery: %s\n", rec.String())
+			logger.Info("stream recovery complete",
+				"outcome", rec.String(),
+				"servers", rec.Servers,
+				"wal_records", rec.WALRecords,
+				"failures", len(rec.Failures))
 			svcCfg.Durability = dur
 		}
 		if cfg.SweepInterval > 0 {
 			sys.StartSweeper()
-			fmt.Fprintf(out, "background drift sweeper: every %s over each region's latest summarized week\n", cfg.SweepInterval)
+			logger.Info("background drift sweeper started", "interval", cfg.SweepInterval)
 		}
 	}
 	svc := sys.Service(svcCfg)
@@ -292,13 +331,14 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		if cfg.Brownout {
 			mode = "brownout"
 		}
-		fmt.Fprintf(out, "admission control: max-inflight=%d latency-target=%s saturated-predicts=%s\n",
-			maxIn, target, mode)
+		logger.Info("admission control enabled",
+			"max_inflight", maxIn, "latency_target", target, "saturated_predicts", mode)
 	}
 	if rec.Degraded() {
 		// Keep serving what survived, but say so on /readyz and /varz: live
 		// windows touched by the failed objects are cold-started, so their
 		// live_history predicts may hit the insufficient_history floor.
+		logger.Warn("recovery was partial; serving degraded", "outcome", rec.String())
 		svc.SetDegraded("degraded: live window cold-started: " + rec.String())
 	}
 	if dur != nil {
@@ -334,12 +374,30 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		if len(crons) == 0 {
 			return fmt.Errorf("-cron requires at least one %s/<region> deployment", pipeline.Scenario)
 		}
-		fmt.Fprintf(out, "pipeline cron: weeks %d..%d for %s (epoch %s)\n",
-			cfg.CronFirst, cfg.CronLast, strings.Join(regions, ","), epoch.Format(time.RFC3339))
+		logger.Info("pipeline cron started",
+			"first_week", cfg.CronFirst, "last_week", cfg.CronLast,
+			"regions", strings.Join(regions, ","), "epoch", epoch.Format(time.RFC3339))
+	}
+
+	// Profiling endpoints are opt-in and mounted on an outer mux: they must
+	// bypass the service's admission control (an operator profiles precisely
+	// when the limiter is shedding), but exposing them unconditionally would
+	// hand every client a CPU-burning endpoint.
+	var handler http.Handler = svc
+	if cfg.Pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	server := &http.Server{
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -351,7 +409,8 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 		}
 		errCh <- nil
 	}()
-	fmt.Fprintf(out, "serving on %s (v1+v2; GET /healthz, GET /readyz)\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"endpoints", "v1+v2; GET /healthz, GET /readyz, GET /varz, GET /metrics, GET /debug/traces")
 
 	select {
 	case err := <-errCh:
@@ -362,7 +421,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	// Graceful drain: stop advertising readiness, hold the listener open
 	// for the grace period so readiness probes can observe the draining
 	// state, then let in-flight requests finish under the drain budget.
-	fmt.Fprintf(out, "shutdown: draining for up to %s (grace %s)\n", cfg.Drain, cfg.Grace)
+	logger.Info("shutdown: draining", "drain", cfg.Drain, "grace", cfg.Grace)
 	for _, c := range crons {
 		c.Stop()
 	}
@@ -388,7 +447,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 			}
 			return fmt.Errorf("stream persistence: %w", err)
 		}
-		fmt.Fprintf(out, "stream state persisted: %d servers\n", sys.Stream().Stats().Servers)
+		logger.Info("stream state persisted", "servers", sys.Stream().Stats().Servers)
 	}
 	if shutdownErr != nil {
 		return fmt.Errorf("shutdown: %w", shutdownErr)
@@ -396,7 +455,7 @@ func serve(ctx context.Context, cfg serveConfig, ln net.Listener, out io.Writer)
 	if err := <-errCh; err != nil {
 		return err
 	}
-	fmt.Fprintln(out, "shutdown: clean")
+	logger.Info("shutdown: clean")
 	return nil
 }
 

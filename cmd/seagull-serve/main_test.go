@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -135,6 +137,40 @@ func TestServeSmoke(t *testing.T) {
 		}
 		return vz.Refresh.Refreshed >= uint64(ing.Sweep.Queued) && vz.Drift.Sweeps >= 1
 	}, "background refresh observed on /varz")
+
+	// Observability surfaces over the wire: the Prometheus exposition and
+	// the trace ring both reflect the traffic this test just generated.
+	base := "http://" + ln.Addr().String()
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metricsBody, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if ct := metricsResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"seagull_http_requests_total", "seagull_pool_hits_total",
+		"seagull_ingest_appended_total", "seagull_trace_stage_total",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	tracesResp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces: %v", err)
+	}
+	if id := tracesResp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("/debug/traces response carries no X-Request-Id")
+	}
+	tracesBody, _ := io.ReadAll(tracesResp.Body)
+	tracesResp.Body.Close()
+	if !strings.Contains(string(tracesBody), `"enabled":true`) ||
+		!strings.Contains(string(tracesBody), `"stage":"ingest"`) {
+		t.Errorf("/debug/traces = %s", tracesBody)
+	}
 
 	// Deliver a real SIGTERM to this process; the notify context catches it
 	// and serve must drain cleanly. During the grace window the listener

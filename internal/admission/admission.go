@@ -109,6 +109,24 @@ const (
 	Canceled
 )
 
+// String returns the verdict name used in logs.
+func (v Verdict) String() string {
+	switch v {
+	case Admitted:
+		return "admitted"
+	case Degraded:
+		return "degraded"
+	case Shed:
+		return "shed"
+	case ShedDeadline:
+		return "shed_deadline"
+	case Canceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
 // Config parameterizes a Limiter. The zero value selects production
 // defaults sized for one serving process.
 type Config struct {

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpoContentType is the Prometheus text exposition content type served by
+// /metrics.
+const ExpoContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expo writes the Prometheus text exposition format (version 0.0.4) with the
+// standard library only. Errors are sticky: the first write failure is
+// retained and every later call is a no-op, so render code reads linearly
+// without per-line error plumbing.
+type Expo struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewExpo wraps w for exposition writing. Call Flush when done.
+func NewExpo(w io.Writer) *Expo { return &Expo{w: bufio.NewWriter(w)} }
+
+// Flush flushes the buffer and returns the first error encountered.
+func (e *Expo) Flush() error {
+	if e.err == nil {
+		e.err = e.w.Flush()
+	}
+	return e.err
+}
+
+func (e *Expo) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString(s)
+}
+
+// Header declares a metric family: a # HELP line then a # TYPE line. typ is
+// "counter", "gauge" or "histogram". Emit it once per family, before its
+// samples.
+func (e *Expo) Header(name, typ, help string) {
+	e.writeString("# HELP ")
+	e.writeString(name)
+	e.writeString(" ")
+	e.writeString(escapeHelp(help))
+	e.writeString("\n# TYPE ")
+	e.writeString(name)
+	e.writeString(" ")
+	e.writeString(typ)
+	e.writeString("\n")
+}
+
+// Sample emits one sample line. labels is a pre-rendered label set from
+// Labels ("" for none).
+func (e *Expo) Sample(name, labels string, v float64) {
+	e.writeString(name)
+	e.writeString(labels)
+	e.writeString(" ")
+	e.writeString(formatValue(v))
+	e.writeString("\n")
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (e *Expo) Gauge(name, help string, v float64) {
+	e.Header(name, "gauge", help)
+	e.Sample(name, "", v)
+}
+
+// Counter emits a complete single-sample counter family.
+func (e *Expo) Counter(name, help string, v float64) {
+	e.Header(name, "counter", help)
+	e.Sample(name, "", v)
+}
+
+// Histogram emits one labeled histogram series: cumulative <name>_bucket
+// lines for each upper bound plus +Inf, then <name>_sum and <name>_count.
+// bounds are the bucket upper bounds; counts holds the per-bucket
+// (non-cumulative) observation counts with one extra trailing overflow
+// entry, matching the /varz histogram layout. The family Header must have
+// been emitted by the caller.
+func (e *Expo) Histogram(name, labels string, bounds []float64, counts []uint64, sum float64) {
+	cum := uint64(0)
+	for i, bound := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		e.Sample(name+"_bucket", withLE(labels, formatValue(bound)), float64(cum))
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	e.Sample(name+"_bucket", withLE(labels, "+Inf"), float64(cum))
+	e.Sample(name+"_sum", labels, sum)
+	e.Sample(name+"_count", labels, float64(cum))
+}
+
+// withLE appends the le label to a pre-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+// Labels renders key/value pairs as an exposition label set, escaping values
+// per the format rules. An odd trailing key is ignored.
+func Labels(pairs ...string) string {
+	if len(pairs) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value in the shortest round-trip form.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExpoBasicFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	e.Counter("seagull_things_total", "Things counted.", 42)
+	e.Gauge("seagull_level", "Current level.", 1.5)
+	e.Header("seagull_labeled_total", "counter", "Labeled.")
+	e.Sample("seagull_labeled_total", Labels("endpoint", "POST /v2/predict"), 3)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP seagull_things_total Things counted.\n",
+		"# TYPE seagull_things_total counter\n",
+		"seagull_things_total 42\n",
+		"# TYPE seagull_level gauge\n",
+		"seagull_level 1.5\n",
+		`seagull_labeled_total{endpoint="POST /v2/predict"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpoEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	e.Header("m", "counter", "help with \\ and\nnewline")
+	e.Sample("m", Labels("k", "quote \" slash \\ nl \n end"), 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped: %q", out)
+	}
+	if !strings.Contains(out, `m{k="quote \" slash \\ nl \n end"} 1`) {
+		t.Fatalf("label not escaped: %q", out)
+	}
+}
+
+func TestExpoHistogramTriple(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	bounds := []float64{0.001, 0.01, 0.1}
+	counts := []uint64{2, 3, 0, 1} // per-bucket, trailing overflow
+	e.Header("seagull_lat_seconds", "histogram", "Latency.")
+	e.Histogram("seagull_lat_seconds", Labels("ep", "x"), bounds, counts, 0.25)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`seagull_lat_seconds_bucket{ep="x",le="0.001"} 2`,
+		`seagull_lat_seconds_bucket{ep="x",le="0.01"} 5`,
+		`seagull_lat_seconds_bucket{ep="x",le="0.1"} 5`,
+		`seagull_lat_seconds_bucket{ep="x",le="+Inf"} 6`,
+		`seagull_lat_seconds_sum{ep="x"} 0.25`,
+		`seagull_lat_seconds_count{ep="x"} 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "text", "info"); err != nil {
+		t.Fatalf("text/info: %v", err)
+	}
+	if _, err := NewLogger(&buf, "json", "debug"); err != nil {
+		t.Fatalf("json/debug: %v", err)
+	}
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	l, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("visible", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "visible") {
+		t.Fatalf("level filtering broken: %q", out)
+	}
+	LoggerOr(nil).Info("discarded") // must not panic
+}

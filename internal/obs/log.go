@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn" or "error". Both are
+// case-sensitive flag values validated here so seagull-serve fails fast on a
+// typo instead of logging nothing.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+}
+
+// Nop returns a logger that discards everything — the default for components
+// whose config carries no logger.
+func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// LoggerOr returns l, or a discarding logger when l is nil, so components
+// log unconditionally without nil checks.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Nop()
+	}
+	return l
+}

@@ -1,0 +1,74 @@
+// Package obs is Seagull's zero-dependency observability layer: per-request
+// trace spans recorded into a fixed-size lock-striped ring (Tracer), a
+// Prometheus text-exposition writer (Expo) rendering the same atomics that
+// feed /varz, and small log/slog helpers that give every process one
+// structured logger.
+//
+// The design constraint is the serving hot path: a warm /v2/predict runs in
+// ~10µs and 3 allocations, and enabling tracing must not add to that budget.
+// So the tracer never allocates per request in the steady state — traces
+// live in pre-allocated ring slots with a fixed span array each, span
+// recording is an atomic index claim plus an array write, and the slowest-N
+// board copies by value into pre-allocated entries. The only allocating
+// paths are the render surfaces (/debug/traces, /metrics) and the slow-trace
+// log emission, none of which sit on a request's critical path.
+//
+// Request IDs arrive via the X-Request-Id header (or are minted from the
+// trace sequence number) and join the three surfaces: they label the trace,
+// ride the response header, and appear in the structured logs.
+package obs
+
+// Stage identifies what a span measured. The enum is shared by the serving
+// layer (admission wait, pool checkout, train, inference, request-level
+// ingest) and the stream layer (sweep rounds, refresh jobs, live-window
+// snapshots, cosmos upserts), so one /debug/traces page and one per-stage
+// metric family cover both sides.
+type Stage uint8
+
+const (
+	// StageAdmission is the wait for an admission token (queueing under the
+	// adaptive limiter).
+	StageAdmission Stage = iota
+	// StageCheckout is a warm-pool model checkout. FlagHit marks a warm hit.
+	StageCheckout
+	// StageTrain is a model train. FlagHit marks a train-memo hit (the
+	// instance skipped the retrain because the history was bit-identical).
+	StageTrain
+	// StageInference is a model forecast.
+	StageInference
+	// StageUpsert is a cosmos document upsert.
+	StageUpsert
+	// StageIngest is the stream-append loop of one /v2/ingest request.
+	StageIngest
+	// StageSweep is one region's drift sweep inside a sweeper round.
+	StageSweep
+	// StageRefresh is one whole refresh job (it nests checkout, train,
+	// inference, snapshot and upsert spans).
+	StageRefresh
+	// StageSnapshot is a live-window snapshot copy out of the ingest ring.
+	StageSnapshot
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"admission", "checkout", "train", "inference",
+	"upsert", "ingest", "sweep", "refresh", "snapshot",
+}
+
+// String returns the stage's wire name (used as the JSON span label and the
+// Prometheus stage label).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Span flags. Flags carry one stage-specific bit of detail without growing
+// the span beyond its fixed slot.
+const (
+	// FlagHit marks a cache hit: a warm-pool checkout served warm, or a
+	// train skipped by the history memo.
+	FlagHit uint8 = 1 << iota
+)

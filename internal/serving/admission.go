@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"seagull/internal/admission"
 	"seagull/internal/forecast"
 	"seagull/internal/metrics"
+	"seagull/internal/obs"
 )
 
 // This file wires the adaptive admission layer (internal/admission) around
@@ -50,18 +52,40 @@ func (s *Service) admitted(pattern string, class admission.Class, h, degraded ht
 	}
 	ep := s.limiter.Endpoint(pattern, class, classTarget(s.cfg.LatencyTarget, class))
 	allowDegrade := degraded != nil
+	var lastShedLog atomic.Int64 // unix nanos of the last shed/brownout log line
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.TraceFrom(r.Context())
+		sp := tr.Begin(obs.StageAdmission)
 		tk, res := ep.Acquire(r.Context(), allowDegrade)
+		sp.End()
 		switch res.Verdict {
 		case admission.Admitted:
 			defer tk.Release()
 			h(w, r)
 		case admission.Degraded:
+			s.logShed(&lastShedLog, "brownout fallback", pattern, tr, res)
 			degraded(w, r)
 		default:
+			s.logShed(&lastShedLog, "request shed", pattern, tr, res)
 			writeOverload(w, r, class, res)
 		}
 	}
+}
+
+// logShed emits one structured line for a shed or brownout verdict,
+// rate-limited to roughly one per second per endpoint — overload produces
+// thousands of sheds per second and the log must not amplify the storm.
+func (s *Service) logShed(last *atomic.Int64, msg, pattern string, tr *obs.Trace, res admission.Result) {
+	now := time.Now().UnixNano()
+	prev := last.Load()
+	if now-prev < int64(time.Second) || !last.CompareAndSwap(prev, now) {
+		return
+	}
+	s.logger.Warn(msg,
+		"endpoint", pattern,
+		"verdict", res.Verdict.String(),
+		"retry_after_ms", res.RetryAfter.Milliseconds(),
+		"request_id", tr.RequestID())
 }
 
 // retryAfterSeconds renders a retry hint as whole delta-seconds (the wire

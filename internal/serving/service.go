@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"seagull/internal/admission"
 	"seagull/internal/cosmos"
 	"seagull/internal/metrics"
+	"seagull/internal/obs"
 	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
@@ -93,6 +95,18 @@ type ServiceConfig struct {
 	// Clock supplies varz uptime/latency timestamps, batch deadlines and the
 	// admission limiter's cooldown clock; nil means the wall clock.
 	Clock simclock.Clock
+	// Tracer, when set, records a per-request trace for every instrumented
+	// endpoint — admission wait, warm-pool checkout, train memo hit/miss and
+	// inference spans — served on GET /debug/traces, with request IDs
+	// propagated via X-Request-Id. Nil disables tracing; the hot path then
+	// pays a single context lookup. Span recording is allocation-free, so a
+	// traced warm predict stays inside the untraced allocation budget (the
+	// BENCH_9 gate pins this).
+	Tracer *obs.Tracer
+	// Logger receives structured operational logs: admission sheds and
+	// brownout serves (rate-limited to one line per second per endpoint).
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -137,6 +151,8 @@ type Service struct {
 	pool     *ModelPool
 	workers  *parallel.Pool
 	limiter  *admission.Limiter // nil: admission control disabled
+	tracer   *obs.Tracer        // nil: tracing disabled (every method is nil-safe)
+	logger   *slog.Logger       // never nil: discards when unconfigured
 	mux      *http.ServeMux
 	varz     *varz
 	ready    atomic.Bool
@@ -165,6 +181,8 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 		cfg:     cfg,
 		pool:    NewModelPool(cfg.Pool),
 		workers: parallel.NewPool(cfg.Workers).WithSchedule(parallel.ScheduleGuided),
+		tracer:  cfg.Tracer,
+		logger:  obs.LoggerOr(cfg.Logger),
 		varz:    newVarz(cfg.Clock),
 	}
 	s.unbind = s.pool.Bind(reg)
@@ -202,6 +220,11 @@ func NewService(reg *registry.Registry, db *cosmos.DB, cfg ServiceConfig) *Servi
 	handle("GET /healthz", s.handleHealth)
 	handle("GET /readyz", s.handleReady)
 	handle("GET /varz", s.handleVarz)
+	// Observability surfaces: Prometheus exposition of the varz atomics, and
+	// the trace ring (recent + slowest views). Like the liveness routes they
+	// bypass admission — a scraper must see an overloaded process.
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /debug/traces", s.handleTraces)
 	// v1 compatibility shim (see serving.go for the wire types).
 	admit("GET /v1/models", admission.Background, s.handleModelsV1)
 	admit("POST /v1/predict", admission.Predict, s.handlePredictV1)
@@ -316,18 +339,25 @@ func (s *Service) active(scenario, region string) (registry.Target, registry.Ver
 // observing ctx between the phases (models do not take a context; training
 // one server is the cancellation granularity). Deterministic-inference
 // instances skip the retrain when the history is identical to their last
-// trained one (see Instance.TrainOn).
-func (s *Service) predictWith(ctx context.Context, inst *Instance, history SeriesJSON, horizon, windowPoints int) (SeriesJSON, int, float64, *ServiceError) {
+// trained one (see Instance.TrainOn); the train span's hit flag records
+// that memo outcome. tr may be nil (tracing disabled); batch workers record
+// into one shared trace concurrently.
+func (s *Service) predictWith(ctx context.Context, tr *obs.Trace, inst *Instance, history SeriesJSON, horizon, windowPoints int) (SeriesJSON, int, float64, *ServiceError) {
 	if err := ctx.Err(); err != nil {
 		return SeriesJSON{}, -1, 0, ctxServiceError(err)
 	}
-	if _, err := inst.TrainOn(history.ToSeries()); err != nil {
+	sp := tr.Begin(obs.StageTrain)
+	memoHit, err := inst.TrainOn(history.ToSeries())
+	sp.EndHit(memoHit)
+	if err != nil {
 		return SeriesJSON{}, -1, 0, svcErr(CodeUntrainable, http.StatusUnprocessableEntity, "train: %v", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return SeriesJSON{}, -1, 0, ctxServiceError(err)
 	}
+	sp = tr.Begin(obs.StageInference)
 	pred, err := inst.Model.Forecast(horizon)
+	sp.End()
 	if err != nil {
 		return SeriesJSON{}, -1, 0, svcErr(CodeInternal, http.StatusInternalServerError, "forecast: %v", err)
 	}
@@ -392,11 +422,14 @@ func (s *Service) predict(ctx context.Context, req PredictRequestV2, enforceLimi
 	if serr != nil {
 		return PredictResponseV2{}, serr
 	}
+	tr := obs.TraceFrom(ctx)
+	sp := tr.Begin(obs.StageCheckout)
 	inst, hit, err := s.pool.Checkout(target, v.Number, v.ModelName)
+	sp.EndHit(hit)
 	if err != nil {
 		return PredictResponseV2{}, svcErr(CodeInternal, http.StatusInternalServerError, "%v", err)
 	}
-	forecastJSON, llStart, llAvg, serr := s.predictWith(ctx, inst, req.History, req.Horizon, req.WindowPoints)
+	forecastJSON, llStart, llAvg, serr := s.predictWith(ctx, tr, inst, req.History, req.Horizon, req.WindowPoints)
 	s.pool.Return(target, v.Number, inst)
 	if serr != nil {
 		return PredictResponseV2{}, serr
@@ -435,6 +468,10 @@ func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResp
 	if serr != nil {
 		return BatchResponse{}, serr
 	}
+	// One trace covers the whole batch; workers record spans into it
+	// concurrently (span recording is lock-free) and the worker join below
+	// happens-before Finish publishes the trace.
+	tr := obs.TraceFrom(ctx)
 
 	type workerModel struct {
 		inst *Instance
@@ -447,7 +484,9 @@ func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResp
 	)
 	err := parallel.ForEachScratchCtx(ctx, s.workers, len(req.Servers),
 		func() *workerModel {
-			inst, _, err := s.pool.Checkout(target, v.Number, v.ModelName)
+			sp := tr.Begin(obs.StageCheckout)
+			inst, hit, err := s.pool.Checkout(target, v.Number, v.ModelName)
+			sp.EndHit(hit)
 			if err == nil {
 				mu.Lock()
 				loaned = append(loaned, inst)
@@ -473,7 +512,7 @@ func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResp
 						batchStart.Add(time.Duration(item.DeadlineMS)*time.Millisecond))
 					defer cancel()
 				}
-				forecastJSON, llStart, llAvg, serr := s.predictWith(itemCtx, wm.inst, item.History, item.Horizon, item.WindowPoints)
+				forecastJSON, llStart, llAvg, serr := s.predictWith(itemCtx, tr, wm.inst, item.History, item.Horizon, item.WindowPoints)
 				if serr != nil {
 					res.Error = &ErrorBody{Code: serr.Code, Message: serr.Message}
 					break

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"seagull/internal/obs"
 	"seagull/internal/registry"
 	"seagull/internal/stream"
 	"seagull/internal/timeseries"
@@ -133,6 +134,7 @@ func (s *Service) Ingest(ctx context.Context, req IngestRequest) (IngestResponse
 	}
 
 	var sum stream.AppendSummary
+	ingestSpan := obs.TraceFrom(ctx).Begin(obs.StageIngest)
 	slotMin := int(ing.Interval() / time.Minute)
 	for i := range req.Servers {
 		if err := ctx.Err(); err != nil {
@@ -170,6 +172,7 @@ func (s *Service) Ingest(ctx context.Context, req IngestRequest) (IngestResponse
 		}
 		sum.Add(ing.Append(p.ServerID, time.Unix(p.TimeUnix, 0).UTC(), p.Value))
 	}
+	ingestSpan.End()
 
 	resp := IngestResponse{
 		Accepted:   sum.Appended,

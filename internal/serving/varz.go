@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"bufio"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -8,6 +10,7 @@ import (
 	"time"
 
 	"seagull/internal/admission"
+	"seagull/internal/obs"
 	"seagull/internal/simclock"
 	"seagull/internal/stream"
 )
@@ -16,12 +19,20 @@ import (
 // exposes the serving process's operational counters as one JSON document:
 // warm-pool effectiveness, per-endpoint latency histograms and in-flight
 // counts, and — when the stream layer is attached — ingest, drift and
-// refresh counters.
+// refresh counters. The same atomics feed the Prometheus rendering on
+// /metrics (see metrics.go).
 
 // latencyBoundsMs are the histogram bucket upper bounds in milliseconds; a
 // final implicit +Inf bucket catches the rest. Spanning 100µs to 10s covers
-// warm-pool predicts (~10µs–1ms) through cold batch trains (seconds).
-var latencyBoundsMs = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+// warm-pool predicts (~10µs–1ms) through cold batch trains (seconds). An
+// array (not a slice) so the bucket-counter array below is sized from it at
+// compile time — editing the bounds can never silently truncate the
+// histogram.
+var latencyBoundsMs = [...]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// numLatencyBuckets is the bucket-counter width: one per bound plus the
+// overflow bucket.
+const numLatencyBuckets = len(latencyBoundsMs) + 1
 
 // endpointVars is one endpoint's live counters. All fields are atomics: the
 // observation path adds no locks to request handling.
@@ -30,7 +41,7 @@ type endpointVars struct {
 	count    atomic.Uint64
 	errors   atomic.Uint64
 	sumNs    atomic.Int64
-	buckets  [17]atomic.Uint64 // len(latencyBoundsMs)+1; last = overflow
+	buckets  [numLatencyBuckets]atomic.Uint64 // last = overflow
 }
 
 // observe records one finished request.
@@ -41,7 +52,7 @@ func (ev *endpointVars) observe(d time.Duration, status int) {
 	}
 	ev.sumNs.Add(int64(d))
 	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBoundsMs, ms)
+	i := sort.SearchFloat64s(latencyBoundsMs[:], ms)
 	ev.buckets[i].Add(1)
 }
 
@@ -105,7 +116,11 @@ func (v *varz) endpoint(name string) *endpointVars {
 	return ev
 }
 
-// statusWriter captures the response status for the error counter.
+// statusWriter captures the response status for the error counter while
+// forwarding the optional ResponseWriter upgrades — Flusher for streaming
+// responses and Hijacker for connection takeover — that a plain embedding
+// would silently swallow behind type assertions. Unwrap additionally lets
+// http.ResponseController reach the underlying writer for everything else.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -116,8 +131,31 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards http.Flusher when the underlying writer streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack forwards http.Hijacker when the underlying connection allows
+// takeover, and reports ErrNotSupported otherwise (matching
+// http.ResponseController's contract).
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
 // instrument wraps a handler with latency/error/in-flight accounting under
-// the given endpoint name.
+// the given endpoint name and — when the service carries a tracer — opens
+// the request's trace: the inbound X-Request-Id (or a minted one) labels
+// it, rides the response header, and the trace travels the request context
+// so every layer below records spans into it.
 func (s *Service) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ev := s.varz.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -126,6 +164,11 @@ func (s *Service) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		clock := s.varz.clock
 		start := clock.Now()
+		if tr := s.tracer.Start(name, r.Header.Get("X-Request-Id")); tr != nil {
+			w.Header().Set("X-Request-Id", tr.RequestID())
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+			defer func() { s.tracer.Finish(tr, sw.status) }()
+		}
 		h(sw, r)
 		ev.observe(clock.Now().Sub(start), sw.status)
 	}
@@ -145,7 +188,7 @@ func (s *Service) VarzSnapshot() Varz {
 			Errors:          ev.errors.Load(),
 			InFlight:        ev.inFlight.Load(),
 			LatencyMsSum:    float64(ev.sumNs.Load()) / float64(time.Millisecond),
-			LatencyMsBounds: latencyBoundsMs,
+			LatencyMsBounds: latencyBoundsMs[:],
 			LatencyCounts:   make([]uint64, len(ev.buckets)),
 		}
 		for i := range ev.buckets {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"seagull/internal/obs"
 	"seagull/internal/stream"
 )
 
@@ -54,6 +55,12 @@ type SLOReport struct {
 	Sweeper    stream.SweeperStats    `json:"sweeper"`
 	Refresh    stream.RefreshStats    `json:"refresh"`
 	Durability stream.DurabilityStats `json:"durability"`
+
+	// Stages is the serving-side per-stage latency breakdown (admission
+	// wait, pool checkout, train, inference) from the wall-clock tracer.
+	// Wall measurements, like the predict percentiles: report-only, never in
+	// the timeline CSV.
+	Stages []obs.StageStat `json:"stages,omitempty"`
 }
 
 // String renders the report as the operator-facing summary the CLI prints.
@@ -64,6 +71,14 @@ func (r SLOReport) String() string {
 	p := r.Predicts
 	fmt.Fprintf(&b, "predicts: %d issued, %d ok, %d degraded, %d shed, %d failed; latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
 		p.Issued, p.OK, p.Degraded, p.Shed, p.Failed, p.P50ms, p.P95ms, p.P99ms, p.MaxMS)
+	for _, st := range r.Stages {
+		hits := ""
+		if st.Hits > 0 {
+			hits = fmt.Sprintf(" (%d warm)", st.Hits)
+		}
+		fmt.Fprintf(&b, "  stage %-10s %6d spans%s, avg %.3fms, max %.3fms\n",
+			st.Stage+":", st.Count, hits, st.AvgMs, st.MaxMs)
+	}
 	fmt.Fprintf(&b, "ingest: %d appended, %d dup, %d too_old, %d too_new across %d servers\n",
 		r.Ingest.Appended, r.Ingest.Duplicates, r.Ingest.TooOld, r.Ingest.TooNew, r.Ingest.Servers)
 	fmt.Fprintf(&b, "drift loop: %d sweeps, %d drifted, %d queued, %d refreshed, %d skipped, %d dropped (max queue depth %d)\n",

@@ -17,6 +17,7 @@ import (
 	"seagull/internal/cosmos"
 	"seagull/internal/extract"
 	"seagull/internal/lake"
+	"seagull/internal/obs"
 	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
@@ -114,6 +115,14 @@ type harness struct {
 	ref   *stream.Refresher
 	sw    *stream.Sweeper
 	dur   *stream.Durability
+
+	// simTracer records the stream side (sweeps, refreshes) on the simulated
+	// clock: span counts are deterministic per (scenario, seed) and land in
+	// the timeline CSV. wallTracer records the serving side on the wall
+	// clock: per-stage latencies are real measurements and land in the SLO
+	// report next to the predict percentiles.
+	simTracer  *obs.Tracer
+	wallTracer *obs.Tracer
 
 	// shadow is the counterfactual baseline: the same telemetry stream
 	// without event perturbations. Drift-lag measurement counts a server as
@@ -296,13 +305,17 @@ func (h *harness) build(dir string, liveWeeks int) error {
 	h.sdet = stream.NewDriftDetector(h.shadow, db, stream.DriftConfig{})
 	pool := serving.NewModelPool(serving.PoolConfig{})
 	unbind := pool.Bind(h.reg)
+	h.simTracer = obs.NewTracer(obs.TracerConfig{Clock: h.clock})
+	h.wallTracer = obs.NewTracer(obs.TracerConfig{})
 	h.ref = stream.NewRefresher(h.ing, db, h.reg, serving.StreamPool(pool), stream.RefreshConfig{
 		Workers: 2,
 		Clock:   h.clock,
+		Tracer:  h.simTracer,
 	})
 	h.sw = stream.NewSweeper(db, h.det, h.ref, stream.SweeperConfig{
 		Interval: time.Duration(h.sc.SweepEveryMinutes) * time.Minute,
 		Clock:    h.clock,
+		Tracer:   h.simTracer,
 	})
 	h.dur = stream.NewDurability(h.ing, store, stream.DurabilityConfig{
 		CommitEvery:   time.Duration(h.sc.CommitEveryMinutes) * time.Minute,
@@ -396,6 +409,7 @@ func (h *harness) serve() (func(), error) {
 		Durability:  h.dur,
 		MaxInflight: h.sc.MaxInflight,
 		Brownout:    h.sc.Brownout,
+		Tracer:      h.wallTracer,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -700,24 +714,41 @@ func (h *harness) sample(simHours float64) Row {
 	sst := h.sw.Stats()
 	rst := h.ref.Stats()
 	dst := h.dur.Stats()
+	sweepSpans, _ := stageCount(h.simTracer, "sweep")
+	trainSpans, trainHits := stageCount(h.simTracer, "train")
 	return Row{
-		SimHours:       simHours,
-		Appended:       ist.Appended,
-		Duplicates:     ist.Duplicates,
-		TooOld:         ist.TooOld,
-		TooNew:         ist.TooNew,
-		Sweeps:         sst.Ticks,
-		Drifted:        sst.Drifted,
-		Queued:         sst.Queued,
-		Refreshed:      rst.Refreshed,
-		RefSkipped:     rst.Skipped,
-		RefDropped:     rst.Dropped,
-		QueueDepth:     h.lastDepth,
-		WALCommits:     dst.Commits,
-		WALRecords:     dst.CommitRecords,
-		Snapshots:      dst.Snapshots,
-		PredictsIssued: h.issued,
+		SimHours:        simHours,
+		Appended:        ist.Appended,
+		Duplicates:      ist.Duplicates,
+		TooOld:          ist.TooOld,
+		TooNew:          ist.TooNew,
+		Sweeps:          sst.Ticks,
+		Drifted:         sst.Drifted,
+		Queued:          sst.Queued,
+		Refreshed:       rst.Refreshed,
+		RefSkipped:      rst.Skipped,
+		RefDropped:      rst.Dropped,
+		QueueDepth:      h.lastDepth,
+		WALCommits:      dst.Commits,
+		WALRecords:      dst.CommitRecords,
+		Snapshots:       dst.Snapshots,
+		PredictsIssued:  h.issued,
+		SweepSpans:      sweepSpans,
+		RefreshTrains:   trainSpans,
+		RefreshMemoHits: trainHits,
 	}
+}
+
+// stageCount reads one stage's cumulative span count and hit count from a
+// tracer's aggregates. On the simulated-clock tracer these are deterministic:
+// sweeps and refresh drains run synchronously at slot boundaries.
+func stageCount(tr *obs.Tracer, stage string) (count, hits uint64) {
+	for _, st := range tr.StageStats() {
+		if st.Stage == stage {
+			return st.Count, st.Hits
+		}
+	}
+	return 0, 0
 }
 
 // report assembles the SLO report after the replay.
@@ -743,6 +774,10 @@ func (h *harness) report(wall time.Duration) SLOReport {
 		Shed:     h.shedN.Load(),
 		Failed:   h.failedN.Load(),
 	}
+	// Per-stage wall latencies from the serving-side tracer: where inside a
+	// predict the time went (admission wait, pool checkout, train,
+	// inference). Wall measurements, so report-only — never in the CSV.
+	rep.Stages = h.wallTracer.StageStats()
 	h.latMu.Lock()
 	summarizeLatencies(&rep.Predicts, h.latMS)
 	h.latMu.Unlock()

@@ -39,12 +39,21 @@ type Row struct {
 	// PredictsIssued counts predict requests dispatched (not their
 	// outcomes, which are wall-dependent).
 	PredictsIssued uint64 `json:"predicts_issued"`
+
+	// Stream-side trace counters (simulated-clock tracer). Span counts are
+	// deterministic — sweeps and refresh drains run synchronously at slot
+	// boundaries — so they belong in the CSV; span durations are zero on the
+	// frozen simulated clock and are deliberately not sampled.
+	SweepSpans      uint64 `json:"sweep_spans"`
+	RefreshTrains   uint64 `json:"refresh_trains"`
+	RefreshMemoHits uint64 `json:"refresh_memo_hits"`
 }
 
 // timelineHeader lists the CSV columns, in Row field order.
 const timelineHeader = "sim_hours,appended,duplicates,too_old,too_new," +
 	"sweeps,drifted,queued,refreshed,ref_skipped,ref_dropped,queue_depth," +
-	"wal_commits,wal_records,snapshots,predicts_issued"
+	"wal_commits,wal_records,snapshots,predicts_issued," +
+	"sweep_spans,refresh_trains,refresh_memo_hits"
 
 // TimelineCSV renders rows as a CSV document. Float formatting uses the
 // shortest round-trip representation, so the bytes are a pure function of the
@@ -62,7 +71,10 @@ func TimelineCSV(rows []Row) []byte {
 			fmt.Fprintf(&b, ",%d", v)
 		}
 		fmt.Fprintf(&b, ",%d", r.QueueDepth)
-		for _, v := range []uint64{r.WALCommits, r.WALRecords, r.Snapshots, r.PredictsIssued} {
+		for _, v := range []uint64{
+			r.WALCommits, r.WALRecords, r.Snapshots, r.PredictsIssued,
+			r.SweepSpans, r.RefreshTrains, r.RefreshMemoHits,
+		} {
 			fmt.Fprintf(&b, ",%d", v)
 		}
 		b.WriteByte('\n')

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"seagull/internal/cosmos"
 	"seagull/internal/forecast"
 	"seagull/internal/metrics"
+	"seagull/internal/obs"
 	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
@@ -110,6 +112,13 @@ type RefreshConfig struct {
 	// Clock timestamps drops for the saturation window; nil means the wall
 	// clock.
 	Clock simclock.Clock
+	// Tracer, when non-nil, records one "refresh" trace per refresh with
+	// spans around its snapshot, checkout, train, inference and upsert
+	// phases — the stream-side mirror of the serving request trace.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, reports refresh failures and skips (counted in
+	// Stats either way; the log adds the server and the reason).
+	Logger *slog.Logger
 }
 
 func (c RefreshConfig) withDefaults() RefreshConfig {
@@ -379,19 +388,26 @@ func (r *Refresher) RefreshServer(ctx context.Context, region, serverID string, 
 // its own scratch; the synchronous RefreshServer path shares one under
 // scratchMu.
 func (r *Refresher) refreshCounted(ctx context.Context, region, serverID string, week int, scratch *[]float64) error {
-	err := r.refresh(ctx, region, serverID, week, scratch)
+	tr := r.cfg.Tracer.Start("refresh", "")
+	err := r.refresh(ctx, tr, region, serverID, week, scratch)
+	r.cfg.Tracer.Finish(tr, 0)
+	logger := obs.LoggerOr(r.cfg.Logger)
 	switch {
 	case err == nil:
 		r.refreshed.Add(1)
 	case errors.Is(err, ErrInsufficientHistory) || errors.Is(err, ErrNoTelemetry):
 		r.skipped.Add(1)
+		logger.Debug("refresh skipped",
+			"region", region, "server", serverID, "week", week, "reason", err)
 	default:
 		r.failed.Add(1)
+		logger.Warn("refresh failed",
+			"region", region, "server", serverID, "week", week, "error", err)
 	}
 	return err
 }
 
-func (r *Refresher) refresh(ctx context.Context, region, serverID string, week int, scratch *[]float64) error {
+func (r *Refresher) refresh(ctx context.Context, tr *obs.Trace, region, serverID string, week int, scratch *[]float64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -419,7 +435,9 @@ func (r *Refresher) refresh(ctx context.Context, region, serverID string, week i
 	// Snapshot the live history (stable copy: training is long, and holding
 	// the shard lock would stall ingestion). The scratch buffer is retained
 	// across refreshes, so the steady state allocates nothing here.
+	sp := tr.Begin(obs.StageSnapshot)
 	snap, ok := r.ing.SnapshotInto(serverID, *scratch)
+	sp.End()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTelemetry, serverID)
 	}
@@ -449,7 +467,9 @@ func (r *Refresher) refresh(ctx context.Context, region, serverID string, week i
 		return err
 	}
 
+	sp = tr.Begin(obs.StageCheckout)
 	inst, err := r.pool.Checkout(target, v.Number, v.ModelName)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -457,10 +477,15 @@ func (r *Refresher) refresh(ctx context.Context, region, serverID string, week i
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if _, err := inst.TrainOn(history); err != nil {
+	sp = tr.Begin(obs.StageTrain)
+	memoHit, err := inst.TrainOn(history)
+	sp.EndHit(memoHit)
+	if err != nil {
 		return fmt.Errorf("retrain %s with %s: %w", serverID, v.ModelName, err)
 	}
+	sp = tr.Begin(obs.StageInference)
 	pred, err := inst.Forecast(ppd)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("forecast %s with %s: %w", serverID, v.ModelName, err)
 	}
@@ -481,7 +506,10 @@ func (r *Refresher) refresh(ctx context.Context, region, serverID string, week i
 	doc.LLStart = llw.Start
 	doc.LLAvg = llw.AvgLoad
 	doc.Refreshes++
-	return col.Upsert(region, docID, &doc)
+	sp = tr.Begin(obs.StageUpsert)
+	err = col.Upsert(region, docID, &doc)
+	sp.End()
+	return err
 }
 
 // RefreshWeek synchronously refreshes every stored prediction of (region,

@@ -3,12 +3,14 @@ package stream
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"seagull/internal/cosmos"
+	"seagull/internal/obs"
 	"seagull/internal/simclock"
 )
 
@@ -37,6 +39,13 @@ type SweeperConfig struct {
 	Collection string
 	// Clock paces Run's ticker; nil means the wall clock.
 	Clock simclock.Clock
+	// Tracer, when non-nil, records one "sweep" trace per round with a span
+	// per region swept.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, reports sweep-round failures from Run (SweepOnce
+	// already counts them; without a logger they are otherwise invisible to
+	// an operator).
+	Logger *slog.Logger
 }
 
 func (c SweeperConfig) withDefaults() SweeperConfig {
@@ -132,6 +141,8 @@ func (s *Sweeper) SweepOnce(ctx context.Context) error {
 		s.paused.Add(1)
 		return nil
 	}
+	tr := s.cfg.Tracer.Start("sweep", "")
+	defer func() { s.cfg.Tracer.Finish(tr, 0) }()
 	var firstErr error
 	for _, region := range s.db.Collection(s.cfg.Collection).Partitions() {
 		if err := ctx.Err(); err != nil {
@@ -141,7 +152,9 @@ func (s *Sweeper) SweepOnce(ctx context.Context) error {
 		if !ok {
 			continue
 		}
+		sp := tr.Begin(obs.StageSweep)
 		rep, err := s.det.Sweep(ctx, region, week)
+		sp.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return err
@@ -165,8 +178,9 @@ func (s *Sweeper) SweepOnce(ctx context.Context) error {
 }
 
 // Run sweeps on every tick until ctx is cancelled, then returns ctx.Err().
-// Sweep errors are counted in Stats, never fatal.
+// Sweep errors are counted in Stats and logged, never fatal.
 func (s *Sweeper) Run(ctx context.Context) error {
+	logger := obs.LoggerOr(s.cfg.Logger)
 	ticker := s.cfg.Clock.NewTicker(s.cfg.Interval)
 	defer ticker.Stop()
 	for {
@@ -174,7 +188,9 @@ func (s *Sweeper) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-ticker.C():
-			_ = s.SweepOnce(ctx)
+			if err := s.SweepOnce(ctx); err != nil && ctx.Err() == nil {
+				logger.Warn("background sweep failed", "error", err)
+			}
 		}
 	}
 }
