@@ -19,12 +19,12 @@ bench:
 
 # Full check + machine-readable snapshot (see cmd/seagull-bench).
 bench-json:
-	go run ./cmd/seagull-bench -out BENCH_9.json
+	go run ./cmd/seagull-bench -out BENCH_10.json
 
 # Diff a fresh run against the committed snapshot; fails on >10% allocs/op
 # regression (the CI gate).
 bench-compare:
-	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_9.json
+	go run ./cmd/seagull-bench -out /tmp/bench-now.json -compare BENCH_10.json
 
 # Time-compressed simulation smoke: six simulated hours with a burst storm
 # and a drift injection, artifacts under /tmp/seagull-sim (also runs in CI).

@@ -8,9 +8,13 @@ package seagull_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -25,6 +29,7 @@ import (
 	"seagull/internal/obs"
 	"seagull/internal/parallel"
 	"seagull/internal/registry"
+	"seagull/internal/router"
 	"seagull/internal/serving"
 	"seagull/internal/simulate"
 	"seagull/internal/simworkload"
@@ -879,6 +884,111 @@ func BenchmarkStreamWALReplay(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// --- Router benchmarks: hop overhead and fleet varz aggregation ---
+
+// benchRouterFleet builds n warm SSA serving replicas on loopback listeners
+// behind a router. Retries and breakers are disabled so the timed loop
+// measures the forwarding path, not resilience machinery (which only engages
+// on failure anyway).
+func benchRouterFleet(b *testing.B, n int) (*router.Router, []*httptest.Server) {
+	b.Helper()
+	reps := make([]router.Replica, n)
+	srvs := make([]*httptest.Server, n)
+	for i := range reps {
+		reg := registry.New(nil)
+		reg.Deploy(registry.Target{Scenario: "backup", Region: "bench"}, forecast.NameSSA, "bench")
+		svc := serving.NewService(reg, nil, serving.ServiceConfig{Workers: 1})
+		srvs[i] = httptest.NewServer(svc.Handler())
+		b.Cleanup(srvs[i].Close)
+		reps[i] = router.Replica{Name: fmt.Sprintf("shard-%02d", i), BaseURL: srvs[i].URL}
+	}
+	rt, err := router.New(router.Config{
+		Seed:     7,
+		Replicas: reps,
+		Retry:    serving.RetryConfig{MaxAttempts: 1},
+		Breaker:  serving.BreakerConfig{Threshold: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt, srvs
+}
+
+// benchPredictBody is the pre-encoded predict request the router benchmarks
+// replay: full inline history, so any replica can serve it, routed by
+// ServerID like production traffic.
+func benchPredictBody(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(serving.PredictRequestV2{
+		ServerID: "bench-srv-00042", Scenario: "backup", Region: "bench",
+		History: serving.FromSeries(benchHistory(7)), Horizon: 288, WindowPoints: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// benchPredictLoop replays the predict body against url b.N times, failing on
+// any non-200.
+func benchPredictLoop(b *testing.B, url string, body []byte) {
+	b.Helper()
+	post := func() {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("predict: %d %s", resp.StatusCode, out)
+		}
+	}
+	post() // prime the warm pool (and the keep-alive connection)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+// BenchmarkRouterPredictDirect is the single-hop baseline: the same predict
+// request straight at one replica's listener. The delta against
+// BenchmarkRouterPredict is the router hop overhead (decode, shard lookup,
+// client forward, response relay).
+func BenchmarkRouterPredictDirect(b *testing.B) {
+	_, srvs := benchRouterFleet(b, 4)
+	benchPredictLoop(b, srvs[0].URL+"/v2/predict", benchPredictBody(b))
+}
+
+// BenchmarkRouterPredict measures a predict through the full two-hop path:
+// client → router (shard lookup + forward) → owner replica → relay back.
+func BenchmarkRouterPredict(b *testing.B) {
+	rt, _ := benchRouterFleet(b, 4)
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	benchPredictLoop(b, front.URL+"/v2/predict", benchPredictBody(b))
+}
+
+// BenchmarkRouterFleetVarz measures fleet-wide observability aggregation:
+// one FleetVarz call fans out to every replica's /varz concurrently and
+// merges stream/serving counters into the fleet view.
+func BenchmarkRouterFleetVarz(b *testing.B) {
+	rt, _ := benchRouterFleet(b, 4)
+	ctx := context.Background()
+	if fv := rt.FleetVarz(ctx); fv.ReadyReplicas != 4 {
+		b.Fatalf("fleet not ready: %+v", fv)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fv := rt.FleetVarz(ctx)
+		if fv.ReadyReplicas != 4 {
+			b.Fatalf("fleet degraded at iter %d: %+v", i, fv)
+		}
+	}
 }
 
 // BenchmarkSimulateScenario is the headline figure for the time-compressed

@@ -46,7 +46,8 @@ const defaultBench = "BenchmarkARIMATrain|BenchmarkSolveRidge|BenchmarkPoolForEa
 	"BenchmarkStreamIngest|BenchmarkStreamDriftSweep|BenchmarkStreamRefresh|" +
 	"BenchmarkStreamSnapshotWrite|BenchmarkStreamSnapshotRestore|BenchmarkStreamSweeper|" +
 	"BenchmarkStreamWALAppend|BenchmarkStreamWALReplay|" +
-	"BenchmarkAdmissionAccept|BenchmarkAdmissionShed|BenchmarkSimulateScenario"
+	"BenchmarkAdmissionAccept|BenchmarkAdmissionShed|" +
+	"BenchmarkRouterPredict|BenchmarkRouterFleetVarz|BenchmarkSimulateScenario"
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -221,8 +222,11 @@ func main() {
 		} else {
 			s.VetOK = true
 		}
-		fmt.Println("→ go test ./...")
-		if o, err := run("go", "test", "./..."); err != nil {
+		// -shuffle=on randomizes test (and subtest-parent) execution order so
+		// inter-test state dependence cannot hide; the seed is printed on
+		// failure for replay with -shuffle=<seed>.
+		fmt.Println("→ go test -shuffle=on ./...")
+		if o, err := run("go", "test", "-shuffle=on", "./..."); err != nil {
 			fmt.Fprint(os.Stderr, o)
 			fmt.Fprintln(os.Stderr, "go test failed:", err)
 			failed = true

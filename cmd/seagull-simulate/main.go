@@ -55,14 +55,15 @@ func run() error {
 		schedule = flag.String("schedule", "guided", "ingest fan-out schedule: guided or chunked")
 		rowEvery = flag.Duration("row-every", time.Hour, "timeline sampling cadence in simulated time")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		replicas = flag.Int("replicas", 0, "override the scenario's serving replicas (consistent-hash shards behind a router; 1 = single process)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, name := range simworkload.BuiltinNames() {
 			sc, _ := simworkload.Builtin(name)
-			fmt.Printf("%-18s %d region(s), %g simulated hours, %d events\n",
-				name, len(sc.Regions), sc.Hours, len(sc.Events))
+			fmt.Printf("%-18s %d region(s), %g simulated hours, %d events, %d replica(s)\n",
+				name, len(sc.Regions), sc.Hours, len(sc.Events), max(sc.Replicas, 1))
 		}
 		return nil
 	}
@@ -74,6 +75,9 @@ func run() error {
 			return fmt.Errorf("scenario %q is not built-in (%s) and did not load as a file: %w",
 				*scenario, strings.Join(simworkload.BuiltinNames(), ", "), err)
 		}
+	}
+	if *replicas > 0 {
+		sc.Replicas = *replicas
 	}
 
 	var sched parallel.Schedule

@@ -1,0 +1,560 @@
+package router_test
+
+// Router unit tests against scripted fake replicas: membership validation,
+// readiness coverage, stateless failover, the drain/retry semantics of
+// satellite endpoints (errors confined to the dead replica's shard, breaker
+// opening, rejoin restoring coverage), and fleet observability rendering.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"seagull/internal/pipeline"
+	"seagull/internal/router"
+	"seagull/internal/serving"
+)
+
+// fake is a scripted replica: it answers the serving wire protocol with
+// canned bodies and counts what it saw.
+type fake struct {
+	name string
+	srv  *httptest.Server
+	hits atomic.Uint64 // traffic-bearing requests (not readyz/varz)
+}
+
+func newFake(t *testing.T, name string) *fake {
+	t.Helper()
+	f := &fake{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("GET /varz", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(serving.Varz{})
+	})
+	mux.HandleFunc("POST /v2/predict", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		var req serving.PredictRequestV2
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		_ = json.NewEncoder(w).Encode(serving.PredictResponseV2{
+			ServerID: req.ServerID, Model: "fake-" + f.name,
+		})
+	})
+	mux.HandleFunc("POST /v2/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		var req serving.BatchRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		out := serving.BatchResponse{Model: "fake-" + f.name, Succeeded: len(req.Servers)}
+		for _, s := range req.Servers {
+			out.Results = append(out.Results, serving.BatchItemResult{
+				ServerID: s.ServerID, Forecast: &serving.SeriesJSON{Values: []float64{1}},
+			})
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("POST /v2/ingest", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		var req serving.IngestRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		resp := serving.IngestResponse{Accepted: len(req.Points)}
+		if req.Sweep != nil {
+			resp.Sweep = &serving.SweepResult{
+				Region: req.Sweep.Region, Week: req.Sweep.Week,
+				Checked: 1, Servers: []string{f.name + "-srv"},
+			}
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("GET /v2/models", func(w http.ResponseWriter, _ *http.Request) {
+		f.hits.Add(1)
+		_ = json.NewEncoder(w).Encode(serving.ModelsResponseV2{})
+	})
+	mux.HandleFunc("POST /v2/advise", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		_ = json.NewEncoder(w).Encode(serving.AdviseResponse{KeepCurrent: true})
+	})
+	mux.HandleFunc("GET /v2/predictions/{region}/{week}", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		_ = json.NewEncoder(w).Encode(serving.PredictionsResponse{
+			Region: r.PathValue("region"),
+			Predictions: []*pipeline.PredictionDoc{
+				{ServerID: "shared-srv"},
+				{ServerID: f.name + "-srv"},
+			},
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
+		f.hits.Add(1)
+		_ = json.NewEncoder(w).Encode([]serving.ModelInfo{})
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, _ *http.Request) {
+		f.hits.Add(1)
+		_ = json.NewEncoder(w).Encode(serving.PredictResponse{Model: "fake-" + f.name})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newFakeFleet builds n scripted replicas and a fail-fast router (single
+// attempt, breaker off unless asked) fronting them.
+func newFakeFleet(t *testing.T, n int, mod func(*router.Config)) ([]*fake, *router.Router, *httptest.Server) {
+	t.Helper()
+	fakes := make([]*fake, n)
+	cfg := router.Config{
+		Seed:    7,
+		Retry:   serving.RetryConfig{MaxAttempts: 1},
+		Breaker: serving.BreakerConfig{Threshold: -1},
+	}
+	for i := range fakes {
+		fakes[i] = newFake(t, fmt.Sprintf("shard-%c", 'a'+i))
+		cfg.Replicas = append(cfg.Replicas, router.Replica{
+			Name: fakes[i].name, BaseURL: fakes[i].srv.URL,
+		})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return fakes, rt, front
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, string(data)
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, string(data)
+}
+
+// ownedBy finds a server ID the map assigns to the wanted replica.
+func ownedBy(t *testing.T, rt *router.Router, name string) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		id := fmt.Sprintf("srv-%05d", i)
+		if rt.Map().Owner(id) == name {
+			return id
+		}
+	}
+	t.Fatalf("no key hashes to %s", name)
+	return ""
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := router.New(router.Config{}); err == nil {
+		t.Error("no replicas must be rejected")
+	}
+	if _, err := router.New(router.Config{Replicas: []router.Replica{{Name: "a"}}}); err == nil {
+		t.Error("missing base URL must be rejected")
+	}
+	if _, err := router.New(router.Config{Replicas: []router.Replica{
+		{Name: "a", BaseURL: "http://x"}, {Name: "a", BaseURL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate replica names must be rejected")
+	}
+}
+
+func TestJoinLeaveErrors(t *testing.T) {
+	_, rt, _ := newFakeFleet(t, 2, nil)
+	if err := rt.Join(router.Replica{Name: "new"}); err == nil {
+		t.Error("join without base URL must fail")
+	}
+	if err := rt.Join(router.Replica{Name: "shard-a", BaseURL: "http://x"}); err == nil {
+		t.Error("joining an existing member must fail")
+	}
+	if err := rt.Leave("ghost"); err == nil {
+		t.Error("leaving an unknown member must fail")
+	}
+	if err := rt.Leave("shard-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Leave("shard-b"); err == nil {
+		t.Error("the last member must not be allowed to leave")
+	}
+	if got := rt.Members(); len(got) != 1 || got[0] != "shard-b" {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestHealthAndReadyCoverage(t *testing.T) {
+	fakes, _, front := newFakeFleet(t, 2, nil)
+	if resp, body := get(t, front.URL+"/healthz"); resp.StatusCode != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, front.URL+"/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("readyz with full coverage: %d", resp.StatusCode)
+	}
+	fakes[1].srv.Close()
+	resp, body := get(t, front.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a dead replica: %d", resp.StatusCode)
+	}
+	var st router.ReadyStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || !st.Replicas["shard-a"] || st.Replicas["shard-b"] {
+		t.Fatalf("coverage misreported: %+v", st)
+	}
+}
+
+func TestStatelessFailover(t *testing.T) {
+	fakes, _, front := newFakeFleet(t, 2, nil)
+	fakes[0].srv.Close()
+	// Both GET and POST forwards must skip the dead replica. Two rounds so
+	// the round-robin cursor starts on each replica at least once.
+	for i := 0; i < 2; i++ {
+		if resp, body := get(t, front.URL+"/v2/models"); resp.StatusCode != 200 {
+			t.Fatalf("models failover: %d %s", resp.StatusCode, body)
+		}
+		if resp, body := post(t, front.URL+"/v2/advise", `{"predicted_day":{"values":[1]},"customer_start":0}`); resp.StatusCode != 200 || !strings.Contains(body, "keep_current") {
+			t.Fatalf("advise failover: %d %s", resp.StatusCode, body)
+		}
+		if resp, _ := get(t, front.URL+"/v1/models"); resp.StatusCode != 200 {
+			t.Fatalf("v1 models failover: %d", resp.StatusCode)
+		}
+		if resp, _ := post(t, front.URL+"/v1/predict", `{}`); resp.StatusCode != 200 {
+			t.Fatalf("v1 predict failover: %d", resp.StatusCode)
+		}
+	}
+	if fakes[1].hits.Load() == 0 {
+		t.Fatal("surviving replica saw no traffic")
+	}
+}
+
+func TestStatelessAllDown(t *testing.T) {
+	fakes, _, front := newFakeFleet(t, 2, nil)
+	fakes[0].srv.Close()
+	fakes[1].srv.Close()
+	resp, body := get(t, front.URL+"/v2/models")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 when every replica is down, got %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "unavailable") {
+		t.Fatalf("body: %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("retryable outage must carry Retry-After")
+	}
+}
+
+func TestStatelessDefinitiveErrorPassesThrough(t *testing.T) {
+	// One replica that answers 404 with a structured envelope: the router
+	// must relay it verbatim without failing over.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/models", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such deployment"}}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	other := newFake(t, "other")
+	rt, err := router.New(router.Config{
+		Replicas: []router.Replica{
+			{Name: "bad", BaseURL: srv.URL},
+			{Name: "other", BaseURL: other.srv.URL},
+		},
+		Retry:   serving.RetryConfig{MaxAttempts: 1},
+		Breaker: serving.BreakerConfig{Threshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	// Probe until the cursor lands on the bad replica.
+	sawNotFound := false
+	for i := 0; i < 4; i++ {
+		resp, body := get(t, front.URL+"/v2/models")
+		if resp.StatusCode == http.StatusNotFound {
+			sawNotFound = true
+			if !strings.Contains(body, "no such deployment") {
+				t.Fatalf("error not relayed verbatim: %s", body)
+			}
+		}
+	}
+	if !sawNotFound {
+		t.Fatal("definitive upstream error never surfaced")
+	}
+}
+
+func TestPredictValidationAndRouting(t *testing.T) {
+	fakes, rt, front := newFakeFleet(t, 2, nil)
+
+	if resp, body := post(t, front.URL+"/v2/predict", `{"live_history":true}`); resp.StatusCode != 400 || !strings.Contains(body, "server_id") {
+		t.Fatalf("live_history without server_id: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, front.URL+"/v2/predict", `{bad json`); resp.StatusCode != 400 {
+		t.Fatalf("malformed JSON: %d", resp.StatusCode)
+	}
+
+	// With a server ID the request lands on the owner, bit-for-bit routed by
+	// the map every router shares.
+	id := ownedBy(t, rt, "shard-b")
+	resp, body := post(t, front.URL+"/v2/predict", `{"server_id":"`+id+`","history":{"values":[1]}}`)
+	if resp.StatusCode != 200 || !strings.Contains(body, "fake-shard-b") {
+		t.Fatalf("owner routing: %d %s", resp.StatusCode, body)
+	}
+	if fakes[0].hits.Load() != 0 {
+		t.Fatal("non-owner replica saw the routed predict")
+	}
+
+	// Without a server ID the request is stateless and round-robins: two
+	// requests must land on two different replicas.
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		_, body := post(t, front.URL+"/v2/predict", `{"history":{"values":[1]}}`)
+		var pr serving.PredictResponseV2
+		_ = json.Unmarshal([]byte(body), &pr)
+		seen[pr.Model] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("round-robin hit only %v", seen)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, _, front := newFakeFleet(t, 1, func(c *router.Config) { c.MaxBodyBytes = 64 })
+	big := `{"history":{"values":[` + strings.Repeat("1,", 200) + `1]}}`
+	resp, body := post(t, front.URL+"/v2/predict", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || !strings.Contains(body, "too_large") {
+		t.Fatalf("oversized body: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestBatchFailureConfinedAndBreaker is satellite drain/retry semantics: a
+// replica killed mid-batch fails only its own items, repeated traffic trips
+// its breaker, and a rejoin restores full coverage with no remapping.
+func TestBatchFailureConfinedAndBreaker(t *testing.T) {
+	fakes, rt, front := newFakeFleet(t, 2, func(c *router.Config) {
+		c.Breaker = serving.BreakerConfig{Threshold: 2}
+	})
+	idA, idB := ownedBy(t, rt, "shard-a"), ownedBy(t, rt, "shard-b")
+	fakes[1].srv.Close() // shard-b dies
+
+	body := fmt.Sprintf(`{"servers":[{"server_id":"%s","history":{"values":[1]}},{"server_id":"%s","history":{"values":[1]}}]}`, idA, idB)
+	resp, out := post(t, front.URL+"/v2/predict/batch", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial failure must still answer 200: %d %s", resp.StatusCode, out)
+	}
+	var br serving.BatchResponse
+	if err := json.Unmarshal([]byte(out), &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Succeeded != 1 || br.Failed != 1 {
+		t.Fatalf("tallies %d/%d, want 1 succeeded 1 failed", br.Succeeded, br.Failed)
+	}
+	for _, res := range br.Results {
+		switch res.ServerID {
+		case idA:
+			if res.Error != nil || res.Forecast == nil {
+				t.Fatalf("healthy shard's item failed: %+v", res)
+			}
+		case idB:
+			if res.Error == nil || !strings.Contains(res.Error.Message, "shard-b") {
+				t.Fatalf("dead shard's item must carry its replica's error: %+v", res.Error)
+			}
+		default:
+			t.Fatalf("unknown result %q", res.ServerID)
+		}
+	}
+
+	// Keep hitting the dead owner: the second consecutive failure opens the
+	// breaker, and from then on the path fails fast.
+	var sawOpen bool
+	for i := 0; i < 4; i++ {
+		_, out := post(t, front.URL+"/v2/predict", `{"server_id":"`+idB+`","history":{"values":[1]}}`)
+		if strings.Contains(out, "circuit") {
+			sawOpen = true
+			break
+		}
+	}
+	if !sawOpen {
+		t.Fatal("breaker never opened against the dead replica")
+	}
+
+	// Rejoin under the same name at a fresh address: same map, fresh client,
+	// full coverage back.
+	replacement := newFake(t, "shard-b")
+	if err := rt.Leave("shard-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Join(router.Replica{Name: "shard-b", BaseURL: replacement.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	resp, out = post(t, front.URL+"/v2/predict", `{"server_id":"`+idB+`","history":{"values":[1]}}`)
+	if resp.StatusCode != 200 || !strings.Contains(out, "fake-shard-b") {
+		t.Fatalf("rejoined replica not serving: %d %s", resp.StatusCode, out)
+	}
+}
+
+func TestIngestValidationAndSweepBroadcast(t *testing.T) {
+	fakes, rt, front := newFakeFleet(t, 2, nil)
+
+	if resp, _ := post(t, front.URL+"/v2/ingest", `{}`); resp.StatusCode != 400 {
+		t.Fatalf("empty ingest: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, front.URL+"/v2/ingest", `{"points":[{"t":1,"v":1}]}`); resp.StatusCode != 400 {
+		t.Fatalf("point without server_id: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, front.URL+"/v2/ingest", `{"servers":[{"start":"2020-01-01T00:00:00Z"}]}`); resp.StatusCode != 400 {
+		t.Fatalf("series without server_id: %d", resp.StatusCode)
+	}
+
+	// A sweep-only request must reach every replica, and the merged result
+	// must sum tallies and union server lists.
+	idA := ownedBy(t, rt, "shard-a")
+	resp, out := post(t, front.URL+"/v2/ingest",
+		`{"points":[{"server_id":"`+idA+`","t":1,"v":1}],"sweep":{"region":"westus","week":1}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep broadcast: %d %s", resp.StatusCode, out)
+	}
+	var ir serving.IngestResponse
+	if err := json.Unmarshal([]byte(out), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Sweep == nil || ir.Sweep.Checked != 2 || len(ir.Sweep.Servers) != 2 {
+		t.Fatalf("sweep must cover both shards: %+v", ir.Sweep)
+	}
+	for _, f := range fakes {
+		if f.hits.Load() == 0 {
+			t.Fatalf("replica %s never swept", f.name)
+		}
+	}
+
+	// A dead owner fails the batch loudly with a retryable status — the
+	// idempotent appends make the client's re-send safe.
+	fakes[0].srv.Close()
+	resp, _ = post(t, front.URL+"/v2/ingest", `{"points":[{"server_id":"`+idA+`","t":1,"v":1}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("dead owner must be a retryable 503: %d", resp.StatusCode)
+	}
+}
+
+func TestPredictionsUnion(t *testing.T) {
+	fakes, _, front := newFakeFleet(t, 2, nil)
+	resp, out := get(t, front.URL+"/v2/predictions/westus/3")
+	if resp.StatusCode != 200 {
+		t.Fatalf("predictions: %d %s", resp.StatusCode, out)
+	}
+	var pr serving.PredictionsResponse
+	if err := json.Unmarshal([]byte(out), &pr); err != nil {
+		t.Fatal(err)
+	}
+	// Each fake returns {shared-srv, <name>-srv}: the union is 3 docs,
+	// deduplicated and sorted by server ID.
+	if len(pr.Predictions) != 3 {
+		t.Fatalf("union holds %d docs, want 3: %s", len(pr.Predictions), out)
+	}
+	for i := 1; i < len(pr.Predictions); i++ {
+		if pr.Predictions[i-1].ServerID >= pr.Predictions[i].ServerID {
+			t.Fatalf("union not sorted: %s", out)
+		}
+	}
+	if resp, _ := get(t, front.URL+"/v2/predictions/westus/x"); resp.StatusCode != 400 {
+		t.Fatalf("non-numeric week: %d", resp.StatusCode)
+	}
+
+	// One replica down: the surviving shard's docs still serve.
+	fakes[0].srv.Close()
+	resp, out = get(t, front.URL+"/v2/predictions/westus/3")
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial predictions: %d", resp.StatusCode)
+	}
+	_ = json.Unmarshal([]byte(out), &pr)
+	if len(pr.Predictions) != 2 {
+		t.Fatalf("surviving docs %d, want 2", len(pr.Predictions))
+	}
+	// Both down: the error surfaces.
+	fakes[1].srv.Close()
+	if resp, _ := get(t, front.URL+"/v2/predictions/westus/3"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predictions with no replicas: %d", resp.StatusCode)
+	}
+}
+
+func TestFleetVarzAndMetrics(t *testing.T) {
+	fakes, rt, front := newFakeFleet(t, 2, nil)
+	post(t, front.URL+"/v2/predict", `{bad`) // one route error for the counters
+
+	var fv router.FleetVarz
+	resp, out := get(t, front.URL+"/varz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("varz: %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(out), &fv); err != nil {
+		t.Fatal(err)
+	}
+	if len(fv.Members) != 2 || fv.ReadyReplicas != 2 {
+		t.Fatalf("fleet view: %+v", fv)
+	}
+	rv := fv.Routes["POST /v2/predict"]
+	if rv.Count != 1 || rv.Errors != 1 {
+		t.Fatalf("route counters: %+v", fv.Routes)
+	}
+	for name, rep := range fv.Replicas {
+		if !rep.Ready || rep.Varz == nil {
+			t.Fatalf("replica %s: %+v", name, rep)
+		}
+	}
+
+	resp, out = get(t, front.URL+"/metrics")
+	if resp.StatusCode != 200 || !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"seagull_router_replicas 2",
+		"seagull_router_ready_replicas 2",
+		`seagull_router_requests_total{route="POST /v2/predict"} 1`,
+		`seagull_router_replica_up{replica="shard-a"} 1`,
+		"seagull_fleet_servers",
+		"seagull_fleet_wal_commits_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead replica flips its up-gauge and records an error in varz.
+	fakes[1].srv.Close()
+	fv = rt.FleetVarz(context.Background())
+	if fv.ReadyReplicas != 1 || fv.Replicas["shard-b"].Error == "" {
+		t.Fatalf("dead replica not reflected: %+v", fv.Replicas["shard-b"])
+	}
+	var buf bytes.Buffer
+	rec := httptest.NewRecorder()
+	if err := rt.WriteMetrics(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(rec.Result().Body)
+	if !strings.Contains(buf.String(), `seagull_router_replica_up{replica="shard-b"} 0`) {
+		t.Fatal("dead replica still reported up")
+	}
+}

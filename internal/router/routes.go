@@ -1,0 +1,328 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"seagull/internal/serving"
+)
+
+// This file holds the traffic-bearing routes: predict routed by owner,
+// batch/ingest split across shards and merged, stored predictions fanned out
+// and unioned, and the stateless round-robin forwards.
+
+// handlePredict routes one predict to the owner of its server ID. A request
+// without a server ID carries its own history and is stateless — any replica
+// serves it identically, so it round-robins.
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req serving.PredictRequestV2
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	var name string
+	var client *serving.Client
+	if req.ServerID != "" {
+		name, client = rt.ownerClient(req.ServerID)
+	} else {
+		if req.LiveHistory {
+			writeError(w, http.StatusBadRequest, serving.CodeBadRequest,
+				"live_history requires server_id: the live window lives on the owning replica")
+			return
+		}
+		name, client = rt.nextClient(nil)
+	}
+	resp, err := client.PredictV2(r.Context(), req)
+	rt.observeForward(name, err)
+	if err != nil {
+		writeUpstream(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch splits a batch by item owner, fans the sub-batches out
+// concurrently, and merges per-item results back in request order. A replica
+// failure fails only the items it owned — the other shards' results are
+// unaffected.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req serving.BatchRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	if len(req.Servers) == 0 {
+		writeError(w, http.StatusBadRequest, serving.CodeBadRequest, "batch must contain at least one server")
+		return
+	}
+	for i := range req.Servers {
+		if req.Servers[i].ServerID == "" {
+			writeError(w, http.StatusBadRequest, serving.CodeBadRequest,
+				"servers["+strconv.Itoa(i)+"]: server_id is required")
+			return
+		}
+	}
+	smap, clients := rt.view()
+	ids := make([]string, len(req.Servers))
+	for i := range req.Servers {
+		ids[i] = req.Servers[i].ServerID
+	}
+	parts := smap.Split(ids)
+
+	out := serving.BatchResponse{Results: make([]serving.BatchItemResult, len(req.Servers))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for name, idxs := range parts {
+		wg.Add(1)
+		go func(name string, idxs []int) {
+			defer wg.Done()
+			sub := serving.BatchRequest{
+				Scenario: req.Scenario,
+				Region:   req.Region,
+				Servers:  make([]serving.BatchItem, len(idxs)),
+			}
+			for j, i := range idxs {
+				sub.Servers[j] = req.Servers[i]
+			}
+			resp, err := clients[name].PredictBatch(r.Context(), sub)
+			rt.observeForward(name, err)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				body := upstreamErrorBody(name, err)
+				for _, i := range idxs {
+					out.Results[i] = serving.BatchItemResult{
+						ServerID: req.Servers[i].ServerID, LLStart: -1, Error: body,
+					}
+				}
+				out.Failed += len(idxs)
+				return
+			}
+			if out.Model == "" {
+				out.Model, out.Version = resp.Model, resp.Version
+			}
+			for j, i := range idxs {
+				if j < len(resp.Results) {
+					out.Results[i] = resp.Results[j]
+				}
+			}
+			out.Succeeded += resp.Succeeded
+			out.Failed += resp.Failed
+		}(name, idxs)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleIngest splits the batch's series and points by owner, broadcasts the
+// optional sweep clause to every replica (each sweeps its own ring), fans
+// out concurrently, and sums the tallies. Appends are idempotent on every
+// replica, so a client that sees an error from a partially-applied fan-out
+// simply re-sends the whole batch.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req serving.IngestRequest
+	if !rt.decode(w, r, &req) {
+		return
+	}
+	smap, clients := rt.view()
+	names := smap.Replicas()
+	subs := make(map[string]*serving.IngestRequest, len(names))
+	sub := func(name string) *serving.IngestRequest {
+		s, ok := subs[name]
+		if !ok {
+			s = &serving.IngestRequest{Sweep: req.Sweep}
+			subs[name] = s
+		}
+		return s
+	}
+	for i := range req.Servers {
+		sr := &req.Servers[i]
+		if sr.ServerID == "" {
+			writeError(w, http.StatusBadRequest, serving.CodeBadRequest,
+				"servers["+strconv.Itoa(i)+"]: server_id is required")
+			return
+		}
+		s := sub(smap.Owner(sr.ServerID))
+		s.Servers = append(s.Servers, *sr)
+	}
+	for i := range req.Points {
+		p := &req.Points[i]
+		if p.ServerID == "" {
+			writeError(w, http.StatusBadRequest, serving.CodeBadRequest,
+				"points["+strconv.Itoa(i)+"]: server_id is required")
+			return
+		}
+		s := sub(smap.Owner(p.ServerID))
+		s.Points = append(s.Points, *p)
+	}
+	if req.Sweep != nil {
+		// The sweep must cover every shard, including those this batch
+		// carried no points for.
+		for _, name := range names {
+			sub(name)
+		}
+	}
+	if len(subs) == 0 {
+		writeError(w, http.StatusBadRequest, serving.CodeBadRequest, "ingest batch must contain at least one point")
+		return
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var merged serving.IngestResponse
+	var firstErr error
+	var firstErrName string
+	for name, s := range subs {
+		wg.Add(1)
+		go func(name string, s *serving.IngestRequest) {
+			defer wg.Done()
+			resp, err := clients[name].Ingest(r.Context(), *s)
+			rt.observeForward(name, err)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr, firstErrName = err, name
+				}
+				return
+			}
+			merged.Accepted += resp.Accepted
+			merged.Duplicates += resp.Duplicates
+			merged.TooOld += resp.TooOld
+			merged.TooNew += resp.TooNew
+			merged.BadValues += resp.BadValues
+			merged.Skipped += resp.Skipped
+			if resp.Sweep != nil {
+				if merged.Sweep == nil {
+					merged.Sweep = &serving.SweepResult{
+						Region: resp.Sweep.Region, Week: resp.Sweep.Week,
+					}
+				}
+				merged.Sweep.Checked += resp.Sweep.Checked
+				merged.Sweep.Drifted += resp.Sweep.Drifted
+				merged.Sweep.Skipped += resp.Sweep.Skipped
+				merged.Sweep.Queued += resp.Sweep.Queued
+				merged.Sweep.Dropped += resp.Sweep.Dropped
+				merged.Sweep.Servers = append(merged.Sweep.Servers, resp.Sweep.Servers...)
+			}
+		}(name, s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// Idempotent appends make the whole batch safe to re-send; failing
+		// loudly beats acknowledging points a dead replica never saw.
+		writeUpstream(w, firstErrName, firstErr)
+		return
+	}
+	if merged.Sweep != nil {
+		sort.Strings(merged.Sweep.Servers)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handlePredictions fans the stored-prediction query out to every replica
+// and merges by server ID: replicas share a region's document store but a
+// refresher republishes only its own shard, so the union is the fleet view.
+func (rt *Router) handlePredictions(w http.ResponseWriter, r *http.Request) {
+	region := r.PathValue("region")
+	week, err := strconv.Atoi(r.PathValue("week"))
+	if err != nil || region == "" {
+		writeError(w, http.StatusBadRequest, serving.CodeBadRequest, "path must be /v2/predictions/{region}/{week}")
+		return
+	}
+	smap, clients := rt.view()
+	names := smap.Replicas()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	var firstErrName string
+	merged := serving.PredictionsResponse{Region: region, Week: week}
+	seen := map[string]bool{}
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			resp, err := clients[name].Predictions(r.Context(), region, week)
+			rt.observeForward(name, err)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr, firstErrName = err, name
+				}
+				return
+			}
+			for _, doc := range resp.Predictions {
+				if doc != nil && !seen[doc.ServerID] {
+					seen[doc.ServerID] = true
+					merged.Predictions = append(merged.Predictions, doc)
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	if firstErr != nil && len(merged.Predictions) == 0 {
+		writeUpstream(w, firstErrName, firstErr)
+		return
+	}
+	sort.Slice(merged.Predictions, func(i, j int) bool {
+		return merged.Predictions[i].ServerID < merged.Predictions[j].ServerID
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// proxy forwards one stateless request body to a replica and relays the
+// JSON response, failing over to the next replica on a retryable error.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, method, path string, body json.RawMessage) {
+	smap, _ := rt.view()
+	n := smap.N()
+	skip := map[string]bool{}
+	var lastName string
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		name, client := rt.nextClient(skip)
+		if client == nil {
+			break
+		}
+		var in any
+		if body != nil {
+			in = body
+		}
+		var out any
+		err := client.Do(r.Context(), method, path, in, &out)
+		rt.observeForward(name, err)
+		if err == nil {
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		lastName, lastErr = name, err
+		var api *serving.APIError
+		if errors.As(err, &api) && api.Status < 500 && api.Status != http.StatusTooManyRequests {
+			// Definitive answer (bad request, not found): no point failing
+			// over, every replica would agree.
+			break
+		}
+		skip[name] = true
+	}
+	writeUpstream(w, lastName, lastErr)
+}
+
+// forwardJSON builds a handler that relays a POST body round-robin.
+func (rt *Router) forwardJSON(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var raw json.RawMessage
+		if !rt.decode(w, r, &raw) {
+			return
+		}
+		rt.proxy(w, r, http.MethodPost, path, raw)
+	}
+}
+
+// forwardGet builds a handler that relays a GET round-robin.
+func (rt *Router) forwardGet(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, http.MethodGet, path, nil)
+	}
+}

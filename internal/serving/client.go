@@ -244,6 +244,15 @@ func parseRetryAfter(h string) time.Duration {
 	return 0
 }
 
+// Do performs one JSON request against path under the client's full retry
+// and circuit-breaker policy, decoding the response into out. in may be any
+// marshalable value (json.RawMessage relays a pre-encoded body verbatim);
+// nil sends no body. The sharded router's stateless forwards are built on
+// it.
+func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
+	return c.do(ctx, method, path, in, out)
+}
+
 // --- v2 methods ---
 
 // PredictV2 posts a v2 predict request.

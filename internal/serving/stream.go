@@ -125,7 +125,10 @@ func (s *Service) Ingest(ctx context.Context, req IngestRequest) (IngestResponse
 	for i := range req.Servers {
 		total += len(req.Servers[i].Values)
 	}
-	if total == 0 {
+	// A sweep-only request (no points) is legal: the sharded router
+	// broadcasts the sweep clause to every replica, but each replica
+	// receives only its own shard's points — possibly none.
+	if total == 0 && req.Sweep == nil {
 		return IngestResponse{}, badRequest("ingest batch must contain at least one point")
 	}
 	if total > s.cfg.MaxIngestPoints {

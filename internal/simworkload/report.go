@@ -50,6 +50,10 @@ type SLOReport struct {
 	DriftLag []DriftLag `json:"drift_lag,omitempty"`
 	// MaxQueueDepth is the deepest post-sweep refresh queue observed.
 	MaxQueueDepth int `json:"max_queue_depth"`
+	// Replicas is the serving topology: 1 is the single-process system, more
+	// means that many consistent-hash shards behind the router. The stream
+	// stats below are fleet sums.
+	Replicas int `json:"replicas,omitempty"`
 
 	Ingest     stream.Stats           `json:"ingest"`
 	Sweeper    stream.SweeperStats    `json:"sweeper"`

@@ -21,7 +21,9 @@ import (
 	"seagull/internal/parallel"
 	"seagull/internal/pipeline"
 	"seagull/internal/registry"
+	"seagull/internal/router"
 	"seagull/internal/serving"
+	"seagull/internal/shard"
 	"seagull/internal/simclock"
 	"seagull/internal/simulate"
 	"seagull/internal/stream"
@@ -110,11 +112,14 @@ type harness struct {
 	db    *cosmos.DB
 	reg   *registry.Registry
 	pipe  *pipeline.Pipeline
-	ing   *stream.Ingestor
-	det   *stream.DriftDetector
-	ref   *stream.Refresher
-	sw    *stream.Sweeper
-	dur   *stream.Durability
+
+	// stacks are the serving replicas: one for the single-process scenario,
+	// N consistent-hash shards behind a router when Scenario.Replicas > 1.
+	// The lake, document store and registry are shared (the cloud services);
+	// each stack privately owns its shard's rings, detector, refresher,
+	// sweeper and namespaced durability.
+	stacks []*simStack
+	smap   *shard.Map
 
 	// simTracer records the stream side (sweeps, refreshes) on the simulated
 	// clock: span counts are deterministic per (scenario, seed) and land in
@@ -175,6 +180,24 @@ type appendJob struct {
 type predictJob struct {
 	region string
 	id     string
+}
+
+// simStack is one serving replica's private state.
+type simStack struct {
+	name string
+	ing  *stream.Ingestor
+	det  *stream.DriftDetector
+	ref  *stream.Refresher
+	sw   *stream.Sweeper
+	dur  *stream.Durability
+}
+
+// ownerStack resolves a server ID to the replica that owns its shard.
+func (h *harness) ownerStack(serverID string) *simStack {
+	if len(h.stacks) == 1 {
+		return h.stacks[0]
+	}
+	return h.stacks[h.smap.OwnerIndex(serverID)]
 }
 
 // Run executes one scenario against a fully wired system — batch warmup
@@ -289,39 +312,55 @@ func (h *harness) build(dir string, liveWeeks int) error {
 	h.pipe.Clock = h.clock
 
 	ppw := int(week / h.slot)
-	h.ing = stream.NewIngestor(stream.Config{
+	ringCfg := stream.Config{
 		Interval: h.slot,
 		Epoch:    h.fleetStart,
 		Slots:    (liveWeeks + 2) * ppw,
 		Clock:    h.clock,
-	})
-	h.det = stream.NewDriftDetector(h.ing, db, stream.DriftConfig{})
-	h.shadow = stream.NewIngestor(stream.Config{
-		Interval: h.slot,
-		Epoch:    h.fleetStart,
-		Slots:    (liveWeeks + 2) * ppw,
-		Clock:    h.clock,
-	})
+	}
+	h.shadow = stream.NewIngestor(ringCfg)
 	h.sdet = stream.NewDriftDetector(h.shadow, db, stream.DriftConfig{})
 	pool := serving.NewModelPool(serving.PoolConfig{})
 	unbind := pool.Bind(h.reg)
 	h.simTracer = obs.NewTracer(obs.TracerConfig{Clock: h.clock})
 	h.wallTracer = obs.NewTracer(obs.TracerConfig{})
-	h.ref = stream.NewRefresher(h.ing, db, h.reg, serving.StreamPool(pool), stream.RefreshConfig{
-		Workers: 2,
-		Clock:   h.clock,
-		Tracer:  h.simTracer,
-	})
-	h.sw = stream.NewSweeper(db, h.det, h.ref, stream.SweeperConfig{
-		Interval: time.Duration(h.sc.SweepEveryMinutes) * time.Minute,
-		Clock:    h.clock,
-		Tracer:   h.simTracer,
-	})
-	h.dur = stream.NewDurability(h.ing, store, stream.DurabilityConfig{
-		CommitEvery:   time.Duration(h.sc.CommitEveryMinutes) * time.Minute,
-		SnapshotEvery: time.Duration(h.sc.SnapshotEveryMinutes) * time.Minute,
-		Clock:         h.clock,
-	})
+
+	names := make([]string, h.sc.Replicas)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%02d", i)
+	}
+	smap, err := shard.New(uint64(h.sc.Seed), names)
+	if err != nil {
+		return err
+	}
+	h.smap = smap
+	for _, name := range smap.Replicas() {
+		st := &simStack{name: name}
+		st.ing = stream.NewIngestor(ringCfg)
+		st.det = stream.NewDriftDetector(st.ing, db, stream.DriftConfig{})
+		st.ref = stream.NewRefresher(st.ing, db, h.reg, serving.StreamPool(pool), stream.RefreshConfig{
+			Workers: 2,
+			Clock:   h.clock,
+			Tracer:  h.simTracer,
+		})
+		st.sw = stream.NewSweeper(db, st.det, st.ref, stream.SweeperConfig{
+			Interval: time.Duration(h.sc.SweepEveryMinutes) * time.Minute,
+			Clock:    h.clock,
+			Tracer:   h.simTracer,
+		})
+		durCfg := stream.DurabilityConfig{
+			CommitEvery:   time.Duration(h.sc.CommitEveryMinutes) * time.Minute,
+			SnapshotEvery: time.Duration(h.sc.SnapshotEveryMinutes) * time.Minute,
+			Clock:         h.clock,
+		}
+		if h.sc.Replicas > 1 {
+			// Namespaced so N replicas share the lake without colliding; the
+			// single-replica run keeps the original object names.
+			durCfg.Namespace = name
+		}
+		st.dur = stream.NewDurability(st.ing, store, durCfg)
+		h.stacks = append(h.stacks, st)
+	}
 	h.closers = append(h.closers, unbind)
 
 	h.rng = rand.New(rand.NewSource(h.sc.Seed*911_383 + 101))
@@ -370,11 +409,16 @@ func (h *harness) warmup(ctx context.Context) error {
 	// Arm durability only now: warmup telemetry flows through the lake, not
 	// the live ring. The WAL covers everything the ring holds — the prefeed
 	// week and the live replay — so crash recovery restores the full live
-	// window.
-	if _, err := h.dur.Recover(); err != nil {
-		return err
+	// window. Each replica recovers only its own namespace.
+	for _, st := range h.stacks {
+		if _, err := st.dur.Recover(); err != nil {
+			return err
+		}
+		if err := st.dur.Open(); err != nil {
+			return err
+		}
 	}
-	return h.dur.Open()
+	return nil
 }
 
 // prefeed streams the week before the replay into the live ring, so live
@@ -387,7 +431,8 @@ func (h *harness) prefeed() error {
 			return err
 		}
 		for _, sl := range loads {
-			if _, err := h.ing.AppendSeries(sl.ServerID, sl.Load.Start, sl.Load.Values); err != nil {
+			st := h.ownerStack(sl.ServerID)
+			if _, err := st.ing.AppendSeries(sl.ServerID, sl.Load.Start, sl.Load.Values); err != nil {
 				return err
 			}
 			if _, err := h.shadow.AppendSeries(sl.ServerID, sl.Load.Start, sl.Load.Values); err != nil {
@@ -398,36 +443,72 @@ func (h *harness) prefeed() error {
 	return nil
 }
 
-// serve starts the serving layer on a loopback listener and points the
-// harness client at it. The returned function tears both down.
+// serve starts one serving replica per stack on loopback listeners and
+// points the harness client at the fleet: directly at the single service
+// when Replicas == 1 (no router hop, the original topology), otherwise at a
+// router fronting the shard replicas. The returned function tears it all
+// down.
 func (h *harness) serve() (func(), error) {
-	svc := serving.NewService(h.reg, h.db, serving.ServiceConfig{
-		Ingestor:    h.ing,
-		Drift:       h.det,
-		Refresher:   h.ref,
-		Sweeper:     h.sw,
-		Durability:  h.dur,
-		MaxInflight: h.sc.MaxInflight,
-		Brownout:    h.sc.Brownout,
-		Tracer:      h.wallTracer,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	var closers []func()
+	teardown := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	var reps []router.Replica
+	for _, st := range h.stacks {
+		svc := serving.NewService(h.reg, h.db, serving.ServiceConfig{
+			Ingestor:    st.ing,
+			Drift:       st.det,
+			Refresher:   st.ref,
+			Sweeper:     st.sw,
+			Durability:  st.dur,
+			MaxInflight: h.sc.MaxInflight,
+			Brownout:    h.sc.Brownout,
+			Tracer:      h.wallTracer,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			teardown()
+			return nil, err
+		}
+		hsrv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = hsrv.Serve(ln) }()
+		closers = append(closers, func() {
+			_ = hsrv.Close()
+			svc.Close()
+		})
+		reps = append(reps, router.Replica{Name: st.name, BaseURL: "http://" + ln.Addr().String()})
+	}
+	if len(reps) == 1 {
+		h.client = serving.NewClient(reps[0].BaseURL)
+		return teardown, nil
+	}
+	// The router itself runs on the wall clock: its retry/breaker pacing is
+	// serving-side machinery, and nothing deterministic depends on it.
+	rt, err := router.New(router.Config{Seed: uint64(h.sc.Seed), Replicas: reps})
 	if err != nil {
-		svc.Close()
+		teardown()
 		return nil, err
 	}
-	hsrv := &http.Server{Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		teardown()
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: rt.Handler()}
 	go func() { _ = hsrv.Serve(ln) }()
+	closers = append(closers, func() { _ = hsrv.Close() })
 	h.client = serving.NewClient("http://" + ln.Addr().String())
-	return func() {
-		_ = hsrv.Close()
-		svc.Close()
-	}, nil
+	return teardown, nil
 }
 
 func (h *harness) close() {
-	if h.dur != nil {
-		_ = h.dur.Close()
+	for _, st := range h.stacks {
+		if st.dur != nil {
+			_ = st.dur.Close()
+		}
 	}
 	for i := len(h.closers) - 1; i >= 0; i-- {
 		h.closers[i]()
@@ -473,30 +554,41 @@ func (h *harness) replay(ctx context.Context, wallStart time.Time) ([]Row, error
 		_ = h.ingPool.ForEach(len(appends), func(i int) error {
 			a := appends[i]
 			if a.ok {
-				h.ing.Append(a.id, a.t, a.live)
+				h.ownerStack(a.id).ing.Append(a.id, a.t, a.live)
 				h.shadow.Append(a.id, a.t, a.base)
 			}
 			return nil
 		})
 		wg.Wait()
 
+		// Maintenance fires per replica, in shard-map order — the iteration
+		// order is part of the deterministic timeline.
 		elapsedMin := (s + 1) * slotMin
 		if elapsedMin%h.sc.CommitEveryMinutes == 0 {
-			_ = h.dur.CommitNow()
+			for _, st := range h.stacks {
+				_ = st.dur.CommitNow()
+			}
 		}
 		if h.sc.SnapshotEveryMinutes > 0 && elapsedMin%h.sc.SnapshotEveryMinutes == 0 {
-			_, _ = h.dur.SnapshotNow()
+			for _, st := range h.stacks {
+				_, _ = st.dur.SnapshotNow()
+			}
 		}
 		if elapsedMin%h.sc.SweepEveryMinutes == 0 {
-			_ = h.sw.SweepOnce(ctx)
-			depth := h.ref.Stats().Pending
+			depth := 0
+			for _, st := range h.stacks {
+				_ = st.sw.SweepOnce(ctx)
+				depth += st.ref.Stats().Pending
+			}
 			h.lastDepth = depth
 			if depth > h.maxDepth {
 				h.maxDepth = depth
 			}
 			h.measureDrift(ctx, endHour)
-			if err := h.ref.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
-				return rows, err
+			for _, st := range h.stacks {
+				if err := st.ref.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+					return rows, err
+				}
 			}
 		}
 		if elapsedMin%weekMin == 0 {
@@ -684,16 +776,20 @@ func (h *harness) measureDrift(ctx context.Context, hour float64) {
 			if !eventHits(t.ev, r.spec.Name) {
 				continue
 			}
-			lrep, err := h.det.Sweep(ctx, r.spec.Name, h.judgedWeek)
-			if err != nil {
-				continue
+			// Each replica's detector sees only its shard's rings; the union
+			// over replicas is the fleet's live verdict.
+			for _, st := range h.stacks {
+				lrep, err := st.det.Sweep(ctx, r.spec.Name, h.judgedWeek)
+				if err != nil {
+					continue
+				}
+				for _, sd := range lrep.DriftedServers {
+					live[sd.ServerID] = true
+				}
 			}
 			srep, err := h.sdet.Sweep(ctx, r.spec.Name, h.judgedWeek)
 			if err != nil {
 				continue
-			}
-			for _, sd := range lrep.DriftedServers {
-				live[sd.ServerID] = true
 			}
 			for _, sd := range srep.DriftedServers {
 				base[sd.ServerID] = true
@@ -708,12 +804,78 @@ func (h *harness) measureDrift(ctx context.Context, hour float64) {
 	}
 }
 
+// fleetIngest sums the replica ingestors' counters. Per-replica counters are
+// deterministic (routing is a pure function of the seed), so the sums are
+// too.
+func (h *harness) fleetIngest() stream.Stats {
+	var out stream.Stats
+	for _, st := range h.stacks {
+		s := st.ing.Stats()
+		out.Servers += s.Servers
+		out.Appended += s.Appended
+		out.Duplicates += s.Duplicates
+		out.TooOld += s.TooOld
+		out.TooNew += s.TooNew
+		out.BadValues += s.BadValues
+	}
+	return out
+}
+
+func (h *harness) fleetSweeper() stream.SweeperStats {
+	var out stream.SweeperStats
+	for _, st := range h.stacks {
+		s := st.sw.Stats()
+		out.Ticks += s.Ticks
+		out.Regions += s.Regions
+		out.Drifted += s.Drifted
+		out.Queued += s.Queued
+		out.Dropped += s.Dropped
+		out.Paused += s.Paused
+		out.Errors += s.Errors
+	}
+	return out
+}
+
+func (h *harness) fleetRefresh() stream.RefreshStats {
+	var out stream.RefreshStats
+	for _, st := range h.stacks {
+		s := st.ref.Stats()
+		out.Queued += s.Queued
+		out.Coalesced += s.Coalesced
+		out.Dropped += s.Dropped
+		out.Refreshed += s.Refreshed
+		out.Skipped += s.Skipped
+		out.Failed += s.Failed
+		out.Pending += s.Pending
+	}
+	return out
+}
+
+func (h *harness) fleetDurability() stream.DurabilityStats {
+	out := h.stacks[0].dur.Stats()
+	for _, st := range h.stacks[1:] {
+		s := st.dur.Stats()
+		out.Commits += s.Commits
+		out.CommitRecords += s.CommitRecords
+		out.CommitBytes += s.CommitBytes
+		out.CommitErrors += s.CommitErrors
+		out.Dropped += s.Dropped
+		out.Snapshots += s.Snapshots
+		out.SnapshotErrs += s.SnapshotErrs
+		out.Truncations += s.Truncations
+	}
+	if len(h.stacks) > 1 {
+		out.Recovered = nil // per-replica recovery doesn't sum meaningfully
+	}
+	return out
+}
+
 // sample snapshots the deterministic counters into a timeline row.
 func (h *harness) sample(simHours float64) Row {
-	ist := h.ing.Stats()
-	sst := h.sw.Stats()
-	rst := h.ref.Stats()
-	dst := h.dur.Stats()
+	ist := h.fleetIngest()
+	sst := h.fleetSweeper()
+	rst := h.fleetRefresh()
+	dst := h.fleetDurability()
 	sweepSpans, _ := stageCount(h.simTracer, "sweep")
 	trainSpans, trainHits := stageCount(h.simTracer, "train")
 	return Row{
@@ -759,10 +921,11 @@ func (h *harness) report(wall time.Duration) SLOReport {
 		SimHours:      h.sc.Hours,
 		WallSeconds:   wall.Seconds(),
 		MaxQueueDepth: h.maxDepth,
-		Ingest:        h.ing.Stats(),
-		Sweeper:       h.sw.Stats(),
-		Refresh:       h.ref.Stats(),
-		Durability:    h.dur.Stats(),
+		Replicas:      len(h.stacks),
+		Ingest:        h.fleetIngest(),
+		Sweeper:       h.fleetSweeper(),
+		Refresh:       h.fleetRefresh(),
+		Durability:    h.fleetDurability(),
 	}
 	if rep.WallSeconds > 0 {
 		rep.Compression = rep.SimHours * 3600 / rep.WallSeconds

@@ -226,3 +226,59 @@ func TestEventShaping(t *testing.T) {
 		}
 	}
 }
+
+// TestRunShardedDeterministic pins the scale-out topology: the sharded-12h
+// scenario (4 consistent-hash replicas behind the router) replays
+// deterministically — two runs produce bit-identical timeline CSVs — and the
+// work is genuinely spread across the replica fleet.
+func TestRunShardedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	sc, ok := Builtin("sharded-12h")
+	if !ok {
+		t.Fatal("sharded-12h scenario missing")
+	}
+	opts := Options{Hours: 4}
+
+	out1, err := Run(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := Run(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.CSV, out2.CSV) {
+		t.Fatalf("sharded timelines differ across runs of the same scenario+seed:\n--- run 1\n%s\n--- run 2\n%s", out1.CSV, out2.CSV)
+	}
+
+	rep := out1.Report
+	if rep.Replicas != 4 {
+		t.Fatalf("report replicas = %d, want 4", rep.Replicas)
+	}
+	if rep.Ingest.Appended == 0 || rep.Ingest.Servers == 0 {
+		t.Fatalf("no telemetry flowed through the fleet: %+v", rep.Ingest)
+	}
+	if rep.Predicts.Issued == 0 || rep.Predicts.OK == 0 {
+		t.Fatalf("predict traffic did not flow through the router: %+v", rep.Predicts)
+	}
+	if rep.Predicts.Failed > 0 {
+		t.Fatalf("routed predicts failed: %+v", rep.Predicts)
+	}
+	if rep.Durability.Commits == 0 {
+		t.Fatalf("replica WALs never committed: %+v", rep.Durability)
+	}
+	// Nearly the whole fleet must hold live rings (short-lived servers may
+	// retire before the replay window; everyone else streams every slot).
+	if rep.Ingest.Servers < 48 {
+		t.Fatalf("fleet ingest servers = %d, want ≥ 48 of 64", rep.Ingest.Servers)
+	}
+
+	// The same scenario collapsed to one replica must still be a valid run
+	// (and a different timeline shape is fine — topology changes sweeps).
+	sc.Replicas = 1
+	if _, err := Run(context.Background(), sc, Options{Hours: 1}); err != nil {
+		t.Fatalf("single-replica collapse of the sharded scenario failed: %v", err)
+	}
+}

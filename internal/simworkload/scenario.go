@@ -120,6 +120,13 @@ type Scenario struct {
 	// Brownout lets saturated predicts degrade to the persistent fallback
 	// instead of shedding.
 	Brownout bool `json:"brownout,omitempty"`
+	// Replicas shards the serving layer: that many replicas, each owning a
+	// consistent-hash shard of server IDs (its own ingest rings, drift
+	// detector, refresher, sweeper and namespaced WAL/snapshots), behind a
+	// stateless router the harness client talks to. Default 1 — the
+	// single-process system, with no router hop. Routing is deterministic
+	// per seed, so sharded timelines are bit-identical across runs too.
+	Replicas int `json:"replicas,omitempty"`
 	// Events are the scheduled disturbances, in any order.
 	Events []Event `json:"events,omitempty"`
 }
@@ -142,6 +149,9 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.MaxInflight == 0 {
 		sc.MaxInflight = 64
+	}
+	if sc.Replicas <= 0 {
+		sc.Replicas = 1
 	}
 	return sc
 }
@@ -216,6 +226,9 @@ func (sc Scenario) slotDur() time.Duration {
 //     maintenance window.
 //   - "failover-48h": two regions, 48 simulated hours; region "east" goes
 //     dark at hour 12 and "west" absorbs 1.8× traffic for six hours.
+//   - "sharded-12h": the scale-out scenario — 64 servers consistent-hash
+//     sharded across 4 replicas behind the router, 12 simulated hours with a
+//     burst storm and a drift injection crossing shard boundaries.
 func Builtin(name string) (Scenario, bool) {
 	switch name {
 	case "smoke":
@@ -257,9 +270,25 @@ func Builtin(name string) (Scenario, bool) {
 				{Type: EventFailover, Region: "east", AtHour: 12, DurationHours: 6, Magnitude: 1.8},
 			},
 		}, true
+	case "sharded-12h":
+		return Scenario{
+			Name: "sharded-12h", Seed: 17,
+			Regions:      []RegionSpec{{Name: "west", Servers: 64}},
+			HistoryWeeks: 2, Hours: 12,
+			PredictsPerHour:   360,
+			SweepEveryMinutes: 60,
+			Brownout:          true,
+			Replicas:          4,
+			Events: []Event{
+				{Type: EventBurstStorm, AtHour: 2, DurationHours: 2, Magnitude: 3, Fraction: 0.5},
+				{Type: EventDrift, AtHour: 5, Magnitude: 35, Fraction: 0.5},
+			},
+		}, true
 	}
 	return Scenario{}, false
 }
 
 // BuiltinNames lists the built-in scenarios in display order.
-func BuiltinNames() []string { return []string{"smoke", "burst-drift-36h", "failover-48h"} }
+func BuiltinNames() []string {
+	return []string{"smoke", "burst-drift-36h", "failover-48h", "sharded-12h"}
+}

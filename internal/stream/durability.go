@@ -47,6 +47,13 @@ type ObjectStore interface {
 // DurabilityConfig parameterizes a Durability. The zero value selects the
 // production defaults.
 type DurabilityConfig struct {
+	// Namespace scopes every durable object name under
+	// "replicas/<Namespace>/", so N sharded serving replicas can persist
+	// their WALs and ring snapshots into one shared lake without colliding
+	// — each replica recovers exactly its own shard's state. Empty (the
+	// default) keeps the original single-process object names, so existing
+	// lakes restore unchanged.
+	Namespace string
 	// DisableWAL turns off write-ahead logging, leaving periodic snapshots as
 	// the only durability (δ degrades to SnapshotEvery).
 	DisableWAL bool
@@ -135,6 +142,20 @@ func NewDurability(ing *Ingestor, store ObjectStore, cfg DurabilityConfig) *Dura
 	}
 }
 
+// NamespacePrefix returns the lake object prefix a durability namespace
+// scopes its state under ("" for the default, single-process namespace).
+func NamespacePrefix(namespace string) string {
+	if namespace == "" {
+		return ""
+	}
+	return "replicas/" + namespace + "/"
+}
+
+// objName scopes a durable object name under the configured namespace.
+func (d *Durability) objName(name string) string {
+	return NamespacePrefix(d.cfg.Namespace) + name
+}
+
 // RecoveryStats reports what Recover salvaged.
 type RecoveryStats struct {
 	// SnapshotShards counts per-shard snapshot objects restored.
@@ -190,7 +211,7 @@ func (d *Durability) Recover() (RecoveryStats, error) {
 	var mu sync.Mutex // guards rec across the parallel file workers
 	pool := parallel.NewPool(0)
 
-	snaps, err := d.store.ListObjects(ShardSnapshotPrefix)
+	snaps, err := d.store.ListObjects(d.objName(ShardSnapshotPrefix))
 	if err != nil {
 		return rec, fmt.Errorf("stream: list snapshots: %w", err)
 	}
@@ -209,17 +230,17 @@ func (d *Durability) Recover() (RecoveryStats, error) {
 	// Pre-incremental lakes stored one monolithic snapshot; honor it when no
 	// per-shard snapshots exist so upgrades restore cleanly.
 	if len(snaps) == 0 {
-		switch err := d.restoreObject(SnapshotObject); {
+		switch err := d.restoreObject(d.objName(SnapshotObject)); {
 		case err == nil:
 			rec.LegacySnapshot = true
 		case errors.Is(err, lake.ErrNotFound):
 			// first boot
 		default:
-			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", SnapshotObject, err))
+			rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", d.objName(SnapshotObject), err))
 		}
 	}
 
-	logs, err := d.store.ListObjects(WALPrefix)
+	logs, err := d.store.ListObjects(d.objName(WALPrefix))
 	if err != nil {
 		return rec, fmt.Errorf("stream: list WALs: %w", err)
 	}
@@ -299,7 +320,7 @@ func (d *Durability) Open() error {
 // header; an existing one is trusted (Recover already consumed and validated
 // it — and even if stale bytes survived, replay's CRC framing contains them).
 func (d *Durability) openShardWAL(i int) (*shardWAL, error) {
-	obj, err := d.store.ObjectAppender(walObject(i))
+	obj, err := d.store.ObjectAppender(d.objName(walObject(i)))
 	if err != nil {
 		return nil, fmt.Errorf("stream: open WAL %d: %w", i, err)
 	}
@@ -511,7 +532,7 @@ func (d *Durability) snapshotShard(i int) (bool, error) {
 		d.spare = pend
 	}
 
-	obj, err := d.store.ObjectWriter(shardSnapshotObject(i))
+	obj, err := d.store.ObjectWriter(d.objName(shardSnapshotObject(i)))
 	if err == nil {
 		_, err = obj.Write(d.scratch)
 		if err == nil {

@@ -266,6 +266,13 @@ type SystemConfig struct {
 	// DataDir is the root directory for the lake and the document store.
 	// Empty means an OS temporary directory (removed by Close).
 	DataDir string
+	// Replica names this system's shard in a region-sharded fleet. When set,
+	// the durability layer namespaces its WAL and ring-snapshot objects under
+	// replicas/<Replica>/ in the lake, so N replicas — each owning a
+	// consistent-hash shard of servers behind a seagull-router — can share
+	// one lake without colliding. Empty (the default) keeps the
+	// single-process object names.
+	Replica string
 	// Persist keeps the document store durable on disk. Without it the
 	// document store is memory-only (the lake always uses the file system).
 	Persist bool
@@ -595,8 +602,15 @@ func (s *System) SaveStreamSnapshot() error {
 // Close() on drain. Supersedes the Save/RestoreStreamSnapshot pair for
 // deployments that need bounded loss under hard kills.
 func (s *System) NewDurability(cfg DurabilityConfig) *Durability {
+	if cfg.Namespace == "" {
+		cfg.Namespace = s.cfg.Replica
+	}
 	return stream.NewDurability(s.Stream(), s.Lake, cfg)
 }
+
+// Replica returns the system's shard name in a region-sharded fleet ("" for
+// a single-process deployment).
+func (s *System) Replica() string { return s.cfg.Replica }
 
 // RestoreStreamSnapshot restores the live telemetry rings from the lake's
 // snapshot object — the startup hook pairing SaveStreamSnapshot.
